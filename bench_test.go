@@ -1,0 +1,414 @@
+// Benchmark harness: one benchmark per paper table/figure (regenerating
+// the exact rows/series the paper reports, against a fixed campaign
+// dataset) plus micro-benchmarks for every pipeline stage and the
+// ablation baselines called out in DESIGN.md §4.
+//
+// Run with: go test -bench=. -benchmem
+package sheriff_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sheriff"
+	"sheriff/internal/analysis"
+	"sheriff/internal/extract"
+	"sheriff/internal/fx"
+	"sheriff/internal/geo"
+	"sheriff/internal/htmlx"
+	"sheriff/internal/money"
+	"sheriff/internal/shop"
+	"sheriff/internal/store"
+)
+
+// fixture is the shared benchmark dataset: a reduced-scale but complete
+// run of both campaigns plus the login experiment. Built once.
+type fixture struct {
+	world *sheriff.World
+	page  string      // a representative product page
+	doc   *htmlx.Node // parsed form of page
+	anch  extract.Anchor
+	truth money.Amount
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+)
+
+func benchFixture(b *testing.B) *fixture {
+	b.Helper()
+	fixOnce.Do(func() {
+		w := sheriff.NewWorld(sheriff.WorldOptions{Seed: 1, LongTail: 12})
+		if _, err := w.RunCrowd(sheriff.CrowdOptions{Users: 40, Requests: 120, Span: 12 * 24 * time.Hour}); err != nil {
+			panic(err)
+		}
+		if err := w.EnsureAnchors(w.Crawled); err != nil {
+			panic(err)
+		}
+		if _, err := w.RunCrawl(sheriff.CrawlOptions{MaxProducts: 8, Rounds: 3}); err != nil {
+			panic(err)
+		}
+		if _, err := w.RunLoginExperiment("www.amazon.com", 10, []string{"userA", "userB", "userC"}); err != nil {
+			panic(err)
+		}
+
+		// A representative page + anchor for the extraction benches.
+		r := w.Retailers["www.digitalrev.com"]
+		p := r.Catalog().Products()[0]
+		loc, err := geo.LocationOf("US", "Boston")
+		if err != nil {
+			panic(err)
+		}
+		visit := shop.Visit{Loc: loc, Time: w.Clock.Now(), IP: "10.0.1.200"}
+		page := r.RenderProduct(p, visit)
+		doc, err := htmlx.ParseString(page)
+		if err != nil {
+			panic(err)
+		}
+		truth := r.DisplayPrice(p, visit)
+		anch, err := extract.Derive(doc, money.Format(truth, truth.Currency.Style()), money.USD)
+		if err != nil {
+			panic(err)
+		}
+		fix = &fixture{world: w, page: page, doc: doc, anch: anch, truth: truth}
+	})
+	return fix
+}
+
+// --- Figure/table benchmarks (one per paper exhibit) ---
+
+// BenchmarkFig1CrowdRequestCounts regenerates Fig. 1: domains ranked by
+// crowd requests with price differences.
+func BenchmarkFig1CrowdRequestCounts(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := f.world.Fig1(); len(rows) == 0 {
+			b.Fatal("empty Fig1")
+		}
+	}
+}
+
+// BenchmarkFig2CrowdRatioBoxplots regenerates Fig. 2.
+func BenchmarkFig2CrowdRatioBoxplots(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := f.world.Fig2(); len(rows) == 0 {
+			b.Fatal("empty Fig2")
+		}
+	}
+}
+
+// BenchmarkFig3CrawlExtent regenerates Fig. 3 (includes the persistence
+// and A/B-rejection machinery).
+func BenchmarkFig3CrawlExtent(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := f.world.Fig3(); len(rows) != 21 {
+			b.Fatalf("Fig3 rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig4CrawlRatioBoxplots regenerates Fig. 4.
+func BenchmarkFig4CrawlRatioBoxplots(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := f.world.Fig4(); len(rows) == 0 {
+			b.Fatal("empty Fig4")
+		}
+	}
+}
+
+// BenchmarkFig5RatioVsPrice regenerates the Fig. 5 scatter and its
+// price-band envelope.
+func BenchmarkFig5RatioVsPrice(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points := f.world.Fig5()
+		if len(points) == 0 {
+			b.Fatal("empty Fig5")
+		}
+		sheriff.EnvelopeOf(points)
+	}
+}
+
+// BenchmarkFig6StrategyProfiles regenerates both Fig. 6 panels (per-VP
+// series plus multiplicative/additive model fits).
+func BenchmarkFig6StrategyProfiles(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := f.world.Fig6("www.digitalrev.com"); len(s) == 0 {
+			b.Fatal("empty Fig6a")
+		}
+		if s := f.world.Fig6("www.energie.it"); len(s) == 0 {
+			b.Fatal("empty Fig6b")
+		}
+	}
+}
+
+// BenchmarkFig7LocationBoxplots regenerates Fig. 7.
+func BenchmarkFig7LocationBoxplots(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := f.world.Fig7(); len(rows) != 14 {
+			b.Fatalf("Fig7 rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig8PairwiseGrids regenerates all three Fig. 8 grids.
+func BenchmarkFig8PairwiseGrids(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g := f.world.Fig8("www.homedepot.com", "city"); len(g.Locations) == 0 {
+			b.Fatal("empty homedepot grid")
+		}
+		f.world.Fig8("www.amazon.com", "country")
+		f.world.Fig8("store.killah.com", "country")
+	}
+}
+
+// BenchmarkFig9FinlandPremium regenerates Fig. 9.
+func BenchmarkFig9FinlandPremium(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := f.world.Fig9(); len(rows) == 0 {
+			b.Fatal("empty Fig9")
+		}
+	}
+}
+
+// BenchmarkFig10LoginExperiment regenerates the Fig. 10 series from the
+// login-experiment observations.
+func BenchmarkFig10LoginExperiment(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ls := f.world.Fig10()
+		if len(ls.SKUs) == 0 {
+			b.Fatal("empty Fig10")
+		}
+	}
+}
+
+// BenchmarkDatasetSummary regenerates the Sec. 3.2/4.1 dataset summary.
+func BenchmarkDatasetSummary(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sheriff.Summarize(f.world.Store, 340, 18, 600)
+		if s.CrawledDomains != 21 {
+			b.Fatalf("summary: %+v", s)
+		}
+	}
+}
+
+// BenchmarkThirdPartyPresence regenerates the Sec. 4.4 tracker table.
+func BenchmarkThirdPartyPresence(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := f.world.ThirdPartyAudit()
+		if err != nil || p["ga"] == 0 {
+			b.Fatalf("audit: %v %v", p, err)
+		}
+	}
+}
+
+// BenchmarkPersonaExperiment runs the Sec. 4.4 persona comparison
+// (train two personas, compare product prices) per iteration.
+func BenchmarkPersonaExperiment(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := f.world.RunPersonaExperiment([]string{"www.digitalrev.com"}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Differing != 0 {
+			b.Fatal("persona effect appeared")
+		}
+	}
+}
+
+// BenchmarkCurrencyFilter measures the Sec. 2.2 worst-case-rate filter on
+// a 14-quote group (one per vantage point).
+func BenchmarkCurrencyFilter(b *testing.B) {
+	market := fx.NewMarket(1)
+	day := time.Date(2013, 2, 1, 0, 0, 0, 0, time.UTC)
+	currencies := []money.Currency{
+		money.USD, money.EUR, money.GBP, money.BRL, money.USD, money.EUR,
+		money.USD, money.EUR, money.USD, money.USD, money.GBP, money.EUR,
+		money.USD, money.BRL,
+	}
+	quotes := make([]fx.Quote, len(currencies))
+	for i, c := range currencies {
+		quotes[i] = fx.Quote{Amount: money.FromMinor(int64(10000+i*137), c), Day: day}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		market.RealVariation(quotes)
+	}
+}
+
+// --- Pipeline micro-benchmarks ---
+
+// BenchmarkCrowdCheck measures one complete $heriff check: user-side
+// fetch, anchor derivation, synchronized 14-VP fan-out, extraction,
+// currency filter, storage.
+func BenchmarkCrowdCheck(b *testing.B) {
+	f := benchFixture(b)
+	r := f.world.Retailers["www.digitalrev.com"]
+	ps := r.Catalog().Products()
+	loc, _ := geo.LocationOf("US", "Boston")
+	addr, _ := geo.AddrFor(loc, 201)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := ps[i%len(ps)]
+		amt := r.DisplayPrice(p, shop.Visit{Loc: loc, Time: f.world.Clock.Now(), IP: addr.String()})
+		_, err := f.world.Backend.Check(sheriff.CheckRequest{
+			URL:       "http://www.digitalrev.com/product/" + p.SKU,
+			Highlight: money.Format(amt, amt.Currency.Style()),
+			UserAddr:  addr,
+			UserID:    "bench",
+		})
+		// The world injects deterministic transient 503s (8.5% of URLs per
+		// day); a check bouncing off one is modeled reality, not a bench
+		// failure.
+		if err != nil && !strings.Contains(err.Error(), "status 503") {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPageRender measures storefront page generation.
+func BenchmarkPageRender(b *testing.B) {
+	f := benchFixture(b)
+	r := f.world.Retailers["www.digitalrev.com"]
+	p := r.Catalog().Products()[0]
+	loc, _ := geo.LocationOf("DE", "Berlin")
+	v := shop.Visit{Loc: loc, Time: f.world.Clock.Now(), IP: "10.2.0.9"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if page := r.RenderProduct(p, v); len(page) == 0 {
+			b.Fatal("empty page")
+		}
+	}
+}
+
+// BenchmarkPageParse measures HTML parsing of a product page.
+func BenchmarkPageParse(b *testing.B) {
+	f := benchFixture(b)
+	b.SetBytes(int64(len(f.page)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := htmlx.ParseString(f.page); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnchorDerive measures highlight-to-anchor derivation.
+func BenchmarkAnchorDerive(b *testing.B) {
+	f := benchFixture(b)
+	highlight := money.Format(f.truth, f.truth.Currency.Style())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := extract.Derive(f.doc, highlight, money.USD); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationExtractionAnchor measures anchor-based extraction — the
+// paper's approach (DESIGN.md ablation 1, fast path).
+func BenchmarkAblationExtractionAnchor(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		amt, err := f.anch.Extract(f.doc, money.USD)
+		if err != nil || amt.Units != f.truth.Units {
+			b.Fatalf("extract: %v %v", amt, err)
+		}
+	}
+}
+
+// BenchmarkAblationExtractionNaive measures the first-price-on-page
+// strawman (DESIGN.md ablation 1, baseline).
+func BenchmarkAblationExtractionNaive(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := extract.NaiveFirst(f.doc, money.USD); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPriceParse measures localized price parsing.
+func BenchmarkPriceParse(b *testing.B) {
+	inputs := []string{"$1,234.56", "1.234,56 €", "R$ 59,90", "£9.99", "1 234,56 zł"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := money.Parse(inputs[i%len(inputs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGeoLookup measures GeoIP resolution.
+func BenchmarkGeoLookup(b *testing.B) {
+	db := geo.NewDB()
+	vps := geo.VantagePoints()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := db.Lookup(vps[i%len(vps)].Addr); !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+// BenchmarkStoreAppendAndQuery measures observation ingest plus a domain
+// query on a growing store.
+func BenchmarkStoreAppendAndQuery(b *testing.B) {
+	st := store.New()
+	day := time.Date(2013, 2, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Add(store.Observation{
+			Domain: "bench.example.com", SKU: "B-1", VP: "us-bos",
+			PriceUnits: int64(i), Currency: "USD", Time: day,
+			Round: i % 7, Source: store.SourceCrawl, OK: true,
+		})
+		if i%1024 == 0 {
+			st.Filter(store.Query{Domain: "bench.example.com", Round: i % 7, OnlyOK: true})
+		}
+	}
+}
+
+// BenchmarkStrategyFit measures the Fig. 6 model-fitting kernel.
+func BenchmarkStrategyFit(b *testing.B) {
+	pts := make([]analysis.RatioPoint, 100)
+	for i := range pts {
+		p := 10.0 * float64(i+1)
+		pts[i] = analysis.RatioPoint{MinUSD: p, Ratio: 1.05 + 8/p}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fit := analysis.FitStrategy(pts); fit.Kind != analysis.StrategyAdditive {
+			b.Fatalf("fit = %+v", fit)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Command sheriffd runs the $heriff backend as an HTTP service against a
+// simulated e-commerce world — the server half of the paper's browser
+// extension (Sec. 3.1).
+//
+//	sheriffd -addr :8080 -seed 1 -longtail 100
+//
+// Endpoints:
+//
+//	POST /api/check    {"url", "highlight", "user_addr", "user_id"}
+//	GET  /api/anchors  anchors learned from checks so far
+//	GET  /api/stats    check/observation counters
+//	GET  /             human-readable service description
+//
+// Example check (the user at 10.0.1.50 highlighted "$49.99"):
+//
+//	curl -s localhost:8080/api/check -d '{
+//	  "url": "http://www.amazon.com/product/WWW-00001",
+//	  "highlight": "$49.99",
+//	  "user_addr": "10.0.1.50",
+//	  "user_id": "demo"}'
+//
+// The simulated shops themselves are browsable through the /world/ proxy,
+// optionally as a visitor from another country:
+//
+//	curl 'localhost:8080/world/www.energie.it/product/WWW-00001?from=FI/Tampere'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+
+	"sheriff"
+	"sheriff/internal/geo"
+	"sheriff/internal/netsim"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", 1, "world seed (deterministic)")
+	longtail := flag.Int("longtail", 100, "number of long-tail domains to simulate")
+	flag.Parse()
+
+	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: *seed, LongTail: *longtail})
+	api := sheriff.NewAPI(w)
+
+	mux := http.NewServeMux()
+	mux.Handle("/api/", api)
+	mux.HandleFunc("/world/", func(rw http.ResponseWriter, req *http.Request) {
+		serveWorldProxy(w, rw, req)
+	})
+	mux.HandleFunc("/", func(rw http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(rw, req)
+			return
+		}
+		fmt.Fprintf(rw, "$heriff backend\n\n")
+		fmt.Fprintf(rw, "world seed      %d\n", *seed)
+		fmt.Fprintf(rw, "domains         %d (%d crawl targets)\n", w.DomainCount(), len(w.Crawled))
+		fmt.Fprintf(rw, "vantage points  %d\n", len(sheriff.VantagePoints()))
+		fmt.Fprintf(rw, "\nPOST /api/check {url, highlight, user_addr, user_id}\n")
+		fmt.Fprintf(rw, "GET  /api/anchors\nGET  /api/stats\n")
+		fmt.Fprintf(rw, "\ntry a product: http://%s/product/%s\n",
+			w.Crawled[0], w.Retailers[w.Crawled[0]].Catalog().Products()[0].SKU)
+	})
+
+	log.Printf("sheriffd: %d domains simulated, %d vantage points, listening on %s",
+		w.DomainCount(), len(sheriff.VantagePoints()), *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// serveWorldProxy lets a real browser visit the simulated shops:
+// /world/<domain>/<path> is fetched over the fabric as a visitor located
+// by the optional ?from=CC/City parameter (default US/New York).
+func serveWorldProxy(w *sheriff.World, rw http.ResponseWriter, req *http.Request) {
+	rest := strings.TrimPrefix(req.URL.Path, "/world/")
+	domain, path, _ := strings.Cut(rest, "/")
+	if domain == "" {
+		http.Error(rw, "usage: /world/<domain>/<path>[?from=CC/City]", http.StatusBadRequest)
+		return
+	}
+	cc, city := "US", "New York"
+	if from := req.URL.Query().Get("from"); from != "" {
+		if c, ct, ok := strings.Cut(from, "/"); ok {
+			cc, city = c, ct
+		} else {
+			cc, city = from, ""
+		}
+	}
+	loc, err := geo.LocationOf(cc, city)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	addr, err := geo.AddrFor(loc, 200)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	tr := netsim.NewTransport(w.Registry, w.Clock, addr)
+	inner, err := http.NewRequest(http.MethodGet, "http://"+domain+"/"+path, nil)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	inner.URL.RawQuery = req.URL.Query().Get("q")
+	resp, err := tr.RoundTrip(inner)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	rw.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	rw.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(rw, resp.Body); err != nil {
+		log.Printf("world proxy: copy: %v", err)
+	}
+}

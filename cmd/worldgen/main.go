@@ -1,0 +1,106 @@
+// Command worldgen inspects a simulated world: the retailer roster, one
+// retailer's ground-truth pricing across locations, or a raw rendered
+// product page. It exists so that measurements made by the pipeline can
+// be audited against the world's actual configuration.
+//
+//	worldgen -seed 1                                # roster
+//	worldgen -seed 1 -domain www.digitalrev.com     # per-location truth
+//	worldgen -seed 1 -domain www.energie.it -page WWW-00001 -cc DE -city Berlin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sheriff"
+	"sheriff/internal/geo"
+	"sheriff/internal/shop"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "world seed")
+	longtail := flag.Int("longtail", 20, "long-tail domains")
+	domain := flag.String("domain", "", "inspect one retailer")
+	page := flag.String("page", "", "dump the rendered page of this SKU")
+	cc := flag.String("cc", "US", "country for -page / truth table")
+	city := flag.String("city", "Boston", "city for -page")
+	flag.Parse()
+
+	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: *seed, LongTail: *longtail})
+
+	if *domain == "" {
+		fmt.Printf("world seed %d: %d domains (%d crawled, %d extra, %d long tail)\n\n",
+			*seed, w.DomainCount(), len(w.Crawled), len(w.Interesting)-len(w.Crawled), len(w.Tail))
+		fmt.Printf("%-30s %-9s %-8s %-10s %s\n", "domain", "products", "template", "localize", "label")
+		for _, d := range w.Interesting {
+			r := w.Retailers[d]
+			cfg := r.Config()
+			fmt.Printf("%-30s %-9d %-8s %-10v %s\n",
+				d, r.Catalog().Len(), cfg.Template, cfg.Localize, cfg.Label)
+		}
+		return
+	}
+
+	r, ok := w.Retailers[*domain]
+	if !ok {
+		log.Fatalf("unknown domain %s", *domain)
+	}
+
+	if *page != "" {
+		p, ok := r.Catalog().BySKU(*page)
+		if !ok {
+			log.Fatalf("unknown SKU %s at %s", *page, *domain)
+		}
+		loc, err := geo.LocationOf(*cc, *city)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "rendering", *page, "for", loc)
+		fmt.Print(r.RenderProduct(p, shop.Visit{Loc: loc, Time: w.Clock.Now(), IP: "10.0.0.99"}))
+		return
+	}
+
+	cfg := r.Config()
+	fmt.Printf("%s (%s)\n", *domain, cfg.Label)
+	fmt.Printf("template=%s localize=%v varied=%.2f ab=%.2f/%.2f drift=%.2f trackers=%v\n\n",
+		cfg.Template, cfg.Localize, cfg.VariedFraction,
+		cfg.ABFraction, cfg.ABAmplitude, cfg.DriftAmplitude, cfg.Trackers)
+
+	// Ground-truth display prices for the first products at a spread of
+	// locations — what each vantage point *should* observe.
+	locs := []struct{ cc, city string }{
+		{"US", "New York"}, {"US", "Chicago"}, {"GB", "London"},
+		{"DE", "Berlin"}, {"FI", "Tampere"}, {"BR", "Sao Paulo"},
+	}
+	fmt.Printf("%-12s", "sku")
+	for _, l := range locs {
+		fmt.Printf("%16s", l.cc+"/"+firstWord(l.city))
+	}
+	fmt.Println()
+	for i, p := range r.Catalog().Products() {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("%-12s", p.SKU)
+		for _, l := range locs {
+			loc, err := geo.LocationOf(l.cc, l.city)
+			if err != nil {
+				log.Fatal(err)
+			}
+			amt := r.DisplayPrice(p, shop.Visit{Loc: loc, Time: w.Clock.Now(), IP: "10.0.0.99"})
+			fmt.Printf("%16s", amt.String())
+		}
+		fmt.Println()
+	}
+}
+
+func firstWord(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			return s[:i]
+		}
+	}
+	return s
+}

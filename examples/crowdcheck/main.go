@@ -1,0 +1,47 @@
+// Crowdcheck: a miniature crowd campaign followed by the Fig. 1/2 style
+// crowd analysis — which retailers does the crowd catch varying prices,
+// and by how much (Sec. 3.2).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sheriff"
+)
+
+func main() {
+	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: 7, LongTail: 40})
+
+	fmt.Printf("world: %d domains (%d popular, %d long tail), 14 vantage points\n\n",
+		w.DomainCount(), len(w.Interesting), len(w.Tail))
+
+	// 50 users issue 200 checks over a simulated month.
+	rep, err := w.RunCrowd(sheriff.CrowdOptions{
+		Users: 50, Requests: 200, Span: 30 * 24 * time.Hour,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campaign: %d checks by %d users in %d countries; %d domains touched\n",
+		rep.Requests, rep.ActiveUsers, rep.Countries, rep.DistinctDomains)
+	fmt.Printf("checks with real price variation (currency-filtered): %d\n\n", rep.Variations)
+
+	fmt.Println("top domains by crowd-detected variation (Fig. 1):")
+	for i, dc := range w.Fig1() {
+		if i >= 12 {
+			break
+		}
+		fmt.Printf("  %-30s %3d of %3d checks\n", dc.Domain, dc.WithVariation, dc.Checks)
+	}
+
+	fmt.Println("\nvariation magnitude per domain (Fig. 2):")
+	for _, db := range w.Fig2() {
+		fmt.Printf("  %-30s median x%.3f  max x%.3f  (n=%d)\n",
+			db.Domain, db.Box.Median, db.Box.Max, db.Box.N)
+	}
+
+	fmt.Println("\nnote: long-tail domains never appear — the crowd checked them")
+	fmt.Println("and the currency filter correctly discarded apparent gaps.")
+}

@@ -1,0 +1,65 @@
+// Quickstart: build a world, run one crowd-assisted price check, and print
+// the per-vantage-point prices — the core $heriff interaction (Sec. 3.1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sheriff"
+	"sheriff/internal/geo"
+	"sheriff/internal/money"
+	"sheriff/internal/shop"
+)
+
+func main() {
+	// A small deterministic world: 21 crawl targets + extras + a few
+	// long-tail shops, 14 vantage points, simulated FX and GeoIP.
+	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: 42, LongTail: 10})
+
+	// Pick a product at a retailer known to vary prices by location.
+	const domain = "www.digitalrev.com"
+	retailer := w.Retailers[domain]
+	product := retailer.Catalog().Products()[0]
+	url := "http://" + domain + "/product/" + product.SKU
+
+	// The "user": someone in Boston looking at the page. They see the
+	// price their locale is served and highlight it.
+	loc, err := geo.LocationOf("US", "Boston")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := geo.AddrFor(loc, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	price := retailer.DisplayPrice(product, shop.Visit{
+		Loc: loc, Time: w.Clock.Now(), IP: addr.String(),
+	})
+	highlight := money.Format(price, price.Currency.Style())
+	fmt.Printf("checking %q (%s)\nuser in Boston sees: %s\n\n", product.Name, url, highlight)
+
+	// Fan the URI out to all 14 vantage points.
+	res, err := w.Backend.Check(sheriff.CheckRequest{
+		URL: url, Highlight: highlight, UserAddr: addr, UserID: "quickstart",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("prices around the world:")
+	for _, p := range res.Prices {
+		if !p.OK {
+			fmt.Printf("  %-20s (fetch/extract failed: %s)\n", p.Label, p.Err)
+			continue
+		}
+		fmt.Printf("  %-20s %10.2f %s  (= $%.2f)\n", p.Label,
+			float64(p.PriceUnits)/100, p.Currency, p.USD)
+	}
+	fmt.Printf("\nconservative max/min ratio after currency filter: %.3f\n", res.Ratio)
+	if res.Varies {
+		fmt.Println("=> price variation confirmed: not explainable by exchange rates")
+	} else {
+		fmt.Println("=> no real variation")
+	}
+}

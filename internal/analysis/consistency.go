@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"sort"
+
+	"sheriff/internal/fx"
+	"sheriff/internal/store"
+)
+
+// The paper's core credibility claim (Sec. 1, Sec. 6) is that crowd
+// findings are "consistent over time and across different locations" and
+// that "the results are repeatable": a domain the crowd flags should be
+// confirmed when crawled systematically. CompareCampaigns measures that
+// agreement on a dataset containing both campaigns.
+
+// CampaignAgreement summarizes crowd-vs-crawl consistency.
+type CampaignAgreement struct {
+	// CrowdFlagged lists domains the crowd found varying (Fig. 1 rows).
+	CrowdFlagged []string
+	// CrawlConfirmed lists crowd-flagged domains whose crawl extent is
+	// positive (the crawl reproduced the crowd's finding).
+	CrawlConfirmed []string
+	// CrawlRefuted lists crowd-flagged domains that were crawled and
+	// showed no persistent variation at all.
+	CrawlRefuted []string
+	// NotCrawled lists crowd-flagged domains absent from the crawl (the
+	// crowd-only extras of Fig. 1).
+	NotCrawled []string
+	// MedianRatioDelta is the median absolute difference between a
+	// domain's crowd-observed and crawl-observed median ratios, over
+	// confirmed domains — how quantitatively repeatable the magnitude is.
+	MedianRatioDelta float64
+}
+
+// CompareCampaigns computes the agreement between the crowdsourced and
+// crawled findings in one dataset.
+func CompareCampaigns(st *store.Store, market *fx.Market) CampaignAgreement {
+	agg := CampaignAgreement{}
+
+	crowdRatios := map[string]float64{}
+	for _, db := range Fig2(st, market) {
+		if db.Box.N > 0 {
+			crowdRatios[db.Domain] = db.Box.Median
+		}
+	}
+	for _, dc := range Fig1(st, market) {
+		if dc.WithVariation > 0 {
+			agg.CrowdFlagged = append(agg.CrowdFlagged, dc.Domain)
+		}
+	}
+	sort.Strings(agg.CrowdFlagged)
+
+	crawlExtent := map[string]float64{}
+	for _, de := range Fig3(st, market) {
+		crawlExtent[de.Domain] = de.Extent
+	}
+	crawlRatios := map[string]float64{}
+	for _, db := range Fig4(st, market) {
+		if db.Box.N > 0 {
+			crawlRatios[db.Domain] = db.Box.Median
+		}
+	}
+
+	var deltas []float64
+	for _, d := range agg.CrowdFlagged {
+		extent, crawled := crawlExtent[d]
+		switch {
+		case !crawled:
+			agg.NotCrawled = append(agg.NotCrawled, d)
+		case extent > 0:
+			agg.CrawlConfirmed = append(agg.CrawlConfirmed, d)
+			if cr, ok := crowdRatios[d]; ok {
+				if cl, ok2 := crawlRatios[d]; ok2 {
+					delta := cr - cl
+					if delta < 0 {
+						delta = -delta
+					}
+					deltas = append(deltas, delta)
+				}
+			}
+		default:
+			agg.CrawlRefuted = append(agg.CrawlRefuted, d)
+		}
+	}
+	if len(deltas) > 0 {
+		agg.MedianRatioDelta = Median(deltas)
+	}
+	return agg
+}
+
+// ConfirmationRate is the fraction of crowd-flagged, crawled domains the
+// crawl confirmed (1.0 when nothing was both flagged and crawled).
+func (a CampaignAgreement) ConfirmationRate() float64 {
+	total := len(a.CrawlConfirmed) + len(a.CrawlRefuted)
+	if total == 0 {
+		return 1
+	}
+	return float64(len(a.CrawlConfirmed)) / float64(total)
+}

@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"sheriff/internal/fx"
+	"sheriff/internal/store"
+)
+
+// quotesOf converts successful observations into currency-filter quotes.
+func quotesOf(obs []store.Observation) []fx.Quote {
+	var out []fx.Quote
+	for _, o := range obs {
+		if !o.OK {
+			continue
+		}
+		if a, ok := o.Amount(); ok {
+			out = append(out, fx.Quote{Amount: a, Day: o.Time})
+		}
+	}
+	return out
+}
+
+// GroupRatio applies the currency filter to a group of observations of one
+// product at one instant/round and returns the conservative max/min USD
+// ratio plus whether variation is real.
+func GroupRatio(market *fx.Market, obs []store.Observation) (float64, bool) {
+	return market.RealVariation(quotesOf(obs))
+}
+
+// usdOf converts one observation to USD at the day's mid fixing.
+func usdOf(market *fx.Market, o store.Observation) (float64, bool) {
+	a, ok := o.Amount()
+	if !ok {
+		return 0, false
+	}
+	return a.Float() * market.Mid(a.Currency, o.Time), true
+}
+
+// byRound partitions one product's crawl observations into rounds.
+func byRound(obs []store.Observation) map[int][]store.Observation {
+	out := map[int][]store.Observation{}
+	for _, o := range obs {
+		out[o.Round] = append(out[o.Round], o)
+	}
+	return out
+}
+
+// byCheck partitions one product's crowd observations into individual
+// checks (a check's 14 observations share one timestamp).
+func byCheck(obs []store.Observation) map[time.Time][]store.Observation {
+	out := map[time.Time][]store.Observation{}
+	for _, o := range obs {
+		out[o.Time] = append(out[o.Time], o)
+	}
+	return out
+}
+
+// productRounds summarizes a crawled product: per-round conservative
+// ratios, whether variation is persistent (present in a majority of
+// rounds, with a stable who-pays-more partition), and the minimum USD
+// price ever observed.
+type productRounds struct {
+	ratios     []float64            // conservative ratio per round with real variation
+	rounds     int                  // rounds with >= 2 successful observations
+	realRounds int                  // rounds whose variation survived the filter
+	pairVotes  map[string]*pairVote // per VP pair: who was dearer, per round
+	minUSD     float64
+}
+
+// pairVote counts, for one ordered VP pair, the rounds in which the first
+// VP was dearer vs cheaper (near-equal rounds don't vote).
+type pairVote struct {
+	first, second int
+}
+
+// summarizeProduct folds one product's crawl observations.
+func summarizeProduct(market *fx.Market, obs []store.Observation) productRounds {
+	pr := productRounds{
+		minUSD:    -1,
+		pairVotes: map[string]*pairVote{},
+	}
+	rounds := byRound(obs)
+	keys := make([]int, 0, len(rounds))
+	for r := range rounds {
+		keys = append(keys, r)
+	}
+	sort.Ints(keys)
+	for _, r := range keys {
+		group := rounds[r]
+		quotes := quotesOf(group)
+		if len(quotes) < 2 {
+			continue
+		}
+		pr.rounds++
+		ratio, real := market.RealVariation(quotes)
+		if real {
+			pr.realRounds++
+			pr.ratios = append(pr.ratios, ratio)
+			pr.voteSides(market, group)
+		}
+		for _, o := range group {
+			if !o.OK {
+				continue
+			}
+			if usd, ok := usdOf(market, o); ok && (pr.minUSD < 0 || usd < pr.minUSD) {
+				pr.minUSD = usd
+			}
+		}
+	}
+	return pr
+}
+
+// pairEqualTol is the relative margin within which two vantage points are
+// judged to pay the same price (absorbs cent rounding on FX round trips).
+const pairEqualTol = 0.005
+
+// voteSides records, for one varying round, the dearer side of every pair
+// of observed vantage points. Missing VPs (failed fetches) simply don't
+// vote, so a flaky round cannot distort the pairs it did observe.
+func (pr *productRounds) voteSides(market *fx.Market, group []store.Observation) {
+	type vpUSD struct {
+		vp  string
+		usd float64
+	}
+	var vals []vpUSD
+	for _, o := range group {
+		if !o.OK {
+			continue
+		}
+		if v, ok := usdOf(market, o); ok {
+			vals = append(vals, vpUSD{vp: o.VP, usd: v})
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].vp < vals[j].vp })
+	for i := 0; i < len(vals); i++ {
+		for j := i + 1; j < len(vals); j++ {
+			a, b := vals[i], vals[j]
+			base := a.usd
+			if b.usd < base {
+				base = b.usd
+			}
+			if base <= 0 {
+				continue
+			}
+			diff := (a.usd - b.usd) / base
+			if diff > -pairEqualTol && diff < pairEqualTol {
+				continue // equal: no vote
+			}
+			key := a.vp + "|" + b.vp
+			v := pr.pairVotes[key]
+			if v == nil {
+				v = &pairVote{}
+				pr.pairVotes[key] = v
+			}
+			if diff > 0 {
+				v.first++
+			} else {
+				v.second++
+			}
+		}
+	}
+}
+
+// persistent reports whether variation held in a majority of measured
+// rounds AND the same locations paid the premium each time — the paper's
+// repetition defence: "we repeated the same set of measurements multiple
+// times to guarantee that the results are repeatable. This decreases the
+// possibility of A/B testing ... being the cause" (Sec. 2.2).
+//
+// Consistency is judged pairwise: genuine geo discrimination keeps every
+// pair of vantage points in the same price order round after round, while
+// A/B bucket churn flips pairs between rounds.
+func (pr productRounds) persistent() bool {
+	if pr.rounds == 0 || pr.realRounds*2 <= pr.rounds {
+		return false
+	}
+	const orderConsistency = 0.75
+	for _, v := range pr.pairVotes {
+		total := v.first + v.second
+		if total < 2 {
+			continue // a single disagreement sample proves nothing
+		}
+		major := v.first
+		if v.second > major {
+			major = v.second
+		}
+		if float64(major)/float64(total) < orderConsistency {
+			return false
+		}
+	}
+	return true
+}
+
+// maxRatio is the largest per-round conservative ratio (1 if none).
+func (pr productRounds) maxRatio() float64 {
+	m := 1.0
+	for _, r := range pr.ratios {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// medianRatio is the median per-round conservative ratio (1 if none).
+func (pr productRounds) medianRatio() float64 {
+	if len(pr.ratios) == 0 {
+		return 1
+	}
+	return Median(pr.ratios)
+}

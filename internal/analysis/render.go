@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file renders figures as ASCII plots so that cmd/analyze and
+// cmd/experiments output can be eyeballed against the paper's figures:
+// scatter plots for Fig. 5/6, boxplot strips for Fig. 2/4/7/9, and the
+// Fig. 10 per-account series.
+
+// Scatter renders points as an ASCII scatter plot with a log-scaled x
+// axis (the paper's Fig. 5/6 use log-price axes). Width and height are
+// the plot body dimensions in characters.
+type Scatter struct {
+	// Title is printed above the plot.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// LogX log-scales the x axis.
+	LogX bool
+	// Width and Height are the plot body size (default 72×20).
+	Width, Height int
+
+	series []scatterSeries
+}
+
+type scatterSeries struct {
+	mark   byte
+	label  string
+	points [][2]float64
+}
+
+// AddSeries adds one point set drawn with the given mark.
+func (s *Scatter) AddSeries(label string, mark byte, points [][2]float64) {
+	s.series = append(s.series, scatterSeries{mark: mark, label: label, points: points})
+}
+
+// Render draws the plot.
+func (s *Scatter) Render() string {
+	w, h := s.Width, s.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, se := range s.series {
+		for _, p := range se.points {
+			x := p[0]
+			if s.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
+			total++
+		}
+	}
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", s.Title)
+	}
+	if total == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for _, se := range s.series {
+		for _, p := range se.points {
+			x := p[0]
+			if s.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			col := int((x - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((p[1]-minY)/(maxY-minY)*float64(h-1))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = se.mark
+			}
+		}
+	}
+	// y-axis labels on first/last rows.
+	for i, row := range grid {
+		yVal := maxY - (maxY-minY)*float64(i)/float64(h-1)
+		fmt.Fprintf(&b, "%8.2f |%s|\n", yVal, string(row))
+	}
+	lo, hi := minX, maxX
+	if s.LogX {
+		lo, hi = math.Pow(10, minX), math.Pow(10, maxX)
+	}
+	fmt.Fprintf(&b, "%8s +%s+\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%8s  %-*.4g%*.4g\n", "", w/2, lo, w-w/2, hi)
+	if s.XLabel != "" || s.YLabel != "" {
+		fmt.Fprintf(&b, "%8s  x: %s   y: %s\n", "", s.XLabel, s.YLabel)
+	}
+	var legend []string
+	for _, se := range s.series {
+		if se.label != "" {
+			legend = append(legend, fmt.Sprintf("%c=%s", se.mark, se.label))
+		}
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%8s  %s\n", "", strings.Join(legend, "  "))
+	}
+	return b.String()
+}
+
+// RenderBoxStrip renders labeled boxplots as horizontal strips over a
+// shared axis:
+//
+//	domain-a   |----[==|==]-------|      min [q1 med q3] max
+//
+// Rows render in the order given.
+func RenderBoxStrip(title string, rows []DomainBox, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	if len(rows) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	labelW := 0
+	for _, r := range rows {
+		if r.Box.N == 0 {
+			continue
+		}
+		minV = math.Min(minV, r.Box.Min)
+		maxV = math.Max(maxV, r.Box.Max)
+		if len(r.Domain) > labelW {
+			labelW = len(r.Domain)
+		}
+	}
+	if math.IsInf(minV, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxV == minV {
+		maxV = minV + 1e-9
+	}
+	col := func(v float64) int {
+		c := int((v - minV) / (maxV - minV) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	for _, r := range rows {
+		if r.Box.N == 0 {
+			fmt.Fprintf(&b, "%-*s  (no data)\n", labelW, r.Domain)
+			continue
+		}
+		strip := []byte(strings.Repeat(" ", width))
+		for i := col(r.Box.Min); i <= col(r.Box.Max); i++ {
+			strip[i] = '-'
+		}
+		for i := col(r.Box.Q1); i <= col(r.Box.Q3); i++ {
+			strip[i] = '='
+		}
+		strip[col(r.Box.Min)] = '|'
+		strip[col(r.Box.Max)] = '|'
+		strip[col(r.Box.Median)] = 'O'
+		fmt.Fprintf(&b, "%-*s  %s  med=%.3f n=%d\n", labelW, r.Domain, strip, r.Box.Median, r.Box.N)
+	}
+	fmt.Fprintf(&b, "%-*s  %-*.3f%*.3f\n", labelW, "", width/2, minV, width-width/2, maxV)
+	return b.String()
+}
+
+// LocationBoxesToDomainBoxes adapts Fig. 7 rows for RenderBoxStrip.
+func LocationBoxesToDomainBoxes(rows []LocationBox) []DomainBox {
+	out := make([]DomainBox, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, DomainBox{Domain: r.Label, Box: r.Box})
+	}
+	return out
+}
+
+// RenderFig5 draws the ratio-vs-price scatter with its band envelope.
+func RenderFig5(points []PricePoint) string {
+	sc := Scatter{
+		Title:  "Fig. 5 — maximal ratio of price difference per product price (all stores)",
+		XLabel: "minimal price of the product ($, log)",
+		YLabel: "maximal ratio",
+		LogX:   true,
+	}
+	pts := make([][2]float64, 0, len(points))
+	for _, p := range points {
+		pts = append(pts, [2]float64{p.MinUSD, p.MaxRatio})
+	}
+	sc.AddSeries("product", '*', pts)
+	var b strings.Builder
+	b.WriteString(sc.Render())
+	for _, band := range EnvelopeOf(points) {
+		fmt.Fprintf(&b, "  %-20s max x%.2f  (%d products)\n", band.Band, band.MaxRatio, band.N)
+	}
+	return b.String()
+}
+
+// fig6Marks assigns stable plot marks to vantage points.
+var fig6Marks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '1', '2', '3', '4', '5', '6'}
+
+// RenderFig6 draws one retailer's ratio-vs-price series per vantage point
+// (the paper plots New York, UK and Finland; pass the VP IDs to include).
+func RenderFig6(domain string, series []VPSeries, includeVPs []string) string {
+	sc := Scatter{
+		Title:  "Fig. 6 — ratio of price difference per product price, " + domain,
+		XLabel: "minimal price of the product ($, log)",
+		YLabel: "ratio to min",
+		LogX:   true,
+	}
+	include := map[string]bool{}
+	for _, vp := range includeVPs {
+		include[vp] = true
+	}
+	mi := 0
+	for _, s := range series {
+		if len(include) > 0 && !include[s.VP] {
+			continue
+		}
+		pts := make([][2]float64, 0, len(s.Points))
+		for _, p := range s.Points {
+			pts = append(pts, [2]float64{p.MinUSD, p.Ratio})
+		}
+		mark := fig6Marks[mi%len(fig6Marks)]
+		mi++
+		sc.AddSeries(s.Label, mark, pts)
+	}
+	return sc.Render()
+}
+
+// RenderFig10 draws the login-experiment series: products on x, USD price
+// on y, one mark per account.
+func RenderFig10(ls LoginSeries) string {
+	sc := Scatter{
+		Title:  "Fig. 10 — the impact of login on ebook prices",
+		XLabel: "product #",
+		YLabel: "price ($)",
+	}
+	accounts := append([]string{}, ls.Accounts...)
+	sort.Strings(accounts)
+	mi := 0
+	for _, acc := range accounts {
+		label := acc
+		if label == "" {
+			label = "w/o login"
+		}
+		pts := make([][2]float64, 0, len(ls.SKUs))
+		for i := range ls.SKUs {
+			if v := ls.USD[acc][i]; v > 0 {
+				pts = append(pts, [2]float64{float64(i + 1), v})
+			}
+		}
+		mark := fig6Marks[mi%len(fig6Marks)]
+		mi++
+		sc.AddSeries(label, mark, pts)
+	}
+	return sc.Render()
+}

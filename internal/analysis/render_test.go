@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterRenderBasic(t *testing.T) {
+	sc := Scatter{Title: "demo", XLabel: "x", YLabel: "y", Width: 40, Height: 10}
+	sc.AddSeries("a", '*', [][2]float64{{1, 1}, {2, 2}, {3, 3}})
+	out := sc.Render()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	// 3 plot marks plus the one in the "*=a" legend.
+	if strings.Count(out, "*") != 4 {
+		t.Fatalf("want 3 marks + legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*=a") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+}
+
+func TestScatterLogXPlacesDecadesApart(t *testing.T) {
+	sc := Scatter{LogX: true, Width: 60, Height: 5}
+	sc.AddSeries("", '*', [][2]float64{{10, 1}, {100, 1}, {1000, 1}})
+	out := sc.Render()
+	// All three on one row, roughly evenly spaced on the log axis.
+	var starRow string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Count(line, "*") == 3 {
+			starRow = line
+		}
+	}
+	if starRow == "" {
+		t.Fatalf("no row with 3 marks:\n%s", out)
+	}
+	first := strings.Index(starRow, "*")
+	last := strings.LastIndex(starRow, "*")
+	mid := strings.Index(starRow[first+1:], "*") + first + 1
+	gap1, gap2 := mid-first, last-mid
+	if gap1 < gap2-3 || gap1 > gap2+3 {
+		t.Fatalf("log spacing uneven: %d vs %d\n%s", gap1, gap2, out)
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	sc := Scatter{Title: "empty"}
+	if out := sc.Render(); !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty scatter: %q", out)
+	}
+}
+
+func TestScatterSkipsNonPositiveLogX(t *testing.T) {
+	sc := Scatter{LogX: true, Width: 20, Height: 5}
+	sc.AddSeries("", '*', [][2]float64{{0, 1}, {-5, 2}, {10, 1}})
+	out := sc.Render()
+	if strings.Count(out, "*") != 1 {
+		t.Fatalf("non-positive x not skipped:\n%s", out)
+	}
+}
+
+func TestRenderBoxStrip(t *testing.T) {
+	rows := []DomainBox{
+		{Domain: "a.com", Box: Box([]float64{1.0, 1.1, 1.2, 1.3, 1.4})},
+		{Domain: "b.example.com", Box: Box([]float64{1.2, 1.25, 1.3})},
+		{Domain: "empty.com"},
+	}
+	out := RenderBoxStrip("strips", rows, 40)
+	if !strings.Contains(out, "a.com") || !strings.Contains(out, "b.example.com") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	if strings.Count(out, "O") != 2 {
+		t.Fatalf("want 2 medians:\n%s", out)
+	}
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty row not marked:\n%s", out)
+	}
+	// Median markers annotated numerically.
+	if !strings.Contains(out, "med=1.200") {
+		t.Fatalf("median annotation missing:\n%s", out)
+	}
+}
+
+func TestRenderBoxStripEmpty(t *testing.T) {
+	if out := RenderBoxStrip("x", nil, 40); !strings.Contains(out, "(no data)") {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestRenderFig5IncludesEnvelope(t *testing.T) {
+	points := []PricePoint{
+		{Domain: "a", SKU: "1", MinUSD: 10, MaxRatio: 2.5},
+		{Domain: "a", SKU: "2", MinUSD: 5000, MaxRatio: 1.2},
+	}
+	out := RenderFig5(points)
+	if !strings.Contains(out, "cheap (<=$100)") || !strings.Contains(out, "expensive (>$2000)") {
+		t.Fatalf("envelope missing:\n%s", out)
+	}
+}
+
+func TestRenderFig6FiltersVPs(t *testing.T) {
+	series := []VPSeries{
+		{VP: "us-nyc", Label: "USA - New York", Points: []RatioPoint{{MinUSD: 10, Ratio: 1.0}}},
+		{VP: "fi-tam", Label: "Finland - Tampere", Points: []RatioPoint{{MinUSD: 10, Ratio: 1.3}}},
+		{VP: "de-ber", Label: "Germany - Berlin", Points: []RatioPoint{{MinUSD: 10, Ratio: 1.1}}},
+	}
+	out := RenderFig6("x.com", series, []string{"us-nyc", "fi-tam"})
+	if !strings.Contains(out, "New York") || !strings.Contains(out, "Tampere") {
+		t.Fatalf("included VPs missing:\n%s", out)
+	}
+	if strings.Contains(out, "Berlin") {
+		t.Fatalf("excluded VP rendered:\n%s", out)
+	}
+}
+
+func TestRenderFig10(t *testing.T) {
+	ls := LoginSeries{
+		SKUs:     []string{"E-1", "E-2"},
+		Accounts: []string{"", "userA"},
+		USD: map[string][]float64{
+			"":      {5, 10},
+			"userA": {5.5, 9.5},
+		},
+	}
+	out := RenderFig10(ls)
+	if !strings.Contains(out, "w/o login") || !strings.Contains(out, "userA") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestLocationBoxesAdapter(t *testing.T) {
+	rows := []LocationBox{{VP: "fi-tam", Label: "Finland - Tampere", Box: Box([]float64{1, 1.2})}}
+	out := LocationBoxesToDomainBoxes(rows)
+	if len(out) != 1 || out[0].Domain != "Finland - Tampere" {
+		t.Fatalf("adapter: %+v", out)
+	}
+}

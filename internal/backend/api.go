@@ -1,0 +1,116 @@
+package backend
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/netip"
+
+	"sheriff/internal/netsim"
+)
+
+// API exposes the backend over HTTP — the contract the $heriff browser
+// extension talks to:
+//
+//	POST /api/check    {"url":..., "highlight":..., "user_addr":..., "user_id":...}
+//	GET  /api/anchors  learned anchors per domain
+//	GET  /api/stats    check and observation counters
+//
+// Mount it on any mux; cmd/sheriffd serves it standalone.
+type API struct {
+	backend *Backend
+	mux     *http.ServeMux
+}
+
+// NewAPI wraps a backend with its HTTP surface.
+func NewAPI(b *Backend) *API {
+	a := &API{backend: b, mux: http.NewServeMux()}
+	a.mux.HandleFunc("/api/check", a.handleCheck)
+	a.mux.HandleFunc("/api/anchors", a.handleAnchors)
+	a.mux.HandleFunc("/api/stats", a.handleStats)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	a.mux.ServeHTTP(w, r)
+}
+
+// checkPayload is the wire form of CheckRequest (the address travels as a
+// string).
+type checkPayload struct {
+	URL       string `json:"url"`
+	Highlight string `json:"highlight"`
+	UserAddr  string `json:"user_addr"`
+	UserID    string `json:"user_id"`
+}
+
+func (a *API) handleCheck(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var p checkPayload
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		http.Error(w, fmt.Sprintf("bad payload: %v", err), http.StatusBadRequest)
+		return
+	}
+	if p.URL == "" || p.Highlight == "" {
+		http.Error(w, "url and highlight are required", http.StatusBadRequest)
+		return
+	}
+	addr, err := netip.ParseAddr(p.UserAddr)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad user_addr: %v", err), http.StatusBadRequest)
+		return
+	}
+	res, err := a.backend.Check(CheckRequest{
+		URL: p.URL, Highlight: p.Highlight, UserAddr: addr, UserID: p.UserID,
+	})
+	if err != nil {
+		status := http.StatusBadGateway
+		var nx *netsim.NXDomainError
+		if errors.As(err, &nx) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (a *API) handleAnchors(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, a.backend.Anchors())
+}
+
+// statsPayload summarizes backend activity.
+type statsPayload struct {
+	Checks       int `json:"checks"`
+	Observations int `json:"observations"`
+	OKPrices     int `json:"ok_prices"`
+}
+
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, statsPayload{
+		Checks:       a.backend.Checks(),
+		Observations: a.backend.store.Len(),
+		OKPrices:     a.backend.store.LenOK(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing sensible left to do but log-by-status.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

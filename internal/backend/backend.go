@@ -1,0 +1,288 @@
+// Package backend implements the $heriff service (Sec. 3.1): it accepts a
+// product URI plus the user's price highlight, fans the URI out to the 14
+// measurement vantage points simultaneously, re-extracts the price from
+// every downloaded page using the highlight-derived anchor, applies the
+// currency filter, stores everything, and returns the per-location prices
+// to the user.
+//
+// The anchor learned from each successful check is remembered per domain;
+// the systematic crawler (internal/crawler) reuses those anchors, which is
+// exactly how the paper's pipeline scaled from crowd hints to full crawls.
+package backend
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"net/url"
+	"strings"
+	"sync"
+
+	"sheriff/internal/extract"
+	"sheriff/internal/fx"
+	"sheriff/internal/geo"
+	"sheriff/internal/htmlx"
+	"sheriff/internal/money"
+	"sheriff/internal/netsim"
+	"sheriff/internal/store"
+)
+
+// Backend is the $heriff service. Construct with New.
+type Backend struct {
+	registry *netsim.Registry
+	clock    *netsim.Clock
+	market   *fx.Market
+	vps      []geo.VantagePoint
+	store    *store.Store
+	geodb    *geo.DB
+
+	mu      sync.RWMutex
+	anchors map[string]extract.Anchor // per domain
+	checks  int
+}
+
+// New assembles the backend. The store receives one observation per
+// vantage point per check.
+func New(reg *netsim.Registry, clk *netsim.Clock, market *fx.Market, vps []geo.VantagePoint, st *store.Store) *Backend {
+	return &Backend{
+		registry: reg,
+		clock:    clk,
+		market:   market,
+		vps:      vps,
+		store:    st,
+		geodb:    geo.NewDB(),
+		anchors:  make(map[string]extract.Anchor),
+	}
+}
+
+// CheckRequest is what the browser extension submits: the exact URI and
+// the user's highlighted price text, plus where the user is (their egress
+// address determines the locale of the page the highlight was made on).
+type CheckRequest struct {
+	// URL is the exact product URI.
+	URL string `json:"url"`
+	// Highlight is the price text the user selected.
+	Highlight string `json:"highlight"`
+	// UserAddr is the user's egress IP on the fabric.
+	UserAddr netip.Addr `json:"user_addr"`
+	// UserID tags the originating crowd user for the dataset.
+	UserID string `json:"user_id"`
+}
+
+// VPPrice is the price one vantage point saw.
+type VPPrice struct {
+	// VP is the vantage point ID.
+	VP string `json:"vp"`
+	// Label is the vantage point's display name.
+	Label string `json:"label"`
+	// PriceUnits and Currency encode the extracted display price.
+	PriceUnits int64  `json:"price_units"`
+	Currency   string `json:"currency"`
+	// USD is the price converted at the day's mid fixing (for display).
+	USD float64 `json:"usd"`
+	// OK reports extraction success; Err explains failures.
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+}
+
+// CheckResult is what the extension shows the user.
+type CheckResult struct {
+	// Domain and SKU identify the product checked.
+	Domain string `json:"domain"`
+	SKU    string `json:"sku"`
+	// Prices holds one entry per vantage point.
+	Prices []VPPrice `json:"prices"`
+	// Ratio is the conservative max/min USD ratio after the currency
+	// filter of Sec. 2.2.
+	Ratio float64 `json:"ratio"`
+	// Varies reports whether variation survives the currency filter.
+	Varies bool `json:"varies"`
+}
+
+// Check runs one crowd-assisted price check: derive the anchor from the
+// user's own rendering, then fan out to every vantage point at the same
+// simulated instant.
+func (b *Backend) Check(req CheckRequest) (CheckResult, error) {
+	domain, sku, err := splitProductURL(req.URL)
+	if err != nil {
+		return CheckResult{}, err
+	}
+
+	// Fetch the page as the user sees it and derive the anchor from the
+	// highlight (the extension does this client-side in the real system).
+	userLoc, userCur := b.locate(req.UserAddr)
+	userPage, err := b.fetch(req.URL, req.UserAddr)
+	if err != nil {
+		return CheckResult{}, fmt.Errorf("backend: user-side fetch: %w", err)
+	}
+	userDoc, err := htmlx.ParseString(userPage)
+	if err != nil {
+		return CheckResult{}, fmt.Errorf("backend: user-side parse: %w", err)
+	}
+	anchor, err := extract.Derive(userDoc, req.Highlight, userCur)
+	if err != nil {
+		return CheckResult{}, fmt.Errorf("backend: %w", err)
+	}
+	_ = userLoc
+
+	b.mu.Lock()
+	b.anchors[domain] = anchor
+	b.checks++
+	b.mu.Unlock()
+
+	// Synchronized fan-out: every vantage point fetches at the same
+	// simulated instant (the clock only moves between checks), which is
+	// the paper's defence against temporal noise.
+	now := b.clock.Now()
+	results := make([]VPPrice, len(b.vps))
+	var wg sync.WaitGroup
+	for i, vp := range b.vps {
+		wg.Add(1)
+		go func(i int, vp geo.VantagePoint) {
+			defer wg.Done()
+			results[i] = b.checkOne(req.URL, anchor, vp)
+		}(i, vp)
+	}
+	wg.Wait()
+
+	// Store observations and apply the currency filter.
+	var quotes []fx.Quote
+	for i, r := range results {
+		o := store.Observation{
+			Domain: domain, SKU: sku, URL: req.URL,
+			VP: r.VP, VPLabel: r.Label,
+			Country: b.vps[i].Location.Country.Code, City: b.vps[i].Location.City,
+			PriceUnits: r.PriceUnits, Currency: r.Currency,
+			Time: now, Round: -1, Source: store.SourceCrowd,
+			OK: r.OK, Err: r.Err,
+		}
+		b.store.Add(o)
+		if r.OK {
+			if amt, ok := o.Amount(); ok {
+				quotes = append(quotes, fx.Quote{Amount: amt, Day: now})
+			}
+		}
+	}
+	ratio, varies := b.market.RealVariation(quotes)
+	return CheckResult{
+		Domain: domain, SKU: sku,
+		Prices: results, Ratio: ratio, Varies: varies,
+	}, nil
+}
+
+// checkOne fetches and extracts from a single vantage point.
+func (b *Backend) checkOne(rawURL string, anchor extract.Anchor, vp geo.VantagePoint) VPPrice {
+	out := VPPrice{VP: vp.ID, Label: vp.Label}
+	page, err := b.fetchAs(rawURL, vp)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	doc, err := htmlx.ParseString(page)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	amt, err := anchor.Extract(doc, vp.Location.Country.Currency)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.PriceUnits = amt.Units
+	out.Currency = amt.Currency.Code
+	out.USD = amt.Float() * b.market.Mid(amt.Currency, b.clock.Now())
+	out.OK = true
+	return out
+}
+
+// fetch retrieves a URL from an arbitrary fabric address.
+func (b *Backend) fetch(rawURL string, src netip.Addr) (string, error) {
+	tr := netsim.NewTransport(b.registry, b.clock, src)
+	return doGet(tr.Client(nil), rawURL, "")
+}
+
+// fetchAs retrieves a URL as a vantage point, with its browser fingerprint.
+func (b *Backend) fetchAs(rawURL string, vp geo.VantagePoint) (string, error) {
+	tr := netsim.NewTransport(b.registry, b.clock, vp.Addr)
+	return doGet(tr.Client(nil), rawURL, vp.Browser.UserAgent())
+}
+
+func doGet(c *http.Client, rawURL, ua string) (string, error) {
+	req, err := http.NewRequest(http.MethodGet, rawURL, nil)
+	if err != nil {
+		return "", err
+	}
+	if ua != "" {
+		req.Header.Set("User-Agent", ua)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("backend: GET %s: status %d", rawURL, resp.StatusCode)
+	}
+	return string(body), nil
+}
+
+// locate resolves a fabric address to its location and local currency.
+func (b *Backend) locate(addr netip.Addr) (geo.Location, money.Currency) {
+	if loc, ok := b.geodb.Lookup(addr); ok {
+		return loc, loc.Country.Currency
+	}
+	return geo.Location{Country: geo.US}, money.USD
+}
+
+// Anchor returns the anchor learned for a domain, if any check succeeded
+// against it.
+func (b *Backend) Anchor(domain string) (extract.Anchor, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	a, ok := b.anchors[domain]
+	return a, ok
+}
+
+// Anchors returns a copy of all learned anchors keyed by domain.
+func (b *Backend) Anchors() map[string]extract.Anchor {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make(map[string]extract.Anchor, len(b.anchors))
+	for d, a := range b.anchors {
+		out[d] = a
+	}
+	return out
+}
+
+// Checks returns the number of checks processed.
+func (b *Backend) Checks() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.checks
+}
+
+// VantagePoints returns the backend's measurement endpoints.
+func (b *Backend) VantagePoints() []geo.VantagePoint { return b.vps }
+
+// splitProductURL decomposes a product URI into domain and SKU.
+func splitProductURL(rawURL string) (domain, sku string, err error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return "", "", fmt.Errorf("backend: bad URL %q: %w", rawURL, err)
+	}
+	domain = u.Hostname()
+	if domain == "" {
+		return "", "", fmt.Errorf("backend: URL %q has no host", rawURL)
+	}
+	if strings.HasPrefix(u.Path, "/product/") {
+		sku = strings.TrimPrefix(u.Path, "/product/")
+	} else {
+		sku = u.Path
+	}
+	return domain, sku, nil
+}

@@ -1,0 +1,175 @@
+package browser
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sheriff/internal/fx"
+	"sheriff/internal/geo"
+	"sheriff/internal/netsim"
+	"sheriff/internal/shop"
+)
+
+func world(t *testing.T, cfg shop.Config) (*shop.Retailer, *netsim.Registry, *netsim.Clock) {
+	t.Helper()
+	market := fx.NewMarket(1)
+	if cfg.Domain == "" {
+		cfg.Domain = "shop.example.com"
+	}
+	if cfg.Label == "" {
+		cfg.Label = "Shop"
+	}
+	if len(cfg.Categories) == 0 {
+		cfg.Categories = []shop.Category{shop.CatClothing}
+	}
+	if cfg.ProductCount == 0 {
+		cfg.ProductCount = 10
+	}
+	if cfg.PriceLo == 0 {
+		cfg.PriceLo, cfg.PriceHi = 10, 100
+	}
+	r := shop.New(cfg, market)
+	reg := netsim.NewRegistry()
+	reg.Register(r.Domain(), shop.NewServer(r, geo.NewDB()))
+	return r, reg, netsim.NewClock(time.Date(2013, 3, 1, 9, 0, 0, 0, time.UTC))
+}
+
+func newBrowser(t *testing.T, reg *netsim.Registry, clk *netsim.Clock, cc, city string, host int) *Browser {
+	t.Helper()
+	l, err := geo.LocationOf(cc, city)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := geo.AddrFor(l, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(reg, clk, addr, geo.BrowserProfile{OS: "Linux", Browser: "Firefox"})
+}
+
+func TestBrowserGetAndHistory(t *testing.T) {
+	r, reg, clk := world(t, shop.Config{Seed: 1})
+	b := newBrowser(t, reg, clk, "US", "Boston", 30)
+	body, err := b.Get("http://" + r.Domain() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body, "category") {
+		t.Fatal("home page content missing")
+	}
+	sku := r.Catalog().Products()[0].SKU
+	if _, err := b.Get("http://" + r.Domain() + "/product/" + sku); err != nil {
+		t.Fatal(err)
+	}
+	h := b.History()
+	if len(h) != 2 || !strings.Contains(h[1], sku) {
+		t.Fatalf("history = %v", h)
+	}
+}
+
+func TestBrowserHTTPError(t *testing.T) {
+	r, reg, clk := world(t, shop.Config{Seed: 2})
+	b := newBrowser(t, reg, clk, "US", "Boston", 31)
+	_, err := b.Get("http://" + r.Domain() + "/product/NOPE")
+	httpErr, ok := err.(*HTTPError)
+	if !ok {
+		t.Fatalf("err = %T %v, want *HTTPError", err, err)
+	}
+	if httpErr.Status != 404 {
+		t.Fatalf("status = %d", httpErr.Status)
+	}
+}
+
+func TestBrowserNXDomain(t *testing.T) {
+	_, reg, clk := world(t, shop.Config{Seed: 3})
+	b := newBrowser(t, reg, clk, "US", "Boston", 32)
+	if _, err := b.Get("http://missing.example.com/"); err == nil {
+		t.Fatal("expected NXDOMAIN error")
+	}
+}
+
+func TestBrowserUserAgentSent(t *testing.T) {
+	r, reg, clk := world(t, shop.Config{Seed: 4})
+	b := newBrowser(t, reg, clk, "US", "Boston", 33)
+	// The retailer does not echo the UA, so check via profile plumbing.
+	if got := b.Profile().UserAgent(); !strings.Contains(got, "Firefox") {
+		t.Fatalf("UA = %q", got)
+	}
+	if _, err := b.Get("http://" + r.Domain() + "/"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersonaTrainingTagsSegment(t *testing.T) {
+	// A retailer that *does* discriminate on segment: affluent pays 10% more.
+	r, reg, clk := world(t, shop.Config{
+		Seed:           5,
+		SegmentFactor:  map[string]float64{"affluent": 1.10},
+		VariedFraction: 1.0,
+	})
+	// Long-tail luxury site for training history.
+	market := fx.NewMarket(1)
+	lux := shop.New(shop.LongTailConfigs(9, 1)[0], market)
+	reg.Register(lux.Domain(), shop.NewServer(lux, geo.NewDB()))
+
+	sku := r.Catalog().Products()[0].SKU
+	url := "http://" + r.Domain() + "/product/" + sku
+
+	plain := newBrowser(t, reg, clk, "US", "Boston", 34)
+	pagePlain, err := plain.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tagged := newBrowser(t, reg, clk, "US", "Boston", 34) // same IP: isolate the segment
+	persona := AffluentPersona([]string{lux.Domain()})
+	if err := persona.Train(tagged, r.Domain()); err != nil {
+		t.Fatal(err)
+	}
+	if len(tagged.History()) != persona.Visits {
+		t.Fatalf("training history = %d, want %d", len(tagged.History()), persona.Visits)
+	}
+	pageTagged, err := tagged.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pagePlain == pageTagged {
+		t.Fatal("segment-discriminating retailer showed identical pages")
+	}
+}
+
+func TestPersonaNoEffectWhenRetailerIgnoresSegments(t *testing.T) {
+	r, reg, clk := world(t, shop.Config{Seed: 6})
+	lux := shop.New(shop.LongTailConfigs(10, 1)[0], fx.NewMarket(1))
+	reg.Register(lux.Domain(), shop.NewServer(lux, geo.NewDB()))
+
+	sku := r.Catalog().Products()[0].SKU
+	url := "http://" + r.Domain() + "/product/" + sku
+
+	plain := newBrowser(t, reg, clk, "US", "Boston", 35)
+	pagePlain, err := plain.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged := newBrowser(t, reg, clk, "US", "Boston", 35)
+	if err := BudgetPersona([]string{lux.Domain()}).Train(tagged, r.Domain()); err != nil {
+		t.Fatal(err)
+	}
+	pageTagged, err := tagged.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pagePlain != pageTagged {
+		t.Fatal("segment changed price at a retailer that ignores segments")
+	}
+}
+
+func TestPersonaTrainFailsWhenAllSitesDead(t *testing.T) {
+	r, reg, clk := world(t, shop.Config{Seed: 7})
+	b := newBrowser(t, reg, clk, "US", "Boston", 36)
+	p := AffluentPersona([]string{"dead1.example.com", "dead2.example.com"})
+	if err := p.Train(b, r.Domain()); err == nil {
+		t.Fatal("training against dead sites should fail")
+	}
+}

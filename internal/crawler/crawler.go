@@ -1,0 +1,340 @@
+// Package crawler implements the paper's systematic measurement (Sec. 4):
+// for each retailer where the crowd found price variation, discover up to
+// 100 products by walking the storefront, then fetch every product page
+// from all 14 vantage points simultaneously, once per day for a week,
+// extracting prices with the anchors learned from crowd highlights.
+//
+// Synchronization is the paper's noise defence: within a round every
+// vantage point sees the same simulated instant, so temporal drift and
+// availability effects cannot masquerade as price discrimination. An
+// Unsynchronized mode exists solely for the ablation that quantifies what
+// happens without that defence.
+package crawler
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sheriff/internal/extract"
+	"sheriff/internal/geo"
+	"sheriff/internal/htmlx"
+	"sheriff/internal/netsim"
+	"sheriff/internal/store"
+)
+
+// Plan describes a crawl campaign.
+type Plan struct {
+	// Domains to crawl (the 21 retailers in the paper's case).
+	Domains []string
+	// MaxProducts caps products per domain (the paper's 100).
+	MaxProducts int
+	// Rounds is the number of daily visits (the paper's 7).
+	Rounds int
+	// RoundInterval is the simulated time between rounds (a day).
+	RoundInterval time.Duration
+	// Unsynchronized, when set, staggers vantage-point fetches across the
+	// day instead of synchronizing them — the ablation mode.
+	Unsynchronized bool
+	// Parallelism bounds concurrent product fetch groups (default 4).
+	Parallelism int
+	// PerDomainParallelism bounds concurrent fetch groups against any one
+	// retailer (default 2) — politeness: a measurement study must not
+	// hammer the sites it studies.
+	PerDomainParallelism int
+}
+
+// Crawler executes plans against the fabric.
+type Crawler struct {
+	registry *netsim.Registry
+	clock    *netsim.Clock
+	vps      []geo.VantagePoint
+	store    *store.Store
+	anchors  map[string]extract.Anchor
+}
+
+// New builds a crawler. The anchors map (domain → anchor) comes from the
+// $heriff backend's crowd-learned anchors; domains without an anchor fall
+// back to the extraction heuristics and may fail on hard templates, which
+// is faithful to the paper's pipeline ordering.
+func New(reg *netsim.Registry, clk *netsim.Clock, vps []geo.VantagePoint, st *store.Store, anchors map[string]extract.Anchor) *Crawler {
+	if anchors == nil {
+		anchors = map[string]extract.Anchor{}
+	}
+	return &Crawler{registry: reg, clock: clk, vps: vps, store: st, anchors: anchors}
+}
+
+// Report summarizes a finished crawl.
+type Report struct {
+	// ProductsPerDomain is how many products were discovered and crawled.
+	ProductsPerDomain map[string]int
+	// Extracted counts successful price extractions.
+	Extracted int
+	// Failed counts failed extractions or fetches.
+	Failed int
+	// Rounds actually executed.
+	Rounds int
+}
+
+// Run executes the plan. Observations land in the store with
+// Source=SourceCrawl and their round number.
+func (c *Crawler) Run(plan Plan) (*Report, error) {
+	if len(plan.Domains) == 0 {
+		return nil, fmt.Errorf("crawler: no domains in plan")
+	}
+	if plan.MaxProducts <= 0 {
+		plan.MaxProducts = 100
+	}
+	if plan.Rounds <= 0 {
+		plan.Rounds = 1
+	}
+	if plan.RoundInterval <= 0 {
+		plan.RoundInterval = 24 * time.Hour
+	}
+	if plan.Parallelism <= 0 {
+		plan.Parallelism = 4
+	}
+	if plan.PerDomainParallelism <= 0 {
+		plan.PerDomainParallelism = 2
+	}
+
+	rep := &Report{ProductsPerDomain: map[string]int{}, Rounds: plan.Rounds}
+
+	// Discover products once, from the first US vantage point (discovery
+	// location does not matter: SKUs are location-independent).
+	discoveryVP := c.vps[0]
+	for _, vp := range c.vps {
+		if vp.Location.Country.Code == "US" {
+			discoveryVP = vp
+			break
+		}
+	}
+	products := map[string][]string{}
+	for _, domain := range plan.Domains {
+		urls, err := c.Discover(domain, discoveryVP, plan.MaxProducts)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: discover %s: %w", domain, err)
+		}
+		products[domain] = urls
+		rep.ProductsPerDomain[domain] = len(urls)
+	}
+
+	var mu sync.Mutex
+	domainSem := map[string]chan struct{}{}
+	for _, domain := range plan.Domains {
+		domainSem[domain] = make(chan struct{}, plan.PerDomainParallelism)
+	}
+	for round := 0; round < plan.Rounds; round++ {
+		sem := make(chan struct{}, plan.Parallelism)
+		var wg sync.WaitGroup
+		for _, domain := range plan.Domains {
+			anchor := c.anchors[domain]
+			dsem := domainSem[domain]
+			for _, productURL := range products[domain] {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(domain, productURL string, anchor extract.Anchor, round int) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					dsem <- struct{}{}
+					defer func() { <-dsem }()
+					ok, fail := c.crawlProduct(domain, productURL, anchor, round, plan.Unsynchronized)
+					mu.Lock()
+					rep.Extracted += ok
+					rep.Failed += fail
+					mu.Unlock()
+				}(domain, productURL, anchor, round)
+			}
+		}
+		wg.Wait()
+		if round < plan.Rounds-1 {
+			c.clock.Advance(plan.RoundInterval)
+		}
+	}
+	return rep, nil
+}
+
+// crawlProduct fetches one product from every vantage point and stores the
+// extractions. It returns (successes, failures).
+func (c *Crawler) crawlProduct(domain, productURL string, anchor extract.Anchor, round int, unsync bool) (okCount, failCount int) {
+	now := c.clock.Now()
+	sku := skuOf(productURL)
+	var wg sync.WaitGroup
+	results := make([]store.Observation, len(c.vps))
+	for i, vp := range c.vps {
+		wg.Add(1)
+		go func(i int, vp geo.VantagePoint) {
+			defer wg.Done()
+			at := now
+			if unsync {
+				// Stagger VPs across the day — the ablation that lets
+				// temporal drift pollute cross-location comparisons.
+				at = now.Add(time.Duration(i) * 90 * time.Minute)
+			}
+			results[i] = c.fetchOne(domain, productURL, sku, anchor, vp, round, at)
+		}(i, vp)
+	}
+	wg.Wait()
+	for _, o := range results {
+		c.store.Add(o)
+		if o.OK {
+			okCount++
+		} else {
+			failCount++
+		}
+	}
+	return okCount, failCount
+}
+
+// fetchOne performs a single (product, vantage point) measurement at the
+// given simulated instant.
+func (c *Crawler) fetchOne(domain, productURL, sku string, anchor extract.Anchor, vp geo.VantagePoint, round int, at time.Time) store.Observation {
+	o := store.Observation{
+		Domain: domain, SKU: sku, URL: productURL,
+		VP: vp.ID, VPLabel: vp.Label,
+		Country: vp.Location.Country.Code, City: vp.Location.City,
+		Time: at, Round: round, Source: store.SourceCrawl,
+	}
+	// An unsynchronized fetch needs its own clock so only this request
+	// sees the staggered time.
+	clk := c.clock
+	if !at.Equal(c.clock.Now()) {
+		clk = netsim.NewClock(at)
+	}
+	page, err := fetch(c.registry, clk, vp, productURL)
+	if err != nil {
+		o.Err = err.Error()
+		return o
+	}
+	doc, err := htmlx.ParseString(page)
+	if err != nil {
+		o.Err = err.Error()
+		return o
+	}
+	amt, err := anchor.Extract(doc, vp.Location.Country.Currency)
+	if err != nil {
+		o.Err = err.Error()
+		return o
+	}
+	o.PriceUnits = amt.Units
+	o.Currency = amt.Currency.Code
+	o.OK = true
+	return o
+}
+
+// Discover walks a storefront from its home page through category pages
+// and returns up to max product URLs, in stable order. Transient failures
+// (real sites 503 and rate-limit) are retried from the other vantage
+// points before giving up.
+func (c *Crawler) Discover(domain string, vp geo.VantagePoint, max int) ([]string, error) {
+	base := "http://" + domain
+	home, err := c.fetchResilient(vp, base+"/")
+	if err != nil {
+		return nil, err
+	}
+	homeDoc, err := htmlx.ParseString(home)
+	if err != nil {
+		return nil, err
+	}
+	var catURLs []string
+	for _, a := range homeDoc.FindAll("a.cat-link") {
+		if href, ok := a.Attr("href"); ok {
+			catURLs = append(catURLs, base+href)
+		}
+	}
+	sort.Strings(catURLs)
+
+	seen := map[string]bool{}
+	var out []string
+	for _, cu := range catURLs {
+		if len(out) >= max {
+			break
+		}
+		// Walk the category's pagination chain (rel=next links); the cap
+		// of 64 pages is a cycle guard, far above any real listing depth.
+		pageURL := cu
+		for hops := 0; pageURL != "" && len(out) < max && hops < 64; hops++ {
+			page, err := c.fetchResilient(vp, pageURL)
+			if err != nil {
+				break // a listing page dead from every vantage point
+			}
+			doc, err := htmlx.ParseString(page)
+			if err != nil {
+				break
+			}
+			for _, a := range doc.FindAll("a.product-link") {
+				if len(out) >= max {
+					break
+				}
+				href, ok := a.Attr("href")
+				if !ok || seen[href] {
+					continue
+				}
+				seen[href] = true
+				out = append(out, base+href)
+			}
+			pageURL = ""
+			if next := doc.First("a.next"); next != nil {
+				if href, ok := next.Attr("href"); ok {
+					pageURL = base + href
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// fetchResilient tries the preferred vantage point first, then every other
+// one (a different egress evades per-client transient failures).
+func (c *Crawler) fetchResilient(preferred geo.VantagePoint, rawURL string) (string, error) {
+	page, err := fetch(c.registry, c.clock, preferred, rawURL)
+	if err == nil {
+		return page, nil
+	}
+	for _, vp := range c.vps {
+		if vp.ID == preferred.ID {
+			continue
+		}
+		if page, err2 := fetch(c.registry, c.clock, vp, rawURL); err2 == nil {
+			return page, nil
+		}
+	}
+	return "", err
+}
+
+// fetch retrieves a URL as a vantage point.
+func fetch(reg *netsim.Registry, clk *netsim.Clock, vp geo.VantagePoint, rawURL string) (string, error) {
+	tr := netsim.NewTransport(reg, clk, vp.Addr)
+	req, err := http.NewRequest(http.MethodGet, rawURL, nil)
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("User-Agent", vp.Browser.UserAgent())
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("crawler: GET %s: status %d", rawURL, resp.StatusCode)
+	}
+	return string(body), nil
+}
+
+// skuOf extracts the SKU path element from a product URL.
+func skuOf(productURL string) string {
+	u, err := url.Parse(productURL)
+	if err != nil {
+		return productURL
+	}
+	return strings.TrimPrefix(u.Path, "/product/")
+}

@@ -1,0 +1,240 @@
+// Package crowd simulates the $heriff user base of Sec. 3.2: 340 users in
+// 18 countries issuing 1500 price-check requests across ~600 domains over
+// the January–May 2013 beta period.
+//
+// Each simulated user browses a storefront, "sees" the product's price the
+// way a human does (the display price their locale is served), highlights
+// it, and submits a check to the backend. Domain popularity is skewed:
+// well-known retailers absorb most checks (giving Fig. 1 its head), while
+// a long tail of obscure shops receives one or two checks each (giving the
+// 600-domain spread).
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"sheriff/internal/backend"
+	"sheriff/internal/geo"
+	"sheriff/internal/money"
+	"sheriff/internal/netsim"
+	"sheriff/internal/shop"
+)
+
+// User is one crowd participant.
+type User struct {
+	// ID is the stable user tag in the dataset.
+	ID string
+	// Location is where the user's IP geo-locates.
+	Location geo.Location
+	// Addr is the user's egress IP.
+	Addr netip.Addr
+	// Browser is the user's fingerprint.
+	Browser geo.BrowserProfile
+}
+
+// Options configures a crowd campaign.
+type Options struct {
+	// Seed drives all sampling.
+	Seed int64
+	// Users is the crowd size (the paper's 340).
+	Users int
+	// Requests is the number of checks to issue (the paper's 1500).
+	Requests int
+	// Span is the simulated campaign duration (the paper's ~4 months).
+	Span time.Duration
+	// InterestingShare is the fraction of requests aimed at the weighted
+	// popular domains; the rest spread across the long tail. Default 0.45.
+	InterestingShare float64
+}
+
+// Report summarizes a finished campaign.
+type Report struct {
+	// Requests issued, and how many returned successfully.
+	Requests, Succeeded, Failed int
+	// Variations is the number of checks whose variation survived the
+	// currency filter.
+	Variations int
+	// DistinctDomains checked at least once.
+	DistinctDomains int
+	// ActiveUsers issued at least one check.
+	ActiveUsers int
+	// Countries with at least one active user.
+	Countries int
+}
+
+// Simulator drives a crowd campaign against a backend.
+type Simulator struct {
+	rng         *rand.Rand
+	backend     *backend.Backend
+	clock       *netsim.Clock
+	retailers   map[string]*shop.Retailer
+	interesting []string // popular domains, most popular first
+	tail        []string // obscure domains, round-robin coverage
+	users       []User
+	opts        Options
+}
+
+// New builds a simulator. retailers must contain every domain in
+// interesting and tail — the user's "eyes" need the ground-truth display
+// price to produce the highlight string.
+func New(b *backend.Backend, clk *netsim.Clock, retailers map[string]*shop.Retailer, interesting, tail []string, opts Options) (*Simulator, error) {
+	if opts.Users <= 0 {
+		opts.Users = 340
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 1500
+	}
+	if opts.Span <= 0 {
+		opts.Span = 115 * 24 * time.Hour
+	}
+	if opts.InterestingShare <= 0 || opts.InterestingShare >= 1 {
+		opts.InterestingShare = 0.45
+	}
+	for _, d := range append(append([]string{}, interesting...), tail...) {
+		if _, ok := retailers[d]; !ok {
+			return nil, fmt.Errorf("crowd: domain %s has no retailer ground truth", d)
+		}
+	}
+	s := &Simulator{
+		rng:         rand.New(rand.NewSource(opts.Seed)),
+		backend:     b,
+		clock:       clk,
+		retailers:   retailers,
+		interesting: interesting,
+		tail:        tail,
+		opts:        opts,
+	}
+	s.users = s.makeUsers()
+	return s, nil
+}
+
+// browserPool is the distribution of crowd browser fingerprints.
+var browserPool = []geo.BrowserProfile{
+	{OS: "Windows", Browser: "Chrome"},
+	{OS: "Windows", Browser: "Firefox"},
+	{OS: "Linux", Browser: "Firefox"},
+	{OS: "Macintosh", Browser: "Safari"},
+	{OS: "Macintosh", Browser: "Chrome"},
+}
+
+// makeUsers spreads the crowd over all 18 countries, denser in the first
+// few (US and Western Europe dominated the real beta).
+func (s *Simulator) makeUsers() []User {
+	var users []User
+	hostByBlock := map[string]int{}
+	countries := geo.AllCountries
+	for i := 0; i < s.opts.Users; i++ {
+		// Rank-weighted country pick: country k gets weight 1/(k+1).
+		k := s.weightedIndex(len(countries))
+		c := countries[k]
+		cities := geo.Cities(c)
+		city := cities[s.rng.Intn(len(cities))]
+		loc := geo.Location{Country: c, City: city}
+		blockKey := c.Code + "/" + city
+		hostByBlock[blockKey]++
+		host := 100 + (hostByBlock[blockKey] % 150)
+		addr, err := geo.AddrFor(loc, host)
+		if err != nil {
+			continue // city table and host range are static; never happens
+		}
+		users = append(users, User{
+			ID:       fmt.Sprintf("u%03d", i+1),
+			Location: loc,
+			Addr:     addr,
+			Browser:  browserPool[s.rng.Intn(len(browserPool))],
+		})
+	}
+	return users
+}
+
+// weightedIndex samples 0..n-1 with weight 1/(i+1) — a discrete Zipf.
+func (s *Simulator) weightedIndex(n int) int {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / float64(i+1)
+	}
+	x := s.rng.Float64() * total
+	for i := 0; i < n; i++ {
+		x -= 1 / float64(i+1)
+		if x <= 0 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// Users returns the generated crowd.
+func (s *Simulator) Users() []User {
+	out := make([]User, len(s.users))
+	copy(out, s.users)
+	return out
+}
+
+// Run issues the campaign's checks, advancing the simulated clock evenly
+// across the span, and returns the summary report.
+func (s *Simulator) Run() (*Report, error) {
+	rep := &Report{}
+	step := s.opts.Span / time.Duration(s.opts.Requests)
+	domainsSeen := map[string]bool{}
+	usersSeen := map[string]bool{}
+	countriesSeen := map[string]bool{}
+	tailCursor := 0
+
+	for i := 0; i < s.opts.Requests; i++ {
+		user := s.users[s.weightedIndex(len(s.users))]
+		var domain string
+		if s.rng.Float64() < s.opts.InterestingShare && len(s.interesting) > 0 {
+			domain = s.interesting[s.weightedIndex(len(s.interesting))]
+		} else if len(s.tail) > 0 {
+			// Round-robin with jitter: obscure domains each get a look.
+			domain = s.tail[tailCursor%len(s.tail)]
+			tailCursor += 1 + s.rng.Intn(2)
+		} else {
+			domain = s.interesting[s.weightedIndex(len(s.interesting))]
+		}
+
+		rep.Requests++
+		res, err := s.checkOnce(user, domain)
+		if err != nil {
+			rep.Failed++
+		} else {
+			rep.Succeeded++
+			if res.Varies {
+				rep.Variations++
+			}
+		}
+		domainsSeen[domain] = true
+		usersSeen[user.ID] = true
+		countriesSeen[user.Location.Country.Code] = true
+		s.clock.Advance(step)
+	}
+	rep.DistinctDomains = len(domainsSeen)
+	rep.ActiveUsers = len(usersSeen)
+	rep.Countries = len(countriesSeen)
+	return rep, nil
+}
+
+// checkOnce simulates one user checking one random product on a domain.
+func (s *Simulator) checkOnce(user User, domain string) (backend.CheckResult, error) {
+	r := s.retailers[domain]
+	ps := r.Catalog().Products()
+	p := ps[s.rng.Intn(len(ps))]
+
+	// The human step: the user reads the main price off the page their own
+	// locale is served.
+	visit := shop.Visit{
+		Loc: user.Location, Time: s.clock.Now(), IP: user.Addr.String(),
+	}
+	amt := r.DisplayPrice(p, visit)
+	highlight := money.Format(amt, amt.Currency.Style())
+
+	return s.backend.Check(backend.CheckRequest{
+		URL:       "http://" + domain + "/product/" + p.SKU,
+		Highlight: highlight,
+		UserAddr:  user.Addr,
+		UserID:    user.ID,
+	})
+}

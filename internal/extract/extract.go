@@ -1,0 +1,298 @@
+// Package extract implements $heriff's template-free price extraction.
+//
+// The paper's core scaling trick (Sec. 2.2): instead of writing one scraper
+// per retailer template, let the user highlight the price once. From that
+// highlight we derive an Anchor — a structural path to the highlighted
+// element plus enough local context to disambiguate multiple prices inside
+// it — and re-apply the anchor to renderings of the same page fetched from
+// other vantage points, where the price may appear in a different currency
+// and number format.
+//
+// Extraction is layered, most precise first:
+//
+//  1. structural: resolve the anchor's node path and parse the price at
+//     the remembered match index inside that element;
+//  2. contextual: find any element whose text carries the anchor's
+//     leading context ("Our price:") followed by a price;
+//  3. heuristic: take the first element with a price-suggesting class
+//     ("price", "amount", ...) whose text parses to exactly one price.
+//
+// The naive whole-page scan (NaiveFirst) exists only as the ablation
+// baseline; product pages deliberately carry decoy prices that defeat it.
+package extract
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"sheriff/internal/htmlx"
+	"sheriff/internal/money"
+)
+
+// Errors returned by the extraction pipeline.
+var (
+	// ErrHighlightNotFound reports that the highlighted text is not on the
+	// page it was supposedly highlighted on.
+	ErrHighlightNotFound = errors.New("extract: highlighted text not found on page")
+	// ErrNoPrice reports that no extraction layer could find a price.
+	ErrNoPrice = errors.New("extract: no price found")
+)
+
+// Anchor remembers where a price lives inside a page family. It is what
+// the $heriff backend stores per (domain, product) after a user highlight,
+// and what both the fan-out checker and the systematic crawler apply to
+// newly fetched pages.
+type Anchor struct {
+	// Path is the serialized structural path to the price element.
+	Path string
+	// MatchIndex selects among multiple prices inside the element's text
+	// (0-based document order).
+	MatchIndex int
+	// Context is the text immediately preceding the price inside the
+	// element, used by the contextual fallback.
+	Context string
+}
+
+// Derive builds an Anchor from a user highlight: the exact price text the
+// user selected on the page. The hint currency is the locale the page was
+// rendered for (the highlighting user's own locale).
+func Derive(doc *htmlx.Node, highlight string, hint money.Currency) (Anchor, error) {
+	want, err := money.ParseWithHint(strings.TrimSpace(highlight), hint)
+	if err != nil {
+		return Anchor{}, fmt.Errorf("extract: highlight %q does not parse as a price: %w", highlight, err)
+	}
+	el := deepestContaining(doc, strings.Join(strings.Fields(highlight), " "))
+	if el == nil {
+		return Anchor{}, ErrHighlightNotFound
+	}
+	text := el.Text()
+	matches := money.ParseAll(text, hint)
+	if len(matches) == 0 {
+		return Anchor{}, fmt.Errorf("extract: element text %q has no parseable price", text)
+	}
+	idx := 0
+	found := false
+	for i, m := range matches {
+		if m.Amount.Units == want.Units && m.Amount.Currency.Code == want.Currency.Code {
+			idx, found = i, true
+			break
+		}
+	}
+	if !found {
+		// The highlight parsed but its value is not among the element's
+		// prices (e.g. partial selection): fall back to the first price.
+		idx = 0
+	}
+	ctx := leadingContext(text, matches[idx].Start)
+	return Anchor{
+		Path:       htmlx.PathOf(el).String(),
+		MatchIndex: idx,
+		Context:    ctx,
+	}, nil
+}
+
+// deepestContaining returns the deepest element whose collapsed text
+// contains needle.
+func deepestContaining(doc *htmlx.Node, needle string) *htmlx.Node {
+	if needle == "" {
+		return nil
+	}
+	var best *htmlx.Node
+	bestDepth := -1
+	doc.Walk(func(n *htmlx.Node) bool {
+		if n.Type != htmlx.ElementNode {
+			return true
+		}
+		if !strings.Contains(n.Text(), needle) {
+			return false // children cannot contain it either
+		}
+		if d := depth(n); d > bestDepth {
+			best, bestDepth = n, d
+		}
+		return true
+	})
+	return best
+}
+
+func depth(n *htmlx.Node) int {
+	d := 0
+	for p := n.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// leadingContext captures up to contextLen bytes of text before the match,
+// trimmed to whole words.
+const contextLen = 24
+
+func leadingContext(text string, start int) string {
+	lo := start - contextLen
+	if lo < 0 {
+		lo = 0
+	}
+	ctx := strings.TrimSpace(text[lo:start])
+	if lo > 0 {
+		// Drop the possibly cut first word.
+		if sp := strings.IndexByte(ctx, ' '); sp >= 0 {
+			ctx = ctx[sp+1:]
+		}
+	}
+	return ctx
+}
+
+// Extract applies the anchor to a page and returns the price. The hint
+// currency is the locale the page was fetched under (the vantage point's
+// country currency); it denominates bare numbers and disambiguates
+// separators.
+func (a Anchor) Extract(doc *htmlx.Node, hint money.Currency) (money.Amount, error) {
+	// Layer 1: structural.
+	if p, err := htmlx.ParsePath(a.Path); err == nil {
+		if el, ok := p.Resolve(doc); ok {
+			if amt, ok := priceInElement(el, a.MatchIndex, hint); ok {
+				return amt, nil
+			}
+		}
+	}
+	// Layer 2: contextual.
+	if a.Context != "" {
+		if amt, ok := priceAfterContext(doc, a.Context, hint); ok {
+			return amt, nil
+		}
+	}
+	// Layer 3: class heuristic.
+	if amt, ok := priceByClassHeuristic(doc, hint); ok {
+		return amt, nil
+	}
+	return money.Amount{}, ErrNoPrice
+}
+
+// priceInElement parses the element's text and picks the idx-th price,
+// falling back to the first when the element has fewer prices than the
+// original had.
+func priceInElement(el *htmlx.Node, idx int, hint money.Currency) (money.Amount, bool) {
+	matches := money.ParseAll(el.Text(), hint)
+	if len(matches) == 0 {
+		return money.Amount{}, false
+	}
+	if idx < len(matches) {
+		return matches[idx].Amount, true
+	}
+	return matches[0].Amount, true
+}
+
+// priceAfterContext finds the first element whose text contains the
+// context string immediately followed by a price.
+func priceAfterContext(doc *htmlx.Node, ctx string, hint money.Currency) (money.Amount, bool) {
+	var out money.Amount
+	found := false
+	doc.Walk(func(n *htmlx.Node) bool {
+		if found || n.Type != htmlx.ElementNode {
+			return !found
+		}
+		text := n.Text()
+		pos := strings.Index(text, ctx)
+		if pos < 0 {
+			return true
+		}
+		after := text[pos+len(ctx):]
+		ms := money.ParseAll(after, hint)
+		if len(ms) == 0 {
+			return true
+		}
+		// The price must start right after the context (allow separators).
+		lead := strings.TrimLeft(after[:ms[0].Start], " : ")
+		if lead != "" {
+			return true
+		}
+		out, found = ms[0].Amount, true
+		return false
+	})
+	return out, found
+}
+
+// priceClassHints are class-name fragments that suggest a price element.
+var priceClassHints = []string{"price", "amount", "cost"}
+
+// priceByClassHeuristic scans for elements with price-suggesting classes
+// containing exactly one price. Elements that look like decoys
+// (recommendation/ad/was classes) are skipped.
+func priceByClassHeuristic(doc *htmlx.Node, hint money.Currency) (money.Amount, bool) {
+	var out money.Amount
+	found := false
+	doc.Walk(func(n *htmlx.Node) bool {
+		if found {
+			return false
+		}
+		if n.Type != htmlx.ElementNode {
+			return true
+		}
+		if !hasPriceClass(n) || isDecoy(n) {
+			return true
+		}
+		ms := money.ParseAll(n.Text(), hint)
+		if len(ms) == 1 {
+			out, found = ms[0].Amount, true
+			return false
+		}
+		return true
+	})
+	return out, found
+}
+
+func hasPriceClass(n *htmlx.Node) bool {
+	for _, c := range n.Classes() {
+		lc := strings.ToLower(c)
+		for _, h := range priceClassHints {
+			if strings.Contains(lc, h) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isDecoy reports whether the element or an ancestor is marked as a
+// recommendation, ad, or struck-through old price.
+func isDecoy(n *htmlx.Node) bool {
+	for cur := n; cur != nil; cur = cur.Parent {
+		if cur.Type != htmlx.ElementNode {
+			continue
+		}
+		if cur.Tag == "s" || cur.Tag == "del" {
+			return true
+		}
+		for _, c := range cur.Classes() {
+			lc := strings.ToLower(c)
+			if strings.Contains(lc, "rec") || strings.Contains(lc, "ad") ||
+				strings.Contains(lc, "was") || strings.Contains(lc, "old") ||
+				strings.Contains(lc, "related") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NaiveFirst returns the first price anywhere on the page — the strawman
+// the paper argues cannot work ("a simple search for dollar or euro sign
+// would fail", Sec. 2.2). Kept as the ablation baseline.
+func NaiveFirst(doc *htmlx.Node, hint money.Currency) (money.Amount, error) {
+	ms := money.ParseAll(doc.Text(), hint)
+	if len(ms) == 0 {
+		return money.Amount{}, ErrNoPrice
+	}
+	return ms[0].Amount, nil
+}
+
+// AllPrices returns every price on the page in document order, decoys
+// included. The analysis uses it for sanity checks and the ablations.
+func AllPrices(doc *htmlx.Node, hint money.Currency) []money.Amount {
+	ms := money.ParseAll(doc.Text(), hint)
+	out := make([]money.Amount, len(ms))
+	for i, m := range ms {
+		out[i] = m.Amount
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+// Package fx simulates the foreign-exchange market the paper's measurements
+// ran against, and implements the currency-translation filter of Sec. 2.2.
+//
+// Vantage points in different countries are shown prices in their local
+// currency, so an apparent "price difference" may be nothing but currency
+// translation sampled at slightly different fixings. The paper's rule:
+// convert every observation to US dollars using both the lowest and the
+// highest exchange rate of the day, and keep only products whose price
+// variation is strictly greater than the maximum gap that the two extreme
+// rates could explain. RealVariation implements exactly that rule.
+//
+// Rates are generated deterministically per (currency, day) from a seed as a
+// sum of smooth pseudo-cycles, so any two components of the system agree on
+// the day's fixings without sharing state, and tests are reproducible.
+package fx
+
+import (
+	"hash/fnv"
+	"math"
+	"time"
+
+	"sheriff/internal/money"
+)
+
+// baseUSD is the long-run mid rate in USD per one unit of each currency,
+// roughly calibrated to early-2013 levels (the paper's measurement window,
+// January–May 2013).
+var baseUSD = map[string]float64{
+	"USD": 1.0,
+	"EUR": 1.31,
+	"GBP": 1.55,
+	"BRL": 0.50,
+	"PLN": 0.315,
+	"SEK": 0.155,
+	"CHF": 1.07,
+	"JPY": 0.0105,
+	"CAD": 0.975,
+	"MXN": 0.081,
+	"AUD": 1.03,
+	"NOK": 0.175,
+	"DKK": 0.176,
+	"CZK": 0.051,
+	"HUF": 0.0044,
+	"TRY": 0.555,
+	"INR": 0.0185,
+	"RUB": 0.0315,
+}
+
+// Market produces daily low/high exchange-rate fixings for every currency
+// known to the money package. The zero Market is not usable; construct with
+// NewMarket.
+type Market struct {
+	seed int64
+}
+
+// NewMarket returns a deterministic market for the given seed.
+func NewMarket(seed int64) *Market {
+	return &Market{seed: seed}
+}
+
+// dayIndex converts a timestamp to a whole-day index (UTC).
+func dayIndex(t time.Time) int64 {
+	return t.UTC().Unix() / 86400
+}
+
+// phases derives three stable pseudo-random phases in [0, 2π) for a
+// currency under this market's seed.
+func (m *Market) phases(code string) (p1, p2, p3 float64) {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(m.seed >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(code))
+	v := h.Sum64()
+	twoPi := 2 * math.Pi
+	p1 = float64(v&0xFFFF) / 65536 * twoPi
+	p2 = float64((v>>16)&0xFFFF) / 65536 * twoPi
+	p3 = float64((v>>32)&0xFFFF) / 65536 * twoPi
+	return
+}
+
+// Rate returns the day's lowest and highest USD fixing for one unit of c.
+// USD itself is always exactly (1, 1).
+func (m *Market) Rate(c money.Currency, day time.Time) (low, high float64) {
+	if c.Code == "USD" {
+		return 1, 1
+	}
+	base, ok := baseUSD[c.Code]
+	if !ok {
+		base = 1
+	}
+	d := float64(dayIndex(day))
+	p1, p2, p3 := m.phases(c.Code)
+	mid := base * math.Exp(0.030*math.Sin(2*math.Pi*d/37+p1)+
+		0.020*math.Sin(2*math.Pi*d/11+p2))
+	spread := 0.004 + 0.004*math.Abs(math.Sin(d/5+p3))
+	return mid * (1 - spread), mid * (1 + spread)
+}
+
+// Mid returns the day's mid fixing in USD per unit of c.
+func (m *Market) Mid(c money.Currency, day time.Time) float64 {
+	lo, hi := m.Rate(c, day)
+	return (lo + hi) / 2
+}
+
+// Convert converts an amount into another currency at the day's mid fixing.
+func (m *Market) Convert(a money.Amount, to money.Currency, day time.Time) money.Amount {
+	if a.Currency.Code == to.Code {
+		return a
+	}
+	usd := a.Float() * m.Mid(a.Currency, day)
+	return money.FromFloat(usd/m.Mid(to, day), to)
+}
+
+// ConvertRetail converts the way storefronts do: at the fixing most
+// favourable to the merchant (the day's low USD fixing of the target
+// currency, which maximizes the local-currency price). The gap between
+// this and the analyst's mid-fixing conversion is precisely the currency
+// noise the Sec. 2.2 filter exists to discard.
+func (m *Market) ConvertRetail(a money.Amount, to money.Currency, day time.Time) money.Amount {
+	if a.Currency.Code == to.Code {
+		return a
+	}
+	usd := a.Float() * m.Mid(a.Currency, day)
+	low, _ := m.Rate(to, day)
+	if low <= 0 {
+		low = m.Mid(to, day)
+	}
+	return money.FromFloat(usd/low, to)
+}
+
+// USDRange converts an amount to the interval of USD values it may
+// represent given the day's extreme fixings. A displayed price also only
+// pins the true value to within half a minor unit (storefronts round to
+// cents), so the interval is widened by that slack before applying the
+// rate range.
+func (m *Market) USDRange(a money.Amount, day time.Time) (low, high float64) {
+	lo, hi := m.Rate(a.Currency, day)
+	v := a.Float()
+	slack := 0.5 / math.Pow(10, float64(a.Currency.Exponent))
+	vLo, vHi := v-slack, v+slack
+	if v < 0 {
+		return vLo * hi, vHi * lo
+	}
+	return vLo * lo, vHi * hi
+}
+
+// Quote is a single price observation to be tested for real variation:
+// an amount in whatever currency a vantage point saw, on a given day.
+type Quote struct {
+	Amount money.Amount
+	Day    time.Time
+}
+
+// RealVariation applies the paper's currency filter to a set of quotes for
+// one product. It returns the conservative max/min USD ratio — the smallest
+// ratio consistent with the day's extreme fixings — and whether that ratio
+// still shows variation (is strictly greater than 1) after currency effects
+// are maximally discounted. Fewer than two quotes never count as variation.
+func (m *Market) RealVariation(quotes []Quote) (conservativeRatio float64, real bool) {
+	if len(quotes) < 2 {
+		return 1, false
+	}
+	maxLow := math.Inf(-1)
+	minHigh := math.Inf(1)
+	for _, q := range quotes {
+		lo, hi := m.USDRange(q.Amount, q.Day)
+		if lo > maxLow {
+			maxLow = lo
+		}
+		if hi < minHigh {
+			minHigh = hi
+		}
+	}
+	if minHigh <= 0 {
+		return 1, false
+	}
+	r := maxLow / minHigh
+	if r < 1 {
+		r = 1
+	}
+	return r, r > 1
+}
+
+// NominalRatio is the unfiltered max/min ratio of the quotes converted at
+// mid fixings — what a naive analysis would report before the currency
+// filter. Returns 1 for fewer than two quotes.
+func (m *Market) NominalRatio(quotes []Quote) float64 {
+	if len(quotes) < 2 {
+		return 1
+	}
+	minV := math.Inf(1)
+	maxV := math.Inf(-1)
+	for _, q := range quotes {
+		v := q.Amount.Float() * m.Mid(q.Amount.Currency, q.Day)
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if minV <= 0 {
+		return 1
+	}
+	return maxV / minV
+}

@@ -1,0 +1,239 @@
+package fx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sheriff/internal/money"
+)
+
+var day0 = time.Date(2013, 1, 15, 0, 0, 0, 0, time.UTC)
+
+func TestUSDRateIsUnity(t *testing.T) {
+	m := NewMarket(1)
+	for d := 0; d < 200; d++ {
+		lo, hi := m.Rate(money.USD, day0.AddDate(0, 0, d))
+		if lo != 1 || hi != 1 {
+			t.Fatalf("USD rate on day %d = (%v,%v)", d, lo, hi)
+		}
+	}
+}
+
+func TestRatesDeterministic(t *testing.T) {
+	a, b := NewMarket(42), NewMarket(42)
+	for d := 0; d < 50; d++ {
+		day := day0.AddDate(0, 0, d)
+		for _, c := range money.All {
+			alo, ahi := a.Rate(c, day)
+			blo, bhi := b.Rate(c, day)
+			if alo != blo || ahi != bhi {
+				t.Fatalf("%s day %d: (%v,%v) != (%v,%v)", c.Code, d, alo, ahi, blo, bhi)
+			}
+		}
+	}
+}
+
+func TestRatesVaryWithSeed(t *testing.T) {
+	a, b := NewMarket(1), NewMarket(2)
+	alo, _ := a.Rate(money.EUR, day0)
+	blo, _ := b.Rate(money.EUR, day0)
+	if alo == blo {
+		t.Fatal("different seeds produced identical EUR fixings")
+	}
+}
+
+func TestRateBounds(t *testing.T) {
+	m := NewMarket(7)
+	for _, c := range money.All {
+		base := baseUSD[c.Code]
+		for d := 0; d < 150; d++ {
+			day := day0.AddDate(0, 0, d)
+			lo, hi := m.Rate(c, day)
+			if lo <= 0 || hi <= 0 || lo > hi {
+				t.Fatalf("%s: invalid fixing (%v,%v)", c.Code, lo, hi)
+			}
+			if c.Code == "USD" {
+				continue
+			}
+			// The cycle amplitudes bound the walk to about ±5% of base,
+			// plus the <=0.8% intraday spread.
+			if lo < base*0.93 || hi > base*1.07 {
+				t.Fatalf("%s day %d: fixing (%v,%v) strays from base %v", c.Code, d, lo, hi, base)
+			}
+			if (hi-lo)/lo > 0.017 {
+				t.Fatalf("%s: spread too wide: %v", c.Code, (hi-lo)/lo)
+			}
+		}
+	}
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	m := NewMarket(3)
+	a := money.FromMinor(129900, money.EUR)
+	usd := m.Convert(a, money.USD, day0)
+	back := m.Convert(usd, money.EUR, day0)
+	// Round trip at the same mid fixing loses at most a cent per hop.
+	if diff := back.Units - a.Units; diff < -2 || diff > 2 {
+		t.Fatalf("round trip drift %d minor units", diff)
+	}
+}
+
+func TestConvertSameCurrencyIsIdentity(t *testing.T) {
+	m := NewMarket(3)
+	a := money.FromMinor(12345, money.GBP)
+	if got := m.Convert(a, money.GBP, day0); got != a {
+		t.Fatalf("identity conversion changed amount: %v", got)
+	}
+}
+
+func TestUSDRangeOrdering(t *testing.T) {
+	m := NewMarket(5)
+	f := func(raw int32, dayOff uint8) bool {
+		units := int64(raw)
+		if units < 0 {
+			units = -units
+		}
+		a := money.FromMinor(units, money.EUR)
+		lo, hi := m.USDRange(a, day0.AddDate(0, 0, int(dayOff)))
+		return lo <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRealVariationSameUSDPrices(t *testing.T) {
+	m := NewMarket(11)
+	quotes := []Quote{
+		{Amount: money.FromMinor(9999, money.USD), Day: day0},
+		{Amount: money.FromMinor(9999, money.USD), Day: day0},
+	}
+	if r, real := m.RealVariation(quotes); real || r != 1 {
+		t.Fatalf("identical USD quotes flagged as variation (r=%v)", r)
+	}
+}
+
+func TestRealVariationFiltersCurrencyNoise(t *testing.T) {
+	// A product costing $100 shown as EUR at the day's mid fixing must NOT
+	// count as real variation: the gap is explainable by the fixing range.
+	m := NewMarket(11)
+	mid := m.Mid(money.EUR, day0)
+	eur := money.FromFloat(100.0/mid, money.EUR)
+	quotes := []Quote{
+		{Amount: money.FromMinor(10000, money.USD), Day: day0},
+		{Amount: eur, Day: day0},
+	}
+	if r, real := m.RealVariation(quotes); real {
+		t.Fatalf("pure currency translation flagged as real variation (r=%v)", r)
+	}
+}
+
+func TestRealVariationKeepsGenuineGaps(t *testing.T) {
+	// A 20% gap survives the filter easily (spread is under 1%).
+	m := NewMarket(11)
+	mid := m.Mid(money.EUR, day0)
+	eur := money.FromFloat(120.0/mid, money.EUR)
+	quotes := []Quote{
+		{Amount: money.FromMinor(10000, money.USD), Day: day0},
+		{Amount: eur, Day: day0},
+	}
+	r, real := m.RealVariation(quotes)
+	if !real {
+		t.Fatal("genuine 20% gap filtered out")
+	}
+	if r < 1.15 || r > 1.25 {
+		t.Fatalf("conservative ratio %v outside [1.15,1.25]", r)
+	}
+}
+
+func TestRealVariationConservativeVsNominal(t *testing.T) {
+	// The conservative ratio never exceeds the nominal mid-fixing ratio.
+	m := NewMarket(13)
+	f := func(aRaw, bRaw int32) bool {
+		au, bu := int64(aRaw), int64(bRaw)
+		if au < 0 {
+			au = -au
+		}
+		if bu < 0 {
+			bu = -bu
+		}
+		au, bu = au%1000000+100, bu%1000000+100
+		quotes := []Quote{
+			{Amount: money.FromMinor(au, money.USD), Day: day0},
+			{Amount: money.FromMinor(bu, money.EUR), Day: day0},
+		}
+		cons, _ := m.RealVariation(quotes)
+		nom := m.NominalRatio(quotes)
+		return cons <= nom+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRealVariationSingleQuote(t *testing.T) {
+	m := NewMarket(1)
+	if r, real := m.RealVariation([]Quote{{Amount: money.FromMinor(100, money.USD), Day: day0}}); real || r != 1 {
+		t.Fatal("single quote must not be variation")
+	}
+	if r, real := m.RealVariation(nil); real || r != 1 {
+		t.Fatal("no quotes must not be variation")
+	}
+}
+
+func TestNominalRatio(t *testing.T) {
+	m := NewMarket(1)
+	quotes := []Quote{
+		{Amount: money.FromMinor(10000, money.USD), Day: day0},
+		{Amount: money.FromMinor(13000, money.USD), Day: day0},
+	}
+	if r := m.NominalRatio(quotes); math.Abs(r-1.3) > 1e-9 {
+		t.Fatalf("nominal ratio = %v, want 1.3", r)
+	}
+}
+
+func TestMidWithinRate(t *testing.T) {
+	m := NewMarket(9)
+	for _, c := range money.All {
+		lo, hi := m.Rate(c, day0)
+		mid := m.Mid(c, day0)
+		if mid < lo || mid > hi {
+			t.Fatalf("%s: mid %v outside [%v,%v]", c.Code, mid, lo, hi)
+		}
+	}
+}
+
+func TestConvertRetailMerchantFavourable(t *testing.T) {
+	m := NewMarket(3)
+	usd := money.FromMinor(10000, money.USD)
+	retail := m.ConvertRetail(usd, money.EUR, day0)
+	mid := m.Convert(usd, money.EUR, day0)
+	if retail.Units <= mid.Units {
+		t.Fatalf("retail conversion %d not above mid %d", retail.Units, mid.Units)
+	}
+	// The retail price converted back at mid is above the true USD value,
+	// but only by (at most) the day's spread.
+	back := m.Convert(retail, money.USD, day0)
+	rel := float64(back.Units-usd.Units) / float64(usd.Units)
+	if rel <= 0 || rel > 0.02 {
+		t.Fatalf("retail noise = %v, want small positive", rel)
+	}
+	// And the currency filter still clears it.
+	quotes := []Quote{
+		{Amount: usd, Day: day0},
+		{Amount: retail, Day: day0},
+	}
+	if _, real := m.RealVariation(quotes); real {
+		t.Fatal("retail conversion noise survived the worst-case filter")
+	}
+}
+
+func TestConvertRetailIdentity(t *testing.T) {
+	m := NewMarket(3)
+	a := money.FromMinor(555, money.GBP)
+	if got := m.ConvertRetail(a, money.GBP, day0); got != a {
+		t.Fatalf("identity retail conversion changed amount: %v", got)
+	}
+}

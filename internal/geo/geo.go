@@ -1,0 +1,306 @@
+// Package geo models the geographic substrate of the measurement study:
+// countries with their currencies, cities, a GeoIP database mapping IP
+// addresses to locations, and the paper's 14 measurement vantage points
+// (Fig. 7).
+//
+// The reproduction runs on a virtual internet (internal/netsim), so IP
+// space is synthetic: every country owns a /16 inside 10.0.0.0/8 and every
+// city a /24 inside its country block. Retailers geo-locate clients by
+// looking the source IP up in DB, exactly as production e-commerce sites
+// resolve visitors through MaxMind-style databases.
+package geo
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"sheriff/internal/money"
+)
+
+// Country is an ISO-3166-style country with the currency its residents see
+// prices in.
+type Country struct {
+	// Code is the two-letter country code, e.g. "US".
+	Code string
+	// Name is the display name.
+	Name string
+	// Currency is what local shoppers are billed in.
+	Currency money.Currency
+}
+
+// Countries known to the simulation. The first 7 host vantage points; the
+// full set covers the 18 countries the crowd users come from (Sec. 3.2).
+var (
+	US = Country{"US", "United States", money.USD}
+	GB = Country{"GB", "United Kingdom", money.GBP}
+	DE = Country{"DE", "Germany", money.EUR}
+	ES = Country{"ES", "Spain", money.EUR}
+	BE = Country{"BE", "Belgium", money.EUR}
+	FI = Country{"FI", "Finland", money.EUR}
+	BR = Country{"BR", "Brazil", money.BRL}
+	IT = Country{"IT", "Italy", money.EUR}
+	FR = Country{"FR", "France", money.EUR}
+	NL = Country{"NL", "Netherlands", money.EUR}
+	PL = Country{"PL", "Poland", money.PLN}
+	PT = Country{"PT", "Portugal", money.EUR}
+	SE = Country{"SE", "Sweden", money.SEK}
+	CH = Country{"CH", "Switzerland", money.CHF}
+	CA = Country{"CA", "Canada", money.CAD}
+	MX = Country{"MX", "Mexico", money.MXN}
+	JP = Country{"JP", "Japan", money.JPY}
+	AU = Country{"AU", "Australia", money.AUD}
+)
+
+// AllCountries lists every country in a stable order; its length is the
+// paper's "18 countries".
+var AllCountries = []Country{
+	US, GB, DE, ES, BE, FI, BR, IT, FR, NL, PL, PT, SE, CH, CA, MX, JP, AU,
+}
+
+// CountryByCode returns the country with the given two-letter code.
+func CountryByCode(code string) (Country, bool) {
+	for _, c := range AllCountries {
+		if c.Code == code {
+			return c, true
+		}
+	}
+	return Country{}, false
+}
+
+// Location is a city within a country.
+type Location struct {
+	Country Country
+	City    string
+}
+
+// String renders "Country - City", matching the paper's axis labels.
+func (l Location) String() string {
+	if l.City == "" {
+		return l.Country.Name
+	}
+	return l.Country.Name + " - " + l.City
+}
+
+// countryIndex gives each country a stable /16 under 10.0.0.0/8.
+func countryIndex(code string) (int, bool) {
+	for i, c := range AllCountries {
+		if c.Code == code {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// cities maps each country to the cities the simulation knows, in stable
+// order; each city gets the /24 at its index inside the country /16.
+var cities = map[string][]string{
+	"US": {"New York", "Boston", "Chicago", "Los Angeles", "Lincoln", "Albany", "Houston", "Seattle"},
+	"GB": {"London", "Manchester"},
+	"DE": {"Berlin", "Munich"},
+	"ES": {"Barcelona", "Madrid"},
+	"BE": {"Liege", "Brussels"},
+	"FI": {"Tampere", "Helsinki"},
+	"BR": {"Sao Paulo", "Rio de Janeiro"},
+	"IT": {"Milan", "Rome"},
+	"FR": {"Paris", "Lyon"},
+	"NL": {"Amsterdam"},
+	"PL": {"Warsaw"},
+	"PT": {"Lisbon"},
+	"SE": {"Stockholm"},
+	"CH": {"Zurich"},
+	"CA": {"Toronto"},
+	"MX": {"Mexico City"},
+	"JP": {"Tokyo"},
+	"AU": {"Sydney"},
+}
+
+// Cities returns the known cities of a country in stable order.
+func Cities(c Country) []string {
+	out := make([]string, len(cities[c.Code]))
+	copy(out, cities[c.Code])
+	return out
+}
+
+// LocationOf builds a Location and verifies the city is known.
+func LocationOf(countryCode, city string) (Location, error) {
+	c, ok := CountryByCode(countryCode)
+	if !ok {
+		return Location{}, fmt.Errorf("geo: unknown country %q", countryCode)
+	}
+	for _, known := range cities[countryCode] {
+		if known == city {
+			return Location{Country: c, City: city}, nil
+		}
+	}
+	return Location{}, fmt.Errorf("geo: unknown city %q in %s", city, countryCode)
+}
+
+// BlockFor returns the /24 prefix assigned to a location.
+func BlockFor(l Location) (netip.Prefix, error) {
+	ci, ok := countryIndex(l.Country.Code)
+	if !ok {
+		return netip.Prefix{}, fmt.Errorf("geo: unknown country %q", l.Country.Code)
+	}
+	cityIdx := 0
+	found := l.City == ""
+	for i, city := range cities[l.Country.Code] {
+		if city == l.City {
+			cityIdx, found = i, true
+			break
+		}
+	}
+	if !found {
+		return netip.Prefix{}, fmt.Errorf("geo: unknown city %q in %s", l.City, l.Country.Code)
+	}
+	addr := netip.AddrFrom4([4]byte{10, byte(ci), byte(cityIdx), 0})
+	return netip.PrefixFrom(addr, 24), nil
+}
+
+// AddrFor returns the host-th address inside a location's block
+// (host must be in 1..254).
+func AddrFor(l Location, host int) (netip.Addr, error) {
+	if host < 1 || host > 254 {
+		return netip.Addr{}, fmt.Errorf("geo: host %d out of range", host)
+	}
+	p, err := BlockFor(l)
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	b := p.Addr().As4()
+	b[3] = byte(host)
+	return netip.AddrFrom4(b), nil
+}
+
+// DB is a GeoIP database: longest-prefix match from address to location.
+// Build one with NewDB; the zero DB resolves nothing.
+type DB struct {
+	entries []dbEntry
+}
+
+type dbEntry struct {
+	prefix netip.Prefix
+	loc    Location
+}
+
+// NewDB builds the database covering every (country, city) block of the
+// simulation.
+func NewDB() *DB {
+	db := &DB{}
+	for _, c := range AllCountries {
+		for _, city := range cities[c.Code] {
+			loc := Location{Country: c, City: city}
+			p, err := BlockFor(loc)
+			if err != nil {
+				panic(err) // static tables are self-consistent
+			}
+			db.entries = append(db.entries, dbEntry{prefix: p, loc: loc})
+		}
+		// Country-level fallback /16 for hosts outside any known city.
+		ci, _ := countryIndex(c.Code)
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(ci), 0, 0}), 16)
+		db.entries = append(db.entries, dbEntry{prefix: p, loc: Location{Country: c}})
+	}
+	// Longest prefix first so linear scan returns the most specific match.
+	sort.Slice(db.entries, func(i, j int) bool {
+		return db.entries[i].prefix.Bits() > db.entries[j].prefix.Bits()
+	})
+	return db
+}
+
+// Lookup resolves an address to its location.
+func (db *DB) Lookup(addr netip.Addr) (Location, bool) {
+	for _, e := range db.entries {
+		if e.prefix.Contains(addr) {
+			return e.loc, true
+		}
+	}
+	return Location{}, false
+}
+
+// BrowserProfile is the client software fingerprint a vantage point or crowd
+// user presents; retailers receive it in the User-Agent header.
+type BrowserProfile struct {
+	// OS is the operating system family, e.g. "Linux".
+	OS string
+	// Browser is the browser family, e.g. "Firefox".
+	Browser string
+}
+
+// UserAgent renders a plausible User-Agent string for the profile.
+func (b BrowserProfile) UserAgent() string {
+	switch b.Browser {
+	case "Firefox":
+		return fmt.Sprintf("Mozilla/5.0 (%s; rv:21.0) Gecko/20100101 Firefox/21.0", b.OS)
+	case "Chrome":
+		return fmt.Sprintf("Mozilla/5.0 (%s) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/27.0 Safari/537.36", b.OS)
+	case "Safari":
+		return fmt.Sprintf("Mozilla/5.0 (%s) AppleWebKit/536.29 (KHTML, like Gecko) Version/6.0 Safari/536.29", b.OS)
+	default:
+		return fmt.Sprintf("Mozilla/5.0 (%s) %s", b.OS, b.Browser)
+	}
+}
+
+// VantagePoint is one of the measurement endpoints the $heriff backend fans
+// requests out to.
+type VantagePoint struct {
+	// ID is a stable short identifier, e.g. "us-nyc".
+	ID string
+	// Label is the paper's axis label, e.g. "USA - New York".
+	Label string
+	// Location is where the VP's egress IP geo-locates.
+	Location Location
+	// Addr is the VP's egress address inside its location block.
+	Addr netip.Addr
+	// Browser is the client fingerprint the VP fetches with.
+	Browser BrowserProfile
+}
+
+// VantagePoints returns the paper's 14 vantage points (Fig. 7): six US
+// cities, London, Berlin, Liege, Tampere, São Paulo, and the same Spanish
+// city under three different browser configurations.
+func VantagePoints() []VantagePoint {
+	mk := func(id, cc, city string, host int, os, browser, label string) VantagePoint {
+		loc, err := LocationOf(cc, city)
+		if err != nil {
+			panic(err)
+		}
+		addr, err := AddrFor(loc, host)
+		if err != nil {
+			panic(err)
+		}
+		return VantagePoint{
+			ID:       id,
+			Label:    label,
+			Location: loc,
+			Addr:     addr,
+			Browser:  BrowserProfile{OS: os, Browser: browser},
+		}
+	}
+	return []VantagePoint{
+		mk("be-lie", "BE", "Liege", 10, "Linux", "Firefox", "Belgium - Liege"),
+		mk("br-sao", "BR", "Sao Paulo", 10, "Windows", "Chrome", "Brazil - Sao Paulo"),
+		mk("fi-tam", "FI", "Tampere", 10, "Linux", "Firefox", "Finland - Tampere"),
+		mk("de-ber", "DE", "Berlin", 10, "Linux", "Firefox", "Germany - Berlin"),
+		mk("es-lin", "ES", "Barcelona", 10, "Linux", "Firefox", "Spain (Linux,FF)"),
+		mk("es-mac", "ES", "Barcelona", 11, "Macintosh", "Safari", "Spain (Mac,Safari)"),
+		mk("es-win", "ES", "Barcelona", 12, "Windows", "Chrome", "Spain (Win,Chrome)"),
+		mk("uk-lon", "GB", "London", 10, "Linux", "Firefox", "UK - London"),
+		mk("us-bos", "US", "Boston", 10, "Windows", "Chrome", "USA - Boston"),
+		mk("us-chi", "US", "Chicago", 10, "Windows", "Chrome", "USA - Chicago"),
+		mk("us-lin", "US", "Lincoln", 10, "Windows", "Chrome", "USA - Lincoln"),
+		mk("us-la", "US", "Los Angeles", 10, "Macintosh", "Safari", "USA - Los Angeles"),
+		mk("us-nyc", "US", "New York", 10, "Windows", "Chrome", "USA - New York"),
+		mk("us-alb", "US", "Albany", 10, "Windows", "Firefox", "USA - Albany"),
+	}
+}
+
+// VantagePointByID finds a vantage point by ID.
+func VantagePointByID(id string) (VantagePoint, bool) {
+	for _, vp := range VantagePoints() {
+		if vp.ID == id {
+			return vp, true
+		}
+	}
+	return VantagePoint{}, false
+}

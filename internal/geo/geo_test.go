@@ -1,0 +1,221 @@
+package geo
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestEighteenCountries(t *testing.T) {
+	if len(AllCountries) != 18 {
+		t.Fatalf("country count = %d, want 18 (Sec. 3.2)", len(AllCountries))
+	}
+	seen := map[string]bool{}
+	for _, c := range AllCountries {
+		if seen[c.Code] {
+			t.Fatalf("duplicate country %s", c.Code)
+		}
+		seen[c.Code] = true
+		if c.Currency.Code == "" {
+			t.Fatalf("%s has no currency", c.Code)
+		}
+	}
+}
+
+func TestFourteenVantagePoints(t *testing.T) {
+	vps := VantagePoints()
+	if len(vps) != 14 {
+		t.Fatalf("vantage point count = %d, want 14 (Sec. 3.1)", len(vps))
+	}
+	ids := map[string]bool{}
+	addrs := map[netip.Addr]bool{}
+	for _, vp := range vps {
+		if ids[vp.ID] {
+			t.Fatalf("duplicate VP id %s", vp.ID)
+		}
+		ids[vp.ID] = true
+		if addrs[vp.Addr] {
+			t.Fatalf("duplicate VP addr %s", vp.Addr)
+		}
+		addrs[vp.Addr] = true
+	}
+}
+
+func TestUSVantagePointCities(t *testing.T) {
+	want := map[string]bool{
+		"New York": true, "Boston": true, "Chicago": true,
+		"Los Angeles": true, "Lincoln": true, "Albany": true,
+	}
+	n := 0
+	for _, vp := range VantagePoints() {
+		if vp.Location.Country.Code == "US" {
+			if !want[vp.Location.City] {
+				t.Errorf("unexpected US city %q", vp.Location.City)
+			}
+			n++
+		}
+	}
+	if n != 6 {
+		t.Fatalf("US VPs = %d, want 6 (Fig. 8a)", n)
+	}
+}
+
+func TestSpainThreeBrowserConfigs(t *testing.T) {
+	var profiles []BrowserProfile
+	for _, vp := range VantagePoints() {
+		if vp.Location.Country.Code == "ES" {
+			profiles = append(profiles, vp.Browser)
+		}
+	}
+	if len(profiles) != 3 {
+		t.Fatalf("Spain VPs = %d, want 3", len(profiles))
+	}
+	seen := map[string]bool{}
+	for _, p := range profiles {
+		key := p.OS + "/" + p.Browser
+		if seen[key] {
+			t.Fatalf("duplicate Spain browser config %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestGeoDBResolvesVantagePoints(t *testing.T) {
+	db := NewDB()
+	for _, vp := range VantagePoints() {
+		loc, ok := db.Lookup(vp.Addr)
+		if !ok {
+			t.Fatalf("VP %s addr %s not in GeoIP DB", vp.ID, vp.Addr)
+		}
+		if loc.Country.Code != vp.Location.Country.Code || loc.City != vp.Location.City {
+			t.Fatalf("VP %s resolves to %v, want %v", vp.ID, loc, vp.Location)
+		}
+	}
+}
+
+func TestGeoDBCountryFallback(t *testing.T) {
+	db := NewDB()
+	// A US host outside any city /24 resolves to the country only.
+	addr := netip.AddrFrom4([4]byte{10, 0, 200, 5})
+	loc, ok := db.Lookup(addr)
+	if !ok {
+		t.Fatal("country fallback failed")
+	}
+	if loc.Country.Code != "US" || loc.City != "" {
+		t.Fatalf("fallback = %v", loc)
+	}
+}
+
+func TestGeoDBUnknownAddr(t *testing.T) {
+	db := NewDB()
+	if _, ok := db.Lookup(netip.AddrFrom4([4]byte{192, 168, 1, 1})); ok {
+		t.Fatal("addr outside 10/8 should not resolve")
+	}
+}
+
+func TestBlockForDisjointAcrossCities(t *testing.T) {
+	db := map[netip.Prefix]Location{}
+	for _, c := range AllCountries {
+		for _, city := range Cities(c) {
+			loc := Location{Country: c, City: city}
+			p, err := BlockFor(loc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if other, dup := db[p]; dup {
+				t.Fatalf("block %v assigned to both %v and %v", p, other, loc)
+			}
+			db[p] = loc
+		}
+	}
+}
+
+func TestAddrForRange(t *testing.T) {
+	loc, err := LocationOf("FI", "Tampere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AddrFor(loc, 0); err == nil {
+		t.Error("host 0 should be rejected")
+	}
+	if _, err := AddrFor(loc, 255); err == nil {
+		t.Error("host 255 should be rejected")
+	}
+	a, err := AddrFor(loc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := BlockFor(loc)
+	if !p.Contains(a) {
+		t.Fatalf("addr %v outside block %v", a, p)
+	}
+}
+
+func TestAddrForAlwaysInBlock(t *testing.T) {
+	loc, _ := LocationOf("DE", "Berlin")
+	p, _ := BlockFor(loc)
+	f := func(h uint8) bool {
+		host := int(h)
+		if host < 1 || host > 254 {
+			return true
+		}
+		a, err := AddrFor(loc, host)
+		return err == nil && p.Contains(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocationString(t *testing.T) {
+	loc, _ := LocationOf("FI", "Tampere")
+	if got := loc.String(); got != "Finland - Tampere" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Location{Country: FI}).String(); got != "Finland" {
+		t.Errorf("country-only String = %q", got)
+	}
+}
+
+func TestLocationOfErrors(t *testing.T) {
+	if _, err := LocationOf("XX", "Nowhere"); err == nil {
+		t.Error("unknown country accepted")
+	}
+	if _, err := LocationOf("US", "Nowhere"); err == nil {
+		t.Error("unknown city accepted")
+	}
+}
+
+func TestUserAgentDistinct(t *testing.T) {
+	ff := BrowserProfile{OS: "Linux", Browser: "Firefox"}.UserAgent()
+	ch := BrowserProfile{OS: "Windows", Browser: "Chrome"}.UserAgent()
+	sa := BrowserProfile{OS: "Macintosh", Browser: "Safari"}.UserAgent()
+	if ff == ch || ch == sa || ff == sa {
+		t.Error("user agents not distinct")
+	}
+	for _, ua := range []string{ff, ch, sa} {
+		if len(ua) < 20 {
+			t.Errorf("UA too short: %q", ua)
+		}
+	}
+}
+
+func TestVantagePointByID(t *testing.T) {
+	vp, ok := VantagePointByID("fi-tam")
+	if !ok || vp.Location.Country.Code != "FI" {
+		t.Fatal("fi-tam lookup failed")
+	}
+	if _, ok := VantagePointByID("nope"); ok {
+		t.Fatal("bogus id resolved")
+	}
+}
+
+func TestCountryByCode(t *testing.T) {
+	c, ok := CountryByCode("BR")
+	if !ok || c.Currency.Code != "BRL" {
+		t.Fatal("BR lookup failed")
+	}
+	if _, ok := CountryByCode("ZZ"); ok {
+		t.Fatal("bogus code resolved")
+	}
+}

@@ -1,0 +1,377 @@
+// Package htmlx is a small HTML parser: tokenizer, DOM tree, a CSS-like
+// selector engine, and structural node paths.
+//
+// The $heriff extraction pipeline must locate a highlighted price inside a
+// product page and re-locate the corresponding node in renderings of the
+// same page fetched from other vantage points — pages that differ in
+// currency, number format and A/B-tested blocks. That requires a real DOM,
+// and the reproduction is stdlib-only, so this package implements one from
+// scratch. It handles the HTML the retailer simulator emits plus the usual
+// real-world sloppiness: void elements, unquoted attributes, comments,
+// raw-text script/style elements, and character entities.
+package htmlx
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+)
+
+// NodeType discriminates DOM node kinds.
+type NodeType int
+
+// Node kinds.
+const (
+	// ElementNode is a tag with attributes and children.
+	ElementNode NodeType = iota
+	// TextNode is character data.
+	TextNode
+	// CommentNode is a <!-- comment -->.
+	CommentNode
+	// DoctypeNode is the <!DOCTYPE ...> preamble.
+	DoctypeNode
+	// DocumentNode is the synthetic root.
+	DocumentNode
+)
+
+// Attr is one attribute of an element.
+type Attr struct {
+	Key, Val string
+}
+
+// Node is a DOM node. Fields are exported for read access; mutate only
+// through the parser.
+type Node struct {
+	// Type is the node kind.
+	Type NodeType
+	// Tag is the lower-cased element name (ElementNode only).
+	Tag string
+	// Data is the text content (TextNode/CommentNode/DoctypeNode).
+	Data string
+	// Attrs are the element's attributes in source order.
+	Attrs []Attr
+	// Parent is the enclosing node; nil for the document root.
+	Parent *Node
+	// Children are the child nodes in document order.
+	Children []*Node
+}
+
+// voidElements never have children in HTML.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// rawTextElements swallow everything until their matching close tag.
+var rawTextElements = map[string]bool{"script": true, "style": true}
+
+// ParseString parses an HTML document from a string.
+func ParseString(s string) (*Node, error) {
+	return parse(s)
+}
+
+// Parse parses an HTML document from a reader.
+func Parse(r io.Reader) (*Node, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("htmlx: read: %w", err)
+	}
+	return parse(string(b))
+}
+
+// parse builds the DOM. It never fails on malformed markup — browsers
+// don't — but reports truly unusable input (currently: none) via error to
+// keep the signature future-proof.
+func parse(src string) (*Node, error) {
+	root := &Node{Type: DocumentNode}
+	stack := []*Node{root}
+	top := func() *Node { return stack[len(stack)-1] }
+
+	i := 0
+	appendText := func(s string) {
+		if s == "" {
+			return
+		}
+		parent := top()
+		// Merge adjacent text nodes so Text() sees one run.
+		if n := len(parent.Children); n > 0 && parent.Children[n-1].Type == TextNode {
+			parent.Children[n-1].Data += s
+			return
+		}
+		parent.Children = append(parent.Children, &Node{
+			Type: TextNode, Data: s, Parent: parent,
+		})
+	}
+
+	for i < len(src) {
+		lt := strings.IndexByte(src[i:], '<')
+		if lt < 0 {
+			appendText(html.UnescapeString(src[i:]))
+			break
+		}
+		if lt > 0 {
+			appendText(html.UnescapeString(src[i : i+lt]))
+			i += lt
+		}
+		// src[i] == '<'
+		switch {
+		case strings.HasPrefix(src[i:], "<!--"):
+			end := strings.Index(src[i+4:], "-->")
+			if end < 0 {
+				top().Children = append(top().Children, &Node{
+					Type: CommentNode, Data: src[i+4:], Parent: top(),
+				})
+				i = len(src)
+				continue
+			}
+			top().Children = append(top().Children, &Node{
+				Type: CommentNode, Data: src[i+4 : i+4+end], Parent: top(),
+			})
+			i += 4 + end + 3
+		case strings.HasPrefix(src[i:], "<!"):
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				i = len(src)
+				continue
+			}
+			top().Children = append(top().Children, &Node{
+				Type: DoctypeNode, Data: strings.TrimSpace(src[i+2 : i+end]), Parent: top(),
+			})
+			i += end + 1
+		case strings.HasPrefix(src[i:], "</"):
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				i = len(src)
+				continue
+			}
+			name := strings.ToLower(strings.TrimSpace(src[i+2 : i+end]))
+			// Pop to the matching open element; ignore stray close tags.
+			for d := len(stack) - 1; d >= 1; d-- {
+				if stack[d].Tag == name {
+					stack = stack[:d]
+					break
+				}
+			}
+			i += end + 1
+		default:
+			name, attrs, selfClose, next := parseTag(src, i)
+			if name == "" {
+				// A bare '<' that is not a tag: literal text.
+				appendText("<")
+				i++
+				continue
+			}
+			i = next
+			el := &Node{Type: ElementNode, Tag: name, Attrs: attrs, Parent: top()}
+			top().Children = append(top().Children, el)
+			if selfClose || voidElements[name] {
+				continue
+			}
+			if rawTextElements[name] {
+				closeTag := "</" + name
+				idx := strings.Index(strings.ToLower(src[i:]), closeTag)
+				if idx < 0 {
+					el.Children = append(el.Children, &Node{Type: TextNode, Data: src[i:], Parent: el})
+					i = len(src)
+					continue
+				}
+				if idx > 0 {
+					el.Children = append(el.Children, &Node{Type: TextNode, Data: src[i : i+idx], Parent: el})
+				}
+				gt := strings.IndexByte(src[i+idx:], '>')
+				if gt < 0 {
+					i = len(src)
+				} else {
+					i += idx + gt + 1
+				}
+				continue
+			}
+			stack = append(stack, el)
+		}
+	}
+	return root, nil
+}
+
+// parseTag parses an open tag starting at src[i] == '<'. It returns the
+// lower-cased name, attributes, whether the tag self-closes, and the index
+// just past the closing '>'. A malformed tag returns name == "".
+func parseTag(src string, i int) (name string, attrs []Attr, selfClose bool, next int) {
+	j := i + 1
+	start := j
+	for j < len(src) && isNameByte(src[j]) {
+		j++
+	}
+	if j == start {
+		return "", nil, false, i + 1
+	}
+	name = strings.ToLower(src[start:j])
+
+	for j < len(src) {
+		// Skip whitespace.
+		for j < len(src) && isSpace(src[j]) {
+			j++
+		}
+		if j >= len(src) {
+			return name, attrs, false, j
+		}
+		if src[j] == '>' {
+			return name, attrs, false, j + 1
+		}
+		if src[j] == '/' {
+			j++
+			if j < len(src) && src[j] == '>' {
+				return name, attrs, true, j + 1
+			}
+			continue
+		}
+		// Attribute name.
+		aStart := j
+		for j < len(src) && src[j] != '=' && src[j] != '>' && src[j] != '/' && !isSpace(src[j]) {
+			j++
+		}
+		key := strings.ToLower(src[aStart:j])
+		if key == "" {
+			j++
+			continue
+		}
+		for j < len(src) && isSpace(src[j]) {
+			j++
+		}
+		if j >= len(src) || src[j] != '=' {
+			attrs = append(attrs, Attr{Key: key})
+			continue
+		}
+		j++ // skip '='
+		for j < len(src) && isSpace(src[j]) {
+			j++
+		}
+		var val string
+		if j < len(src) && (src[j] == '"' || src[j] == '\'') {
+			quote := src[j]
+			j++
+			vStart := j
+			for j < len(src) && src[j] != quote {
+				j++
+			}
+			val = src[vStart:j]
+			if j < len(src) {
+				j++ // closing quote
+			}
+		} else {
+			vStart := j
+			for j < len(src) && !isSpace(src[j]) && src[j] != '>' {
+				j++
+			}
+			val = src[vStart:j]
+		}
+		attrs = append(attrs, Attr{Key: key, Val: html.UnescapeString(val)})
+	}
+	return name, attrs, false, j
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == ':'
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(key string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// ID returns the element's id attribute ("" if none).
+func (n *Node) ID() string {
+	v, _ := n.Attr("id")
+	return v
+}
+
+// Classes returns the element's class list.
+func (n *Node) Classes() []string {
+	v, ok := n.Attr("class")
+	if !ok {
+		return nil
+	}
+	return strings.Fields(v)
+}
+
+// HasClass reports whether the element carries the class.
+func (n *Node) HasClass(class string) bool {
+	for _, c := range n.Classes() {
+		if c == class {
+			return true
+		}
+	}
+	return false
+}
+
+// Text returns the concatenated text content of the subtree, with runs of
+// whitespace collapsed to single spaces and the result trimmed — the way a
+// browser's selection would read.
+func (n *Node) Text() string {
+	var b strings.Builder
+	n.appendText(&b)
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+func (n *Node) appendText(b *strings.Builder) {
+	switch n.Type {
+	case TextNode:
+		b.WriteString(n.Data)
+		b.WriteByte(' ')
+	case CommentNode, DoctypeNode:
+		return
+	}
+	if n.Type == ElementNode && rawTextElements[n.Tag] {
+		return
+	}
+	for _, c := range n.Children {
+		c.appendText(b)
+	}
+}
+
+// Walk visits the subtree in document order. Returning false from visit
+// skips the node's children.
+func (n *Node) Walk(visit func(*Node) bool) {
+	if !visit(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// ElementIndex returns the position of n among its parent's *element*
+// children (0-based), or -1 for detached/non-element nodes.
+func (n *Node) ElementIndex() int {
+	if n.Parent == nil || n.Type != ElementNode {
+		return -1
+	}
+	idx := 0
+	for _, sib := range n.Parent.Children {
+		if sib == n {
+			return idx
+		}
+		if sib.Type == ElementNode {
+			idx++
+		}
+	}
+	return -1
+}
+
+// Root returns the document node at the top of n's tree.
+func (n *Node) Root() *Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}

@@ -1,0 +1,165 @@
+package htmlx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPathOfTruncatesAtID(t *testing.T) {
+	doc := mustParse(t, samplePage)
+	price := doc.First("span.main-price")
+	p := PathOf(price)
+	if len(p) == 0 {
+		t.Fatal("empty path")
+	}
+	// The nearest id ancestor is #main, so the path starts there.
+	if p[0].ID != "main" {
+		t.Fatalf("path root = %+v, want id=main (path %s)", p[0], p)
+	}
+	if p[len(p)-1].Tag != "span" {
+		t.Fatalf("leaf = %+v", p[len(p)-1])
+	}
+}
+
+func TestPathResolveRoundTrip(t *testing.T) {
+	doc := mustParse(t, samplePage)
+	for _, expr := range []string{
+		"span.main-price", "h1", "ul#recs", "li.rec", "p", "img", "div.price-box",
+	} {
+		n := doc.First(expr)
+		if n == nil {
+			t.Fatalf("no match for %q", expr)
+		}
+		p := PathOf(n)
+		got, ok := p.Resolve(doc)
+		if !ok {
+			t.Fatalf("Resolve(%s) failed for %q", p, expr)
+		}
+		if got != n {
+			t.Fatalf("Resolve(%s) = %v, want the original node for %q", p, got, expr)
+		}
+	}
+}
+
+func TestPathResolveAllRecommendationItems(t *testing.T) {
+	doc := mustParse(t, samplePage)
+	lis := doc.FindAll("li.rec")
+	for i, li := range lis {
+		p := PathOf(li)
+		got, ok := p.Resolve(doc)
+		if !ok || got != li {
+			t.Fatalf("li[%d]: path %s resolved to %v", i, p, got)
+		}
+	}
+}
+
+func TestPathResolveOnVariantPage(t *testing.T) {
+	// Same structure, different content/currency: the path derived from
+	// page A must land on the corresponding node of page B.
+	pageB := `<!DOCTYPE html><html><body>
+	<div id="main" class="container">
+	  <h1 class="product-title">Acme Camera X100</h1>
+	  <div class="price-box" data-sku="X100">
+	    <span class="price main-price">1.199,00 €</span>
+	    <span class="vat-note">inkl. MwSt.</span>
+	  </div>
+	  <ul id="recs">
+	    <li class="rec"><a href="/p/1">Lens</a> <span class="price">189,00 €</span></li>
+	  </ul>
+	</div></body></html>`
+	docA := mustParse(t, samplePage)
+	docB := mustParse(t, pageB)
+	p := PathOf(docA.First("span.main-price"))
+	got, ok := p.Resolve(docB)
+	if !ok {
+		t.Fatalf("cross-page resolve failed for %s", p)
+	}
+	if got.Text() != "1.199,00 €" {
+		t.Fatalf("cross-page resolve found %q", got.Text())
+	}
+}
+
+func TestPathResolveSurvivesInsertedSibling(t *testing.T) {
+	// An A/B banner inserted before the price box must not derail an
+	// id-anchored path whose classes still match.
+	pageB := `<div id="main"><div class="banner">SALE!</div>
+	<div class="price-box"><span class="price main-price">$10.00</span></div></div>`
+	docA := mustParse(t, `<div id="main">
+	<div class="price-box"><span class="price main-price">$12.00</span></div></div>`)
+	p := PathOf(docA.First("span.main-price"))
+	got, ok := p.Resolve(mustParse(t, pageB))
+	if !ok {
+		t.Fatalf("resolve failed: %s", p)
+	}
+	if got.Text() != "$10.00" {
+		t.Fatalf("resolved to %q", got.Text())
+	}
+}
+
+func TestPathStringParseRoundTrip(t *testing.T) {
+	doc := mustParse(t, samplePage)
+	nodes := doc.FindAll("span.price")
+	for _, n := range nodes {
+		p := PathOf(n)
+		s := p.String()
+		back, err := ParsePath(s)
+		if err != nil {
+			t.Fatalf("ParsePath(%q): %v", s, err)
+		}
+		if back.String() != s {
+			t.Fatalf("round trip %q -> %q", s, back.String())
+		}
+		got, ok := back.Resolve(doc)
+		if !ok || got != n {
+			t.Fatalf("parsed path %q resolves to %v", s, got)
+		}
+	}
+}
+
+func TestParsePathErrors(t *testing.T) {
+	for _, s := range []string{"", "div[x]", "[0]", "div[0]/[1]"} {
+		if _, err := ParsePath(s); err == nil {
+			t.Errorf("ParsePath(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestPathResolveFailsOnMissingStructure(t *testing.T) {
+	doc := mustParse(t, samplePage)
+	p, err := ParsePath("div#nonexistent/span[0]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Resolve(doc); ok {
+		t.Fatal("resolved a path through a missing id")
+	}
+	p2, _ := ParsePath("table[0]/tr[5]")
+	if _, ok := p2.Resolve(doc); ok {
+		t.Fatal("resolved a path with no matching tags")
+	}
+}
+
+func TestPathOfTextNodeUsesElementAncestor(t *testing.T) {
+	doc := mustParse(t, samplePage)
+	price := doc.First("span.main-price")
+	textChild := price.Children[0]
+	if textChild.Type != TextNode {
+		t.Fatal("expected text child")
+	}
+	p := PathOf(textChild)
+	got, ok := p.Resolve(doc)
+	if !ok || got != price {
+		t.Fatalf("PathOf(text) resolved to %v", got)
+	}
+}
+
+func TestPathDeterministic(t *testing.T) {
+	f := func(seed uint8) bool {
+		doc := mustParse(t, samplePage)
+		n := doc.FindAll("span.price")[int(seed)%4]
+		return PathOf(n).String() == PathOf(n).String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+package htmlx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Selector is a compiled CSS-like selector. Supported grammar:
+//
+//	selector   = compound { combinator compound }
+//	combinator = " " (descendant) | ">" (child)
+//	compound   = [ tag ] { "." class | "#" id | "[" attr [ "=" value ] "]" }
+//
+// Examples: "div.price", "#buybox span", "ul > li", "[data-role=price]".
+type Selector struct {
+	parts []selPart
+	src   string
+}
+
+type selPart struct {
+	child bool // true: must be a direct child of the previous match
+	m     matcher
+}
+
+type matcher struct {
+	tag     string
+	id      string
+	classes []string
+	attrs   []attrCond
+}
+
+type attrCond struct {
+	key, val string
+	hasVal   bool
+}
+
+// Compile parses a selector expression.
+func Compile(expr string) (*Selector, error) {
+	s := &Selector{src: expr}
+	fields := tokenizeSelector(expr)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("htmlx: empty selector %q", expr)
+	}
+	child := false
+	for _, f := range fields {
+		if f == ">" {
+			if child || len(s.parts) == 0 {
+				return nil, fmt.Errorf("htmlx: misplaced '>' in %q", expr)
+			}
+			child = true
+			continue
+		}
+		m, err := parseCompound(f)
+		if err != nil {
+			return nil, fmt.Errorf("htmlx: selector %q: %w", expr, err)
+		}
+		s.parts = append(s.parts, selPart{child: child, m: m})
+		child = false
+	}
+	if child {
+		return nil, fmt.Errorf("htmlx: trailing '>' in %q", expr)
+	}
+	return s, nil
+}
+
+// MustCompile is Compile that panics on error, for selector literals.
+func MustCompile(expr string) *Selector {
+	s, err := Compile(expr)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// String returns the selector source.
+func (s *Selector) String() string { return s.src }
+
+// tokenizeSelector splits on whitespace, keeping '>' as its own token.
+func tokenizeSelector(expr string) []string {
+	expr = strings.ReplaceAll(expr, ">", " > ")
+	return strings.Fields(expr)
+}
+
+func parseCompound(f string) (matcher, error) {
+	var m matcher
+	i := 0
+	// Leading tag name.
+	start := i
+	for i < len(f) && isNameByte(f[i]) {
+		i++
+	}
+	m.tag = strings.ToLower(f[start:i])
+	for i < len(f) {
+		switch f[i] {
+		case '.':
+			i++
+			start = i
+			for i < len(f) && (isNameByte(f[i]) || f[i] == '_') {
+				i++
+			}
+			if i == start {
+				return m, fmt.Errorf("empty class in %q", f)
+			}
+			m.classes = append(m.classes, f[start:i])
+		case '#':
+			i++
+			start = i
+			for i < len(f) && (isNameByte(f[i]) || f[i] == '_') {
+				i++
+			}
+			if i == start {
+				return m, fmt.Errorf("empty id in %q", f)
+			}
+			m.id = f[start:i]
+		case '[':
+			end := strings.IndexByte(f[i:], ']')
+			if end < 0 {
+				return m, fmt.Errorf("unclosed '[' in %q", f)
+			}
+			body := f[i+1 : i+end]
+			i += end + 1
+			if eq := strings.IndexByte(body, '='); eq >= 0 {
+				val := strings.Trim(body[eq+1:], `"'`)
+				m.attrs = append(m.attrs, attrCond{key: strings.ToLower(body[:eq]), val: val, hasVal: true})
+			} else {
+				m.attrs = append(m.attrs, attrCond{key: strings.ToLower(body)})
+			}
+		default:
+			return m, fmt.Errorf("unexpected %q in %q", f[i], f)
+		}
+	}
+	return m, nil
+}
+
+func (m *matcher) match(n *Node) bool {
+	if n.Type != ElementNode {
+		return false
+	}
+	if m.tag != "" && n.Tag != m.tag {
+		return false
+	}
+	if m.id != "" && n.ID() != m.id {
+		return false
+	}
+	for _, c := range m.classes {
+		if !n.HasClass(c) {
+			return false
+		}
+	}
+	for _, a := range m.attrs {
+		v, ok := n.Attr(a.key)
+		if !ok {
+			return false
+		}
+		if a.hasVal && v != a.val {
+			return false
+		}
+	}
+	return true
+}
+
+// Find returns every node in the subtree matching the selector, in
+// document order. The receiver itself is never returned.
+func (n *Node) Find(sel *Selector) []*Node {
+	var out []*Node
+	n.Walk(func(c *Node) bool {
+		if c != n && sel.matches(c, n) {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// FindAll compiles expr and returns all matches; it panics on a bad
+// expression (use Compile for caller-supplied selectors).
+func (n *Node) FindAll(expr string) []*Node {
+	return n.Find(MustCompile(expr))
+}
+
+// First returns the first match in document order, or nil.
+func (n *Node) First(expr string) *Node {
+	sel := MustCompile(expr)
+	var found *Node
+	n.Walk(func(c *Node) bool {
+		if found != nil {
+			return false
+		}
+		if c != n && sel.matches(c, n) {
+			found = c
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// matches reports whether node n satisfies the full selector chain within
+// the search scope.
+func (s *Selector) matches(n *Node, scope *Node) bool {
+	return s.matchFrom(len(s.parts)-1, n, scope)
+}
+
+func (s *Selector) matchFrom(part int, n *Node, scope *Node) bool {
+	if !s.parts[part].m.match(n) {
+		return false
+	}
+	if part == 0 {
+		return true
+	}
+	if s.parts[part].child {
+		p := n.Parent
+		return p != nil && p != scope.Parent && s.matchFrom(part-1, p, scope)
+	}
+	for p := n.Parent; p != nil && p != scope.Parent; p = p.Parent {
+		if s.matchFrom(part-1, p, scope) {
+			return true
+		}
+	}
+	return false
+}

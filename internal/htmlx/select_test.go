@@ -1,0 +1,97 @@
+package htmlx
+
+import "testing"
+
+func TestSelectorTagClassID(t *testing.T) {
+	doc := mustParse(t, samplePage)
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{"span.price", 4},      // main price + 3 recommendations
+		{"span.main-price", 1}, // only the buy box
+		{"#main", 1},
+		{"div", 2}, // #main and .price-box
+		{"li", 3},
+		{"ul#recs li", 3},
+		{"ul#recs span.price", 3},
+		{"div.price-box span.price", 1},
+		{"#main > h1", 1},
+		{"body span.price", 4},
+		{"[data-sku]", 1},
+		{"[data-sku=X100]", 1},
+		{"[data-sku=WRONG]", 0},
+		{"li a", 3},
+		{"ul > span", 0}, // spans are under li, not direct children
+	}
+	for _, c := range cases {
+		got := len(doc.FindAll(c.expr))
+		if got != c.want {
+			t.Errorf("FindAll(%q) = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestSelectorChildVsDescendant(t *testing.T) {
+	doc := mustParse(t, `<div id=a><div id=b><span>x</span></div></div>`)
+	if n := len(doc.FindAll("#a span")); n != 1 {
+		t.Errorf("descendant = %d", n)
+	}
+	if n := len(doc.FindAll("#a > span")); n != 0 {
+		t.Errorf("child = %d", n)
+	}
+	if n := len(doc.FindAll("#a > div > span")); n != 1 {
+		t.Errorf("child chain = %d", n)
+	}
+}
+
+func TestSelectorScoping(t *testing.T) {
+	doc := mustParse(t, `<div class=outer><div class=inner><b>x</b></div></div>`)
+	inner := doc.First("div.inner")
+	// Searching inside .inner must not climb above it for ancestors.
+	if got := len(inner.Find(MustCompile("div.outer b"))); got != 0 {
+		t.Errorf("scope leak: %d", got)
+	}
+	if got := len(inner.FindAll("b")); got != 1 {
+		t.Errorf("b within inner = %d", got)
+	}
+}
+
+func TestSelectorFirstDocumentOrder(t *testing.T) {
+	doc := mustParse(t, samplePage)
+	first := doc.First("span.price")
+	if first == nil || first.Text() != "$1,299.00" {
+		t.Fatalf("First(span.price) = %v", first)
+	}
+}
+
+func TestSelectorCompileErrors(t *testing.T) {
+	for _, expr := range []string{"", ">", "a >", "> a", "div..x", "div#", "div[unclosed", "a ? b"} {
+		if _, err := Compile(expr); err == nil {
+			t.Errorf("Compile(%q) unexpectedly succeeded", expr)
+		}
+	}
+}
+
+func TestSelectorMultiClass(t *testing.T) {
+	doc := mustParse(t, `<span class="price big sale">x</span><span class="price">y</span>`)
+	if n := len(doc.FindAll("span.price.sale")); n != 1 {
+		t.Errorf("multi-class = %d", n)
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile on bad selector did not panic")
+		}
+	}()
+	MustCompile("[")
+}
+
+func TestSelectorString(t *testing.T) {
+	s := MustCompile("div.x > span")
+	if s.String() != "div.x > span" {
+		t.Errorf("String = %q", s.String())
+	}
+}

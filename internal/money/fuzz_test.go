@@ -1,0 +1,37 @@
+package money
+
+import "testing"
+
+// FuzzParseAll asserts the price scanner's contract on arbitrary text:
+// no panics, matches are well-formed spans in ascending order, and every
+// match re-parses to the same value.
+// Run longer with: go test -fuzz=FuzzParseAll ./internal/money
+func FuzzParseAll(f *testing.F) {
+	f.Add("$1,234.56 and 1.234,56 € or R$ 59,90")
+	f.Add("version 1.2.3 is not a price; $5 is")
+	f.Add("-$5.25 CHF 1'234.50 1 234,56 zł ¥1,234")
+	f.Add("€€€$$$123...456,,,789")
+	f.Add("krkrkr 10 kr 10kr")
+	f.Fuzz(func(t *testing.T, text string) {
+		ms := ParseAll(text, EUR)
+		prevEnd := 0
+		for _, m := range ms {
+			if m.Start < prevEnd || m.End <= m.Start || m.End > len(text) {
+				t.Fatalf("bad span [%d,%d) after %d in %q", m.Start, m.End, prevEnd, text)
+			}
+			prevEnd = m.End
+			if m.Amount.Currency.Code == "" {
+				t.Fatalf("match with no currency in %q", text)
+			}
+			// Formatting the parsed amount must itself re-parse.
+			s := Format(m.Amount, m.Amount.Currency.Style())
+			back, err := ParseWithHint(s, m.Amount.Currency)
+			if err != nil {
+				t.Fatalf("round trip of %q failed: %v", s, err)
+			}
+			if back.Units != m.Amount.Units {
+				t.Fatalf("round trip of %q: %d != %d", s, back.Units, m.Amount.Units)
+			}
+		}
+	})
+}

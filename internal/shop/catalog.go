@@ -1,0 +1,184 @@
+// Package shop simulates the e-retailers the paper measured.
+//
+// Each retailer is an http.Handler serving a product catalog through one of
+// several distinct HTML template families. Its pricing engine implements
+// the behaviours the paper observes in the wild: multiplicative and
+// additive geo factors (Fig. 6), per-city US pricing (Fig. 8a),
+// country-level pricing with uniform US prices (Fig. 8b), mixed per-product
+// relations, a Finland premium (Fig. 9), login-dependent ebook prices
+// (Fig. 10), A/B price tests and slow temporal drift (the noise sources of
+// Sec. 2.2), and currency localization by GeoIP.
+//
+// Everything is generated deterministically from the retailer's seed.
+package shop
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"sheriff/internal/money"
+)
+
+// Category is a product category; the paper's crowd found variation in a
+// diverse set of them (Sec. 3.2).
+type Category string
+
+// Categories observed in the paper's dataset.
+const (
+	CatBooks       Category = "books"
+	CatEbooks      Category = "ebooks"
+	CatClothing    Category = "clothing"
+	CatShoes       Category = "shoes"
+	CatElectronics Category = "electronics"
+	CatPhotography Category = "photography"
+	CatOffice      Category = "office"
+	CatHome        Category = "home-improvement"
+	CatHotels      Category = "hotels"
+	CatTravel      Category = "travel"
+	CatAutos       Category = "automobiles"
+	CatDepartment  Category = "department"
+	CatNutrition   Category = "nutrition"
+	CatCycling     Category = "cycling"
+	CatBaby        Category = "baby"
+	CatLeather     Category = "leather-goods"
+	CatEyewear     Category = "eyewear"
+	CatGames       Category = "games"
+)
+
+// Product is one catalog entry. Base prices are always in USD; display
+// currency is a presentation concern decided per visit.
+type Product struct {
+	// SKU is the stable identifier used in product URLs.
+	SKU string
+	// Name is the display name.
+	Name string
+	// Category classifies the product.
+	Category Category
+	// Base is the catalog base price in USD.
+	Base money.Amount
+}
+
+// nameParts feeds the deterministic product-name generator.
+var nameParts = map[Category][2][]string{
+	CatBooks:       {{"The Silent", "A Brief", "Modern", "The Complete", "Essential", "The Last"}, {"History", "Garden", "Algorithm", "Voyage", "Letters", "Cookbook"}},
+	CatEbooks:      {{"Digital", "The Hidden", "Quantum", "The Glass", "Paper", "Night"}, {"Tide", "Protocol", "City", "Archive", "Signal", "Harvest"}},
+	CatClothing:    {{"Slim", "Vintage", "Classic", "Urban", "Relaxed", "Bold"}, {"Jeans", "Jacket", "Tee", "Hoodie", "Chinos", "Parka"}},
+	CatShoes:       {{"Leather", "Canvas", "Trail", "Street", "Suede", "Eco"}, {"Boot", "Sneaker", "Loafer", "Sandal", "Oxford", "Runner"}},
+	CatElectronics: {{"Nova", "Pulse", "Aero", "Volt", "Echo", "Prime"}, {"Headphones", "Tablet", "Monitor", "Router", "Speaker", "Charger"}},
+	CatPhotography: {{"ProShot", "Optik", "Lumen", "Focal", "Apex", "Silver"}, {"DSLR", "Lens 50mm", "Tripod", "Flash", "Mirrorless", "Zoom 70-200"}},
+	CatOffice:      {{"Ergo", "Compact", "Executive", "Steel", "Smart", "Dual"}, {"Chair", "Desk", "Printer", "Shredder", "Lamp", "Organizer"}},
+	CatHome:        {{"PowerMax", "HomePro", "Garden", "Titan", "Flex", "Rapid"}, {"Drill", "Mower", "Ladder", "Paint Set", "Toolbox", "Saw"}},
+	CatHotels:      {{"Grand", "Park", "Royal", "Harbor", "Central", "Boutique"}, {"Hotel Twin Room", "Hotel Double", "Suite", "Hostel Bed", "Resort Night", "Apartment"}},
+	CatTravel:      {{"City", "Island", "Alpine", "Coastal", "Desert", "Nordic"}, {"Getaway", "Tour", "Cruise", "Flight Pack", "Rail Pass", "Excursion"}},
+	CatAutos:       {{"2008", "2010", "2011", "2009", "2012", "2007"}, {"Sedan LX", "Coupe Sport", "Hatchback", "SUV 4WD", "Wagon", "Convertible"}},
+	CatDepartment:  {{"Home", "Kitchen", "Luxe", "Family", "Season", "Daily"}, {"Blender", "Cookware Set", "Bedding", "Vacuum", "Watch", "Perfume"}},
+	CatNutrition:   {{"Whey", "Iso", "Mega", "Pure", "Ultra", "Amino"}, {"Protein 2kg", "BCAA", "Creatine", "Gainer", "Vitamin Pack", "Pre-Workout"}},
+	CatCycling:     {{"Carbon", "Alloy", "Race", "Trail", "Enduro", "Gravel"}, {"Frame", "Wheelset", "Groupset", "Helmet", "Pedals", "Saddle"}},
+	CatBaby:        {{"Cozy", "Safe", "Tiny", "Happy", "Soft", "Bright"}, {"Stroller", "Car Seat", "Crib", "Monitor", "High Chair", "Carrier"}},
+	CatLeather:     {{"Firenze", "Toscana", "Heritage", "Artisan", "Classic", "Milano"}, {"Briefcase", "Wallet", "Belt", "Duffel", "Satchel", "Portfolio"}},
+	CatEyewear:     {{"Coast", "Island", "Horizon", "Reef", "Dune", "Laguna"}, {"Polarized", "Aviator", "Wayfarer", "Sport Shield", "Reader", "Rimless"}},
+	CatGames:       {{"Shadow", "Star", "Iron", "Lost", "Crystal", "Final"}, {"Quest III", "Commander", "Racer", "Tactics", "Odyssey", "Arena"}},
+}
+
+// Catalog is a retailer's product list, generated deterministically.
+type Catalog struct {
+	products []Product
+	bySKU    map[string]*Product
+}
+
+// GenCatalog builds n products for the given categories with log-uniform
+// base prices in [lo, hi] USD. The same arguments always yield the same
+// catalog.
+func GenCatalog(seed int64, prefix string, cats []Category, n int, lo, hi float64) *Catalog {
+	if n <= 0 || len(cats) == 0 || lo <= 0 || hi < lo {
+		panic(fmt.Sprintf("shop: invalid catalog parameters n=%d cats=%d lo=%v hi=%v", n, len(cats), lo, hi))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &Catalog{bySKU: make(map[string]*Product, n)}
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	for i := 0; i < n; i++ {
+		cat := cats[i%len(cats)]
+		parts := nameParts[cat]
+		if len(parts[0]) == 0 {
+			parts = [2][]string{{"Generic"}, {"Item"}}
+		}
+		name := fmt.Sprintf("%s %s #%d",
+			parts[0][rng.Intn(len(parts[0]))],
+			parts[1][rng.Intn(len(parts[1]))],
+			i+1)
+		price := math.Exp(logLo + rng.Float64()*(logHi-logLo))
+		// Ebooks price like Kindle titles regardless of the retailer's
+		// overall span (a department store's $900 "ebook" would make the
+		// Fig. 10 experiment absurd).
+		if cat == CatEbooks && price > 30 {
+			price = 3 + math.Mod(price, 27)
+		}
+		// Retail-style endings: round to .99 under $100, whole dollars
+		// under $1000, $9-steps above.
+		var base money.Amount
+		switch {
+		case price < 100:
+			base = money.FromFloat(math.Floor(price)+0.99, money.USD)
+		case price < 1000:
+			base = money.FromFloat(math.Floor(price), money.USD)
+		default:
+			base = money.FromFloat(math.Floor(price/10)*10+9, money.USD)
+		}
+		p := Product{
+			SKU:      fmt.Sprintf("%s-%05d", prefix, i+1),
+			Name:     name,
+			Category: cat,
+			Base:     base,
+		}
+		c.products = append(c.products, p)
+		c.bySKU[p.SKU] = &c.products[len(c.products)-1]
+	}
+	return c
+}
+
+// Products returns the catalog in stable order.
+func (c *Catalog) Products() []Product {
+	out := make([]Product, len(c.products))
+	copy(out, c.products)
+	return out
+}
+
+// Len returns the catalog size.
+func (c *Catalog) Len() int { return len(c.products) }
+
+// BySKU returns the product with the given SKU.
+func (c *Catalog) BySKU(sku string) (Product, bool) {
+	p, ok := c.bySKU[sku]
+	if !ok {
+		return Product{}, false
+	}
+	return *p, true
+}
+
+// hash01 maps (seed, parts...) to a deterministic float in [0, 1).
+// It is the engine behind every per-product pseudo-random decision:
+// jittered city factors, A/B membership, login deltas. Using a hash rather
+// than a stateful RNG makes prices independent of request order.
+func hash01(seed int64, parts ...string) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(seed >> (8 * i))
+	}
+	h.Write(buf[:])
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	// FNV-1a diffuses trailing input bytes poorly into the high bits, so
+	// run the sum through a splitmix64-style finalizer before truncating.
+	v := h.Sum64()
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return float64(v>>11) / float64(1<<53)
+}

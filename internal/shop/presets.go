@@ -1,0 +1,364 @@
+package shop
+
+import "fmt"
+
+// This file calibrates the simulated retailers to the behaviours the paper
+// reports, per domain. The names are the paper's; the pricing parameters
+// are chosen so every figure's *shape* reproduces:
+//
+//   - Fig. 3/4: extents from ~0.2 to 1.0 with the majority at 1.0, and
+//     max/min ratios mostly 10–30% with isolated retailers approaching ×2.
+//   - Fig. 5: additive terms on cheap-goods retailers (kobobooks, scitec)
+//     push cheap products toward ×3 while everything above ~$2K stays
+//     below ×1.5.
+//   - Fig. 6: digitalrev is purely multiplicative; energie.it gives one
+//     location (UK) an additive term that fades with price.
+//   - Fig. 7/9: a Finland premium at almost every retailer, with
+//     mauijim.com and tuscanyleather.it as the two exceptions.
+//   - Fig. 8: homedepot prices per US city; amazon is uniform inside the
+//     US but varies per country, with a "mixed" relation for Spain.
+//   - Fig. 10: amazon ebooks price per logged-in account.
+//   - Sec. 4.4: tracker presence across the 21 crawled retailers matches
+//     GA 95%, DoubleClick 65%, Facebook 80%, Pinterest 45%, Twitter 40%.
+
+// euroCC are the euro-zone countries of the simulation that share a
+// generic "EU" factor in the presets.
+var euroCC = []string{"BE", "DE", "ES", "IT", "FR", "NL", "PT"}
+
+// otherCC are non-euro crowd countries given mild default factors so crowd
+// checks from them behave plausibly.
+var otherCC = map[string]float64{
+	"PL": 1.05, "SE": 1.08, "CH": 1.10, "CA": 1.02, "MX": 1.00,
+	"JP": 1.06, "AU": 1.08,
+}
+
+// geoFactors builds a country-factor map: US is the implicit 1.0 baseline;
+// uk, eu, fi, br set the United Kingdom, euro-zone, Finland and Brazil;
+// extra overrides anything.
+func geoFactors(uk, eu, fi, br float64, extra map[string]float64) map[string]float64 {
+	m := map[string]float64{"GB": uk, "FI": fi, "BR": br}
+	for _, cc := range euroCC {
+		m[cc] = eu
+	}
+	for cc, f := range otherCC {
+		m[cc] = f
+	}
+	for cc, f := range extra {
+		m[cc] = f
+	}
+	return m
+}
+
+// CrawledConfigs returns the 21 retailers of the paper's systematic crawl
+// (Fig. 3/4/9), calibrated as described above. Seeds derive from the given
+// world seed.
+func CrawledConfigs(seed int64) []Config {
+	s := func(i int64) int64 { return seed*1000 + i }
+	return []Config{
+		{
+			Domain: "store.killah.com", Label: "Killah clothing", Seed: s(1),
+			Categories: []Category{CatClothing}, ProductCount: 120, PriceLo: 30, PriceHi: 300,
+			Template: "classic", Localize: true, VariedFraction: 1.0,
+			CountryFactor: geoFactors(1.18, 1.12, 1.35, 0.96, nil),
+			CountryJitter: map[string]float64{"ES": 0.05},
+			Trackers:      []string{"ga", "facebook", "pinterest"},
+		},
+		{
+			Domain: "store.murphynye.com", Label: "Murphy & Nye clothing", Seed: s(2),
+			Categories: []Category{CatClothing}, ProductCount: 120, PriceLo: 30, PriceHi: 200,
+			Template: "minimal", Localize: true, VariedFraction: 0.95,
+			CountryFactor: geoFactors(1.08, 1.10, 1.18, 1.05, nil),
+			Trackers:      []string{"ga"},
+		},
+		{
+			Domain: "store.refrigiwear.it", Label: "RefrigiWear Italy", Seed: s(3),
+			Categories: []Category{CatClothing}, ProductCount: 120, PriceLo: 40, PriceHi: 400,
+			Template: "minimal", Localize: true, VariedFraction: 1.0,
+			CountryFactor: geoFactors(1.12, 1.15, 1.30, 1.05, nil),
+			Trackers:      []string{"ga"},
+		},
+		{
+			Domain: "www.amazon.com", Label: "Amazon", Seed: s(4),
+			Categories:   []Category{CatBooks, CatEbooks, CatElectronics, CatDepartment},
+			ProductCount: 160, PriceLo: 5, PriceHi: 3000,
+			Template: "classic", Localize: true, VariedFraction: 0.5,
+			CountryFactor: geoFactors(1.08, 1.12, 1.25, 0.97, nil),
+			CountryJitter: map[string]float64{"ES": 0.08},
+			ABFraction:    0.10, ABAmplitude: 0.04,
+			DriftAmplitude: 0.02,
+			LoginJitter:    0.10, LoginCategories: []Category{CatEbooks},
+			Trackers: []string{"ga", "doubleclick", "facebook", "twitter"},
+		},
+		{
+			Domain: "www.autotrader.com", Label: "AutoTrader", Seed: s(5),
+			Categories: []Category{CatAutos}, ProductCount: 120, PriceLo: 2000, PriceHi: 10000,
+			Template: "table", Localize: true, VariedFraction: 0.35,
+			CountryFactor:  geoFactors(1.25, 1.20, 1.30, 1.15, nil),
+			DriftAmplitude: 0.01,
+			Trackers:       []string{"doubleclick"},
+		},
+		{
+			Domain: "www.bookdepository.co.uk", Label: "Book Depository", Seed: s(6),
+			Categories: []Category{CatBooks}, ProductCount: 140, PriceLo: 5, PriceHi: 80,
+			Template: "classic", Localize: true, VariedFraction: 1.0,
+			CountryFactor: geoFactors(1.0, 1.12, 1.18, 1.08, map[string]float64{"US": 1.05}),
+			Trackers:      []string{"ga", "doubleclick", "facebook", "twitter"},
+		},
+		{
+			Domain: "www.chainreactioncycles.com", Label: "Chain Reaction Cycles", Seed: s(7),
+			Categories: []Category{CatCycling}, ProductCount: 140, PriceLo: 10, PriceHi: 1500,
+			Template: "table", Localize: true, VariedFraction: 0.8,
+			CountryFactor: geoFactors(1.0, 1.03, 1.05, 1.02, nil),
+			Trackers:      []string{"ga", "doubleclick", "facebook", "twitter"},
+		},
+		{
+			Domain: "www.digitalrev.com", Label: "DigitalRev photography", Seed: s(8),
+			Categories: []Category{CatPhotography}, ProductCount: 140, PriceLo: 50, PriceHi: 5000,
+			Template: "modern", Localize: true, VariedFraction: 1.0,
+			// Purely multiplicative: parallel per-location lines (Fig. 6a).
+			CountryFactor: geoFactors(1.12, 1.08, 1.28, 1.02, nil),
+			Trackers:      []string{"ga", "doubleclick", "facebook", "twitter"},
+		},
+		{
+			Domain: "www.elnaturalista.com", Label: "El Naturalista shoes", Seed: s(9),
+			Categories: []Category{CatShoes}, ProductCount: 120, PriceLo: 60, PriceHi: 250,
+			Template: "classic", Localize: true, VariedFraction: 0.9,
+			CountryFactor: geoFactors(1.06, 1.08, 1.12, 1.04, nil),
+			Trackers:      []string{"ga", "facebook", "pinterest"},
+		},
+		{
+			Domain: "www.energie.it", Label: "Energie clothing", Seed: s(10),
+			Categories: []Category{CatClothing}, ProductCount: 120, PriceLo: 20, PriceHi: 250,
+			Template: "classic", Localize: true, VariedFraction: 1.0,
+			// Multiplicative everywhere except the UK, which pays a flat
+			// $8 extra: the additive strategy of Fig. 6b.
+			CountryFactor: geoFactors(1.05, 1.10, 1.22, 1.03, nil),
+			CountryAdd:    map[string]float64{"GB": 8},
+			Trackers:      []string{"ga", "doubleclick", "facebook", "pinterest"},
+		},
+		{
+			Domain: "www.guess.eu", Label: "Guess Europe", Seed: s(11),
+			Categories: []Category{CatClothing}, ProductCount: 120, PriceLo: 40, PriceHi: 300,
+			Template: "modern", Localize: true, VariedFraction: 1.0,
+			CountryFactor: geoFactors(1.10, 1.18, 1.28, 1.00, nil),
+			Trackers:      []string{"ga", "doubleclick", "facebook", "pinterest", "twitter"},
+		},
+		{
+			Domain: "www.homedepot.com", Label: "Home Depot", Seed: s(12),
+			Categories: []Category{CatHome}, ProductCount: 160, PriceLo: 10, PriceHi: 2000,
+			Template: "table", Localize: false, VariedFraction: 0.45,
+			// Per-US-city pricing (Fig. 8a): LA ≈ Boston ≈ Albany, Chicago
+			// cheapest, New York consistently above Chicago, Lincoln mixed.
+			CityFactor: map[string]float64{
+				"US/Albany": 1.02, "US/Boston": 1.02, "US/Los Angeles": 1.02,
+				"US/Chicago": 0.98, "US/New York": 1.09, "US/Lincoln": 1.01,
+			},
+			CityJitter: map[string]float64{"US/Lincoln": 0.06},
+			Trackers:   []string{"ga", "doubleclick", "facebook"},
+		},
+		{
+			Domain: "www.hotels.com", Label: "Hotels.com", Seed: s(13),
+			Categories: []Category{CatHotels, CatTravel}, ProductCount: 140, PriceLo: 40, PriceHi: 500,
+			Template: "modern", Localize: true, VariedFraction: 0.6,
+			CountryFactor: geoFactors(1.10, 1.12, 1.18, 0.95, nil),
+			CountryJitter: map[string]float64{"ES": 0.06},
+			ABFraction:    0.15, ABAmplitude: 0.05,
+			DriftAmplitude: 0.04,
+			Trackers:       []string{"ga", "doubleclick", "facebook", "twitter"},
+		},
+		{
+			Domain: "www.kobobooks.com", Label: "Kobo ebooks", Seed: s(14),
+			Categories: []Category{CatEbooks}, ProductCount: 140, PriceLo: 3.5, PriceHi: 50,
+			Template: "minimal", Localize: true, VariedFraction: 0.55,
+			// Flat per-country surcharges dominate cheap ebooks: the ×2–×3
+			// ratios at the left edge of Fig. 5.
+			CountryFactor: geoFactors(1.02, 1.03, 1.05, 1.0, nil),
+			CountryAdd: map[string]float64{
+				"FI": 6.5, "BE": 3, "DE": 3, "ES": 3, "IT": 3, "FR": 3, "NL": 3, "PT": 3, "GB": 1.5,
+			},
+			Trackers: []string{"ga", "doubleclick", "facebook", "twitter"},
+		},
+		{
+			Domain: "www.luisaviaroma.com", Label: "LuisaViaRoma luxury", Seed: s(15),
+			Categories: []Category{CatClothing, CatShoes}, ProductCount: 120, PriceLo: 150, PriceHi: 1500,
+			Template: "modern", Localize: true, VariedFraction: 0.75,
+			// The paper's "approaching ×2" outlier (Fig. 2/4).
+			CountryFactor: geoFactors(1.35, 1.45, 1.55, 1.05, nil),
+			CountryJitter: map[string]float64{"FI": 0.25},
+			Trackers:      []string{"ga", "doubleclick", "facebook", "pinterest"},
+		},
+		{
+			Domain: "www.mauijim.com", Label: "Maui Jim eyewear", Seed: s(16),
+			Categories: []Category{CatEyewear}, ProductCount: 120, PriceLo: 80, PriceHi: 400,
+			Template: "modern", Localize: true, VariedFraction: 1.0,
+			// One of the two retailers where Finland is sometimes the
+			// cheapest location (Fig. 9).
+			CountryFactor: geoFactors(1.10, 1.15, 0.98, 1.20, nil),
+			CountryJitter: map[string]float64{"FI": 0.04},
+			Trackers:      []string{"ga", "facebook", "pinterest"},
+		},
+		{
+			Domain: "www.misssixty.com", Label: "Miss Sixty clothing", Seed: s(17),
+			Categories: []Category{CatClothing}, ProductCount: 120, PriceLo: 50, PriceHi: 300,
+			Template: "classic", Localize: true, VariedFraction: 1.0,
+			CountryFactor: geoFactors(1.12, 1.15, 1.25, 1.02, nil),
+			Trackers:      []string{"ga", "doubleclick", "facebook", "pinterest"},
+		},
+		{
+			Domain: "www.net-a-porter.com", Label: "Net-a-Porter", Seed: s(18),
+			Categories: []Category{CatClothing}, ProductCount: 120, PriceLo: 200, PriceHi: 2500,
+			Template: "modern", Localize: true, VariedFraction: 1.0,
+			CountryFactor: geoFactors(1.04, 1.06, 1.10, 1.00, nil),
+			Trackers:      []string{"ga", "doubleclick", "facebook", "pinterest", "twitter"},
+		},
+		{
+			Domain: "www.rightstart.com", Label: "Right Start baby goods", Seed: s(19),
+			Categories: []Category{CatBaby}, ProductCount: 120, PriceLo: 15, PriceHi: 500,
+			Template: "classic", Localize: false, VariedFraction: 0.2,
+			CountryFactor: geoFactors(1.15, 1.20, 1.28, 1.10, nil),
+			Trackers:      []string{"ga", "doubleclick", "facebook", "pinterest"},
+		},
+		{
+			Domain: "www.scitec-nutrition.es", Label: "Scitec Nutrition", Seed: s(20),
+			Categories: []Category{CatNutrition}, ProductCount: 120, PriceLo: 10, PriceHi: 120,
+			Template: "classic", Localize: true, VariedFraction: 0.7,
+			CountryFactor: geoFactors(1.05, 1.06, 1.05, 1.02, nil),
+			CountryAdd:    map[string]float64{"FI": 4, "GB": 2},
+			Trackers:      []string{"ga", "facebook"},
+		},
+		{
+			Domain: "www.tuscanyleather.it", Label: "Tuscany Leather", Seed: s(21),
+			Categories: []Category{CatLeather}, ProductCount: 120, PriceLo: 50, PriceHi: 600,
+			Template: "classic", Localize: true, VariedFraction: 1.0,
+			// Finland is the baseline (the other Fig. 9 exception); the US
+			// and Brazil pay the premium here.
+			CountryFactor: geoFactors(1.05, 1.02, 1.00, 1.30, map[string]float64{"US": 1.35}),
+			Trackers:      []string{"ga"},
+		},
+	}
+}
+
+// CrowdExtraConfigs returns the additional well-known domains that appear
+// in the crowdsourced results (Fig. 1/2) but were not systematically
+// crawled.
+func CrowdExtraConfigs(seed int64) []Config {
+	s := func(i int64) int64 { return seed*2000 + i }
+	return []Config{
+		{
+			Domain: "store.steampowered.com", Label: "Steam games", Seed: s(1),
+			Categories: []Category{CatGames}, ProductCount: 80, PriceLo: 5, PriceHi: 60,
+			Template: "modern", Localize: true, VariedFraction: 0.8,
+			CountryFactor: geoFactors(1.05, 1.15, 1.20, 0.70, nil),
+			Trackers:      []string{"ga"},
+		},
+		{
+			Domain: "www.sears.com", Label: "Sears department", Seed: s(2),
+			Categories: []Category{CatDepartment, CatHome}, ProductCount: 80, PriceLo: 15, PriceHi: 1200,
+			Template: "table", Localize: false, VariedFraction: 0.5,
+			CityFactor: map[string]float64{"US/New York": 1.05, "US/Chicago": 1.0, "US/Los Angeles": 1.03},
+			CityJitter: map[string]float64{"US/Boston": 0.04},
+			Trackers:   []string{"ga", "doubleclick", "facebook"},
+		},
+		{
+			Domain: "eu.abercrombie.com", Label: "Abercrombie EU", Seed: s(3),
+			Categories: []Category{CatClothing}, ProductCount: 80, PriceLo: 30, PriceHi: 200,
+			Template: "modern", Localize: true, VariedFraction: 0.9,
+			CountryFactor: geoFactors(1.15, 1.25, 1.35, 1.05, nil),
+			Trackers:      []string{"ga", "facebook", "twitter"},
+		},
+		{
+			Domain: "www.overstock.com", Label: "Overstock", Seed: s(4),
+			Categories: []Category{CatDepartment}, ProductCount: 80, PriceLo: 10, PriceHi: 800,
+			Template: "classic", Localize: false, VariedFraction: 0.4,
+			CountryFactor: geoFactors(1.08, 1.10, 1.12, 1.05, nil),
+			ABFraction:    0.2, ABAmplitude: 0.05,
+			Trackers: []string{"ga", "doubleclick", "facebook", "pinterest"},
+		},
+		{
+			Domain: "www.booking.com", Label: "Booking.com", Seed: s(5),
+			Categories: []Category{CatHotels}, ProductCount: 80, PriceLo: 30, PriceHi: 400,
+			Template: "modern", Localize: true, VariedFraction: 0.7,
+			CountryFactor:  geoFactors(1.08, 1.10, 1.15, 0.95, nil),
+			DriftAmplitude: 0.05,
+			Trackers:       []string{"ga", "doubleclick", "facebook"},
+		},
+		{
+			Domain: "shop.replay.it", Label: "Replay clothing", Seed: s(6),
+			Categories: []Category{CatClothing}, ProductCount: 80, PriceLo: 40, PriceHi: 250,
+			Template: "classic", Localize: true, VariedFraction: 0.9,
+			CountryFactor: geoFactors(1.10, 1.12, 1.22, 1.02, nil),
+			Trackers:      []string{"ga", "facebook"},
+		},
+		{
+			Domain: "www.jeansshop.com", Label: "Jeans Shop", Seed: s(7),
+			Categories: []Category{CatClothing}, ProductCount: 80, PriceLo: 30, PriceHi: 180,
+			Template: "minimal", Localize: true, VariedFraction: 0.85,
+			CountryFactor: geoFactors(1.08, 1.10, 1.18, 1.0, nil),
+			Trackers:      []string{"ga"},
+		},
+		{
+			Domain: "www.staples.com", Label: "Staples office", Seed: s(8),
+			Categories: []Category{CatOffice, CatElectronics}, ProductCount: 80, PriceLo: 5, PriceHi: 900,
+			Template: "table", Localize: false, VariedFraction: 0.3,
+			CountryFactor: geoFactors(1.05, 1.08, 1.10, 1.02, nil),
+			Trackers:      []string{"ga", "doubleclick", "facebook"},
+		},
+		{
+			Domain: "www.zavvi.com", Label: "Zavvi entertainment", Seed: s(9),
+			Categories: []Category{CatGames, CatBooks}, ProductCount: 80, PriceLo: 5, PriceHi: 120,
+			Template: "classic", Localize: true, VariedFraction: 0.6,
+			CountryFactor: geoFactors(1.0, 1.08, 1.12, 1.05, map[string]float64{"US": 1.04}),
+			Trackers:      []string{"ga", "facebook"},
+		},
+	}
+}
+
+// longTailAdjectives and longTailNouns feed generated no-variation domains.
+var (
+	longTailAdjectives = []string{"blue", "rapid", "family", "metro", "prime", "urban", "green", "silver", "daily", "grand"}
+	longTailNouns      = []string{"mart", "bazaar", "outlet", "store", "shop", "market", "depot", "corner", "traders", "goods"}
+)
+
+// LongTailConfigs generates n additional domains with *no* price variation —
+// the bulk of the 600 domains the crowd checked without finding anything
+// (Sec. 3.2). Catalogs are small to keep the world light.
+func LongTailConfigs(seed int64, n int) []Config {
+	cats := []Category{CatBooks, CatClothing, CatElectronics, CatOffice, CatDepartment, CatShoes, CatGames}
+	out := make([]Config, 0, n)
+	for i := 0; i < n; i++ {
+		adj := longTailAdjectives[i%len(longTailAdjectives)]
+		noun := longTailNouns[(i/len(longTailAdjectives))%len(longTailNouns)]
+		domain := fmt.Sprintf("www.%s%s%03d.com", adj, noun, i)
+		tmpl := []string{"classic", "modern", "table", "minimal"}[i%4]
+		out = append(out, Config{
+			Domain: domain, Label: "Long-tail retailer " + domain, Seed: seed*3000 + int64(i),
+			Categories: []Category{cats[i%len(cats)]}, ProductCount: 8,
+			PriceLo: 8, PriceHi: 400,
+			Template: tmpl, Localize: i%3 == 0,
+			VariedFraction: 0, // never varies: the point of the long tail
+			Trackers:       trackersForLongTail(i),
+		})
+	}
+	return out
+}
+
+// trackersForLongTail assigns trackers with plausible frequencies.
+func trackersForLongTail(i int) []string {
+	var t []string
+	if i%20 != 0 {
+		t = append(t, "ga")
+	}
+	if i%3 == 0 {
+		t = append(t, "doubleclick")
+	}
+	if i%4 != 3 {
+		t = append(t, "facebook")
+	}
+	if i%5 < 2 {
+		t = append(t, "pinterest")
+	}
+	if i%5 == 2 {
+		t = append(t, "twitter")
+	}
+	return t
+}

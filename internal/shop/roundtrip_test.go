@@ -1,0 +1,134 @@
+package shop
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sheriff/internal/geo"
+	"sheriff/internal/htmlx"
+	"sheriff/internal/money"
+)
+
+// TestEveryPresetPageExtractsEverywhere is the presets-wide guarantee the
+// whole pipeline rests on: for every crawled retailer, a page rendered for
+// any vantage point parses, and the anchor derived from the US rendering
+// recovers the exact display price from every other locale's rendering.
+func TestEveryPresetPageExtractsEverywhere(t *testing.T) {
+	day := time.Date(2013, 4, 2, 11, 0, 0, 0, time.UTC)
+	vps := geo.VantagePoints()
+	usLoc, err := geo.LocationOf("US", "Boston")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range CrawledConfigs(5) {
+		r := New(cfg, market)
+		// Three products per retailer keeps the whole sweep fast.
+		for _, p := range r.Catalog().Products()[:3] {
+			vUS := Visit{Loc: usLoc, Time: day, IP: "10.0.1.4"}
+			docUS, err := htmlx.ParseString(r.RenderProduct(p, vUS))
+			if err != nil {
+				t.Fatalf("%s: parse US page: %v", cfg.Domain, err)
+			}
+			truthUS := r.DisplayPrice(p, vUS)
+			// The page must contain the display price as rendered.
+			want := money.Format(truthUS, truthUS.Currency.Style())
+			if txt := docUS.Text(); !contains(txt, want) {
+				t.Fatalf("%s/%s: price %q not on page", cfg.Domain, p.SKU, want)
+			}
+			for _, vp := range vps {
+				v := Visit{Loc: vp.Location, Time: day, IP: vp.Addr.String()}
+				page := r.RenderProduct(p, v)
+				doc, err := htmlx.ParseString(page)
+				if err != nil {
+					t.Fatalf("%s@%s: parse: %v", cfg.Domain, vp.ID, err)
+				}
+				truth := r.DisplayPrice(p, v)
+				wantLocal := money.Format(truth, truth.Currency.Style())
+				if txt := doc.Text(); !contains(txt, wantLocal) {
+					t.Fatalf("%s/%s@%s: price %q not on page", cfg.Domain, p.SKU, vp.ID, wantLocal)
+				}
+			}
+		}
+	}
+}
+
+func contains(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPricingInvariants quick-checks the pricing engine's core contracts
+// over random products, locations and times.
+func TestPricingInvariants(t *testing.T) {
+	cfgs := CrawledConfigs(6)
+	retailers := make([]*Retailer, len(cfgs))
+	for i, cfg := range cfgs {
+		retailers[i] = New(cfg, market)
+	}
+	vps := geo.VantagePoints()
+	base := time.Date(2013, 3, 1, 0, 0, 0, 0, time.UTC)
+
+	f := func(ri, pi, vi uint8, dayOff uint8, hour uint8) bool {
+		r := retailers[int(ri)%len(retailers)]
+		ps := r.Catalog().Products()
+		p := ps[int(pi)%len(ps)]
+		vp := vps[int(vi)%len(vps)]
+		at := base.AddDate(0, 0, int(dayOff%120)).Add(time.Duration(hour%24) * time.Hour)
+		v := Visit{Loc: vp.Location, Time: at, IP: vp.Addr.String()}
+
+		usd := r.USDPrice(p, v)
+		if usd.Units <= 0 {
+			return false // prices are always positive
+		}
+		if usd.Currency.Code != "USD" {
+			return false // internal prices are USD
+		}
+		if r.USDPrice(p, v) != usd {
+			return false // deterministic per identical visit
+		}
+		disp := r.DisplayPrice(p, v)
+		if disp.Units <= 0 {
+			return false
+		}
+		if !r.Config().Localize && disp.Currency.Code != "USD" {
+			return false // non-localizing retailers always show USD
+		}
+		// Display price corresponds to the USD price within FX spread and
+		// rounding: converting back at mid must land within 2%.
+		back := market.Convert(disp, money.USD, at)
+		rel := float64(back.Units-usd.Units) / float64(usd.Units)
+		if rel < -0.02 || rel > 0.02 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGeoFactorBounds verifies no preset can produce a pathological
+// factor: every location pays between 0.5x and 2.5x the US price.
+func TestGeoFactorBounds(t *testing.T) {
+	day := time.Date(2013, 2, 20, 9, 0, 0, 0, time.UTC)
+	usLoc, _ := geo.LocationOf("US", "Chicago")
+	for _, cfg := range append(CrawledConfigs(7), CrowdExtraConfigs(7)...) {
+		r := New(cfg, market)
+		for _, p := range r.Catalog().Products()[:5] {
+			us := r.USDPrice(p, Visit{Loc: usLoc, Time: day, IP: "10.0.2.4"}).Float()
+			for _, vp := range geo.VantagePoints() {
+				v := Visit{Loc: vp.Location, Time: day, IP: vp.Addr.String()}
+				other := r.USDPrice(p, v).Float()
+				ratio := other / us
+				if ratio < 0.5 || ratio > 2.5 {
+					t.Fatalf("%s/%s@%s: ratio %v out of sane bounds", cfg.Domain, p.SKU, vp.ID, ratio)
+				}
+			}
+		}
+	}
+}

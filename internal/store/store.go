@@ -1,0 +1,258 @@
+// Package store is the measurement database: every price the system
+// extracts — crowdsourced check, systematic crawl round, or controlled
+// experiment — lands here as an Observation. The analysis pipeline only
+// ever reads this store, so a dataset can be persisted as JSON Lines,
+// reloaded, and re-analyzed without re-running a campaign, mirroring how
+// the paper separates collection from analysis.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"sheriff/internal/money"
+)
+
+// Source labels the campaign that produced an observation.
+const (
+	// SourceCrowd marks $heriff crowd checks (Sec. 3).
+	SourceCrowd = "crowd"
+	// SourceCrawl marks systematic crawl rounds (Sec. 4).
+	SourceCrawl = "crawl"
+	// SourceLogin marks the Kindle login experiment (Fig. 10).
+	SourceLogin = "login"
+	// SourcePersona marks the affluent/budget persona experiment.
+	SourcePersona = "persona"
+)
+
+// Observation is one extracted price (or extraction failure).
+type Observation struct {
+	// Domain is the retailer.
+	Domain string `json:"domain"`
+	// SKU identifies the product within the domain.
+	SKU string `json:"sku"`
+	// URL is the exact product URI fetched.
+	URL string `json:"url"`
+	// VP is the vantage point ID ("us-nyc") or a user tag for crowd
+	// originators.
+	VP string `json:"vp"`
+	// VPLabel is the display label ("USA - New York").
+	VPLabel string `json:"vp_label"`
+	// Country is the vantage point's country code.
+	Country string `json:"country"`
+	// City is the vantage point's city.
+	City string `json:"city"`
+	// PriceUnits is the displayed price in minor units.
+	PriceUnits int64 `json:"price_units"`
+	// Currency is the displayed price's ISO code.
+	Currency string `json:"currency"`
+	// Time is the simulated observation time.
+	Time time.Time `json:"time"`
+	// Round is the crawl round (0-based); -1 outside crawls.
+	Round int `json:"round"`
+	// Source is one of the Source* constants.
+	Source string `json:"source"`
+	// Account is the logged-in account for login experiments.
+	Account string `json:"account,omitempty"`
+	// Segment is the persona segment for persona experiments.
+	Segment string `json:"segment,omitempty"`
+	// OK reports whether extraction succeeded; when false Err explains.
+	OK bool `json:"ok"`
+	// Err is the extraction failure, empty on success.
+	Err string `json:"err,omitempty"`
+}
+
+// Amount reconstructs the money value of the observation.
+func (o Observation) Amount() (money.Amount, bool) {
+	c, ok := money.ByCode(o.Currency)
+	if !ok {
+		return money.Amount{}, false
+	}
+	return money.FromMinor(o.PriceUnits, c), true
+}
+
+// Key identifies the product a group of observations belongs to.
+type Key struct {
+	Domain string
+	SKU    string
+}
+
+// Store is an append-only observation log with query helpers.
+// It is safe for concurrent use.
+type Store struct {
+	mu  sync.RWMutex
+	obs []Observation
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{} }
+
+// Add appends one observation.
+func (s *Store) Add(o Observation) {
+	s.mu.Lock()
+	s.obs = append(s.obs, o)
+	s.mu.Unlock()
+}
+
+// AddAll appends a batch.
+func (s *Store) AddAll(os []Observation) {
+	s.mu.Lock()
+	s.obs = append(s.obs, os...)
+	s.mu.Unlock()
+}
+
+// Len returns the number of observations (successes and failures).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.obs)
+}
+
+// LenOK returns the number of successfully extracted prices — the paper's
+// "188K extracted prices" counts these.
+func (s *Store) LenOK() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, o := range s.obs {
+		if o.OK {
+			n++
+		}
+	}
+	return n
+}
+
+// Query filters observations. Zero-valued fields match everything.
+type Query struct {
+	// Domain restricts to one retailer.
+	Domain string
+	// SKU restricts to one product.
+	SKU string
+	// Source restricts to one campaign type.
+	Source string
+	// VP restricts to one vantage point ID.
+	VP string
+	// Round restricts to one crawl round when >= 0 (use -1 to match all).
+	Round int
+	// OnlyOK drops failed extractions.
+	OnlyOK bool
+}
+
+// Filter returns matching observations in insertion order.
+func (s *Store) Filter(q Query) []Observation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Observation
+	for _, o := range s.obs {
+		if q.Domain != "" && o.Domain != q.Domain {
+			continue
+		}
+		if q.SKU != "" && o.SKU != q.SKU {
+			continue
+		}
+		if q.Source != "" && o.Source != q.Source {
+			continue
+		}
+		if q.VP != "" && o.VP != q.VP {
+			continue
+		}
+		if q.Round >= 0 && o.Round != q.Round {
+			continue
+		}
+		if q.OnlyOK && !o.OK {
+			continue
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// All returns every observation. The paper's analysis scripts iterate the
+// whole dataset; so do ours.
+func (s *Store) All() []Observation {
+	return s.Filter(Query{Round: -1})
+}
+
+// Domains returns the distinct domains observed, sorted.
+func (s *Store) Domains() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := map[string]bool{}
+	for _, o := range s.obs {
+		set[o.Domain] = true
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Products returns the distinct product keys of a domain, sorted by SKU.
+func (s *Store) Products(domain string) []Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := map[Key]bool{}
+	for _, o := range s.obs {
+		if o.Domain == domain {
+			set[Key{Domain: o.Domain, SKU: o.SKU}] = true
+		}
+	}
+	out := make([]Key, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SKU < out[j].SKU })
+	return out
+}
+
+// GroupByProduct partitions observations of one source by product key.
+func (s *Store) GroupByProduct(source string) map[Key][]Observation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := map[Key][]Observation{}
+	for _, o := range s.obs {
+		if source != "" && o.Source != source {
+			continue
+		}
+		k := Key{Domain: o.Domain, SKU: o.SKU}
+		out[k] = append(out[k], o)
+	}
+	return out
+}
+
+// WriteJSONL streams the store as JSON Lines.
+func (s *Store) WriteJSONL(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range s.obs {
+		if err := enc.Encode(&s.obs[i]); err != nil {
+			return fmt.Errorf("store: encode observation %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL loads a store previously written with WriteJSONL.
+func ReadJSONL(r io.Reader) (*Store, error) {
+	s := New()
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for i := 0; ; i++ {
+		var o Observation
+		if err := dec.Decode(&o); err != nil {
+			if err == io.EOF {
+				return s, nil
+			}
+			return nil, fmt.Errorf("store: decode line %d: %w", i, err)
+		}
+		s.obs = append(s.obs, o)
+	}
+}

@@ -1,0 +1,89 @@
+// Package thirdparty detects third-party trackers embedded in retailer
+// pages — the paper's first step toward identifying the parties that could
+// power personal-information-driven pricing (Sec. 4.4: Google Analytics on
+// 95% of retailers, DoubleClick 65%, Facebook 80%, Pinterest 45%,
+// Twitter 40%).
+package thirdparty
+
+import (
+	"net/url"
+	"sort"
+	"strings"
+
+	"sheriff/internal/htmlx"
+)
+
+// Known maps third-party hostnames (or suffixes) to canonical tracker keys.
+var Known = map[string]string{
+	"google-analytics.com": "ga",
+	"doubleclick.net":      "doubleclick",
+	"facebook.com":         "facebook",
+	"pinterest.com":        "pinterest",
+	"twitter.com":          "twitter",
+}
+
+// Keys lists the canonical tracker keys in stable order.
+var Keys = []string{"ga", "doubleclick", "facebook", "pinterest", "twitter"}
+
+// Detect returns the distinct tracker keys present on a page, sorted.
+// It inspects the src attributes of script, iframe and img elements.
+func Detect(doc *htmlx.Node) []string {
+	found := map[string]bool{}
+	doc.Walk(func(n *htmlx.Node) bool {
+		if n.Type != htmlx.ElementNode {
+			return true
+		}
+		switch n.Tag {
+		case "script", "iframe", "img":
+			if src, ok := n.Attr("src"); ok {
+				if key, ok := classify(src); ok {
+					found[key] = true
+				}
+			}
+		}
+		return true
+	})
+	out := make([]string, 0, len(found))
+	for k := range found {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// classify maps a resource URL to a tracker key.
+func classify(src string) (string, bool) {
+	host := src
+	if u, err := url.Parse(src); err == nil && u.Host != "" {
+		host = u.Host
+	} else if strings.HasPrefix(src, "//") {
+		host = strings.SplitN(src[2:], "/", 2)[0]
+	}
+	host = strings.ToLower(host)
+	for suffix, key := range Known {
+		if host == suffix || strings.HasSuffix(host, "."+suffix) {
+			return key, true
+		}
+	}
+	return "", false
+}
+
+// Presence aggregates per-tracker presence fractions over a set of pages,
+// one page per retailer: fraction of retailers embedding each tracker.
+func Presence(pagesByDomain map[string]*htmlx.Node) map[string]float64 {
+	if len(pagesByDomain) == 0 {
+		return map[string]float64{}
+	}
+	counts := map[string]int{}
+	for _, doc := range pagesByDomain {
+		for _, key := range Detect(doc) {
+			counts[key]++
+		}
+	}
+	out := make(map[string]float64, len(Keys))
+	n := float64(len(pagesByDomain))
+	for _, k := range Keys {
+		out[k] = float64(counts[k]) / n
+	}
+	return out
+}

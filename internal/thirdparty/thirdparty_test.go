@@ -1,0 +1,103 @@
+package thirdparty
+
+import (
+	"testing"
+	"time"
+
+	"sheriff/internal/fx"
+	"sheriff/internal/geo"
+	"sheriff/internal/htmlx"
+	"sheriff/internal/shop"
+)
+
+func parse(t *testing.T, s string) *htmlx.Node {
+	t.Helper()
+	doc, err := htmlx.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestDetectBasic(t *testing.T) {
+	doc := parse(t, `<html><head>
+	<script src="http://www.google-analytics.com/ga.js"></script>
+	<script src="http://platform.twitter.com/widgets.js"></script>
+	<iframe src="http://www.facebook.com/plugins/like.php"></iframe>
+	<script src="http://example.com/app.js"></script>
+	</head><body></body></html>`)
+	got := Detect(doc)
+	want := []string{"facebook", "ga", "twitter"}
+	if len(got) != len(want) {
+		t.Fatalf("Detect = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Detect = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDetectProtocolRelativeAndSubdomain(t *testing.T) {
+	doc := parse(t, `<script src="//stats.g.doubleclick.net/dc.js"></script>
+	<img src="//ad.doubleclick.net/px.gif">`)
+	got := Detect(doc)
+	if len(got) != 1 || got[0] != "doubleclick" {
+		t.Fatalf("Detect = %v", got)
+	}
+}
+
+func TestDetectIgnoresLookalikeDomains(t *testing.T) {
+	doc := parse(t, `<script src="http://notfacebook.com/x.js"></script>
+	<script src="http://facebook.com.evil.org/x.js"></script>`)
+	if got := Detect(doc); len(got) != 0 {
+		t.Fatalf("lookalikes detected: %v", got)
+	}
+}
+
+func TestDetectOnRenderedRetailerPage(t *testing.T) {
+	market := fx.NewMarket(1)
+	r := shop.New(shop.Config{
+		Domain: "t.example.com", Label: "T", Seed: 3,
+		Categories: []shop.Category{shop.CatBooks}, ProductCount: 5,
+		PriceLo: 5, PriceHi: 50, Template: "classic",
+		Trackers: []string{"ga", "pinterest"},
+	}, market)
+	loc, _ := geo.LocationOf("US", "Boston")
+	page := r.RenderProduct(r.Catalog().Products()[0], shop.Visit{
+		Loc: loc, Time: time.Date(2013, 2, 1, 0, 0, 0, 0, time.UTC),
+	})
+	got := Detect(parse(t, page))
+	if len(got) != 2 || got[0] != "ga" || got[1] != "pinterest" {
+		t.Fatalf("Detect on rendered page = %v", got)
+	}
+}
+
+func TestPresenceFractions(t *testing.T) {
+	pages := map[string]*htmlx.Node{
+		"a": parse(t, `<script src="http://www.google-analytics.com/ga.js"></script>`),
+		"b": parse(t, `<script src="http://www.google-analytics.com/ga.js"></script>
+		               <script src="http://assets.pinterest.com/js/pinit.js"></script>`),
+		"c": parse(t, `<div>no trackers</div>`),
+		"d": parse(t, `<script src="http://ad.doubleclick.net/adj"></script>`),
+	}
+	p := Presence(pages)
+	if p["ga"] != 0.5 {
+		t.Errorf("ga = %v", p["ga"])
+	}
+	if p["pinterest"] != 0.25 {
+		t.Errorf("pinterest = %v", p["pinterest"])
+	}
+	if p["doubleclick"] != 0.25 {
+		t.Errorf("doubleclick = %v", p["doubleclick"])
+	}
+	if p["twitter"] != 0 {
+		t.Errorf("twitter = %v", p["twitter"])
+	}
+}
+
+func TestPresenceEmpty(t *testing.T) {
+	if got := Presence(nil); len(got) != 0 {
+		t.Fatalf("Presence(nil) = %v", got)
+	}
+}

@@ -1,0 +1,151 @@
+// Package sheriff is a reproduction of "Crowd-assisted Search for Price
+// Discrimination in E-Commerce: First results" (Mikians, Gyarmati,
+// Erramilli, Laoutaris — CoNEXT 2013): the $heriff crowd-sourced price
+// discrimination detector, its systematic crawler, and the full analysis
+// pipeline behind the paper's Figures 1–10, running against a simulated
+// e-commerce web (see DESIGN.md for the substitution map).
+//
+// The entry point is a World: a deterministic, seeded universe of
+// retailers, GeoIP, exchange rates and measurement vantage points.
+//
+//	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: 1})
+//	crowdRep, _ := w.RunCrowd(sheriff.CrowdOptions{})       // Sec. 3
+//	_ = w.EnsureAnchors(w.Crawled)
+//	crawlRep, _ := w.RunCrawl(sheriff.CrawlOptions{})       // Sec. 4
+//	fmt.Print(w.Report(crowdRep, crawlRep))                 // Figs. 1–10
+//
+// Individual price checks — what the browser extension triggers — go
+// through the backend:
+//
+//	res, _ := w.Backend.Check(sheriff.CheckRequest{URL: ..., Highlight: ...})
+//
+// Everything below this package lives in internal/ subpackages; this
+// package re-exports the types a downstream user needs.
+package sheriff
+
+import (
+	"sheriff/internal/analysis"
+	"sheriff/internal/backend"
+	"sheriff/internal/core"
+	"sheriff/internal/crawler"
+	"sheriff/internal/crowd"
+	"sheriff/internal/extract"
+	"sheriff/internal/geo"
+	"sheriff/internal/store"
+)
+
+// World is the assembled simulation plus measurement machinery; see
+// core.World for the field-by-field description.
+type World = core.World
+
+// WorldOptions configures NewWorld; the zero value reproduces the paper's
+// scale parameters (580 long-tail domains, 8.5% transient failures,
+// January 2013 start).
+type WorldOptions = core.WorldOptions
+
+// NewWorld builds a deterministic world. Equal options give identical
+// worlds, identical campaigns and identical figures.
+func NewWorld(opts WorldOptions) *World { return core.NewWorld(opts) }
+
+// CrowdOptions configures the crowd campaign (Sec. 3.2); zero values use
+// the paper's 340 users / 1500 requests / ~4 months.
+type CrowdOptions = core.CrowdOptions
+
+// CrawlOptions configures the systematic crawl (Sec. 4.1); zero values use
+// the paper's 21 domains × ≤100 products × 7 daily rounds.
+type CrawlOptions = core.CrawlOptions
+
+// CrowdReport summarizes a crowd campaign.
+type CrowdReport = crowd.Report
+
+// CrawlReport summarizes a crawl campaign.
+type CrawlReport = crawler.Report
+
+// LoginReport summarizes the Kindle login experiment (Fig. 10).
+type LoginReport = core.LoginReport
+
+// PersonaReport summarizes the affluent-vs-budget experiment (Sec. 4.4).
+type PersonaReport = core.PersonaReport
+
+// CheckRequest is a single $heriff price check: URL, user highlight, and
+// the user's fabric address.
+type CheckRequest = backend.CheckRequest
+
+// CheckResult is the per-vantage-point outcome of a check.
+type CheckResult = backend.CheckResult
+
+// VPPrice is one vantage point's extracted price within a CheckResult.
+type VPPrice = backend.VPPrice
+
+// API is the backend's HTTP surface (POST /api/check, GET /api/anchors,
+// GET /api/stats); serve it with net/http.
+type API = backend.API
+
+// NewAPI wraps a world's backend for HTTP serving (cmd/sheriffd does this).
+func NewAPI(w *World) *API { return backend.NewAPI(w.Backend) }
+
+// Anchor is a learned price-extraction anchor (path + context).
+type Anchor = extract.Anchor
+
+// VantagePoint is one of the paper's 14 measurement endpoints.
+type VantagePoint = geo.VantagePoint
+
+// VantagePoints returns the paper's 14 vantage points (Fig. 7).
+func VantagePoints() []VantagePoint { return geo.VantagePoints() }
+
+// Store is the observation database; Observation one extracted price.
+type (
+	Store       = store.Store
+	Observation = store.Observation
+)
+
+// ReadDataset loads a JSONL dataset previously written with
+// World.Store.WriteJSONL (cmd/crawl writes these, cmd/analyze reads them).
+var ReadDataset = store.ReadJSONL
+
+// Figure result types, re-exported for downstream analysis code.
+type (
+	// DomainCount is a Fig. 1 row.
+	DomainCount = analysis.DomainCount
+	// DomainBox is a Fig. 2/4/9 row.
+	DomainBox = analysis.DomainBox
+	// DomainExtent is a Fig. 3 row.
+	DomainExtent = analysis.DomainExtent
+	// PricePoint is a Fig. 5 dot.
+	PricePoint = analysis.PricePoint
+	// VPSeries is a Fig. 6 per-location series with its strategy fit.
+	VPSeries = analysis.VPSeries
+	// StrategyFit is a fitted pricing model (multiplicative/additive).
+	StrategyFit = analysis.StrategyFit
+	// LocationBox is a Fig. 7 row.
+	LocationBox = analysis.LocationBox
+	// Fig8Grid is a pairwise location-comparison grid.
+	Fig8Grid = analysis.Fig8Grid
+	// LoginSeries is the Fig. 10 data.
+	LoginSeries = analysis.LoginSeries
+	// BoxStats is a five-number summary.
+	BoxStats = analysis.BoxStats
+	// Summary is the dataset overview of Sec. 3.2/4.1.
+	Summary = analysis.Summary
+	// Fig5EnvelopeBand is one price band of the Fig. 5 envelope.
+	Fig5EnvelopeBand = analysis.Fig5Envelope
+	// CampaignAgreement is the crowd-vs-crawl repeatability summary.
+	CampaignAgreement = analysis.CampaignAgreement
+	// SegmentFinding is one retailer's browsing-history-pricing verdict.
+	SegmentFinding = core.SegmentFinding
+)
+
+// Strategy kinds a StrategyFit can report.
+const (
+	StrategyNone           = analysis.StrategyNone
+	StrategyMultiplicative = analysis.StrategyMultiplicative
+	StrategyAdditive       = analysis.StrategyAdditive
+)
+
+// EnvelopeOf folds Fig. 5 points into the paper's price-band envelope
+// (cheap ≤ ×3, mid ≤ ×2, expensive < ×1.5).
+var EnvelopeOf = analysis.EnvelopeOf
+
+// Summarize derives the dataset summary from a store plus crowd-campaign
+// statistics.
+var Summarize = analysis.Summarize
