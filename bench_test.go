@@ -7,6 +7,7 @@
 package sheriff_test
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -378,6 +379,246 @@ func BenchmarkGeoLookup(b *testing.B) {
 			b.Fatal("lookup failed")
 		}
 	}
+}
+
+// --- Observation store benchmarks (sharded engine vs seed linear scan) ---
+
+// benchLinear is the seed's single-mutex, single-slice store engine,
+// reproduced here as the baseline the sharded engine is measured against.
+type benchLinear struct {
+	mu  sync.RWMutex
+	obs []store.Observation
+}
+
+func (s *benchLinear) add(o store.Observation) {
+	s.mu.Lock()
+	s.obs = append(s.obs, o)
+	s.mu.Unlock()
+}
+
+func (s *benchLinear) filter(q store.Query) []store.Observation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []store.Observation
+	for _, o := range s.obs {
+		if q.Domain != "" && o.Domain != q.Domain {
+			continue
+		}
+		if q.SKU != "" && o.SKU != q.SKU {
+			continue
+		}
+		if q.Source != "" && o.Source != q.Source {
+			continue
+		}
+		if q.VP != "" && o.VP != q.VP {
+			continue
+		}
+		if q.Round >= 0 && o.Round != q.Round {
+			continue
+		}
+		if q.OnlyOK && !o.OK {
+			continue
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+func (s *benchLinear) groupByProduct(source string) map[store.Key][]store.Observation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := map[store.Key][]store.Observation{}
+	for _, o := range s.obs {
+		if source != "" && o.Source != source {
+			continue
+		}
+		k := store.Key{Domain: o.Domain, SKU: o.SKU}
+		out[k] = append(out[k], o)
+	}
+	return out
+}
+
+// benchObservations synthesizes a campaign-shaped dataset: crawl rows
+// over domains × SKUs × vantage points × rounds, with a crowd slice
+// (~1% of rows, as in the paper's 1.5K checks vs 188K crawl prices) that
+// partially overlaps the crawled product space.
+func benchObservations(n int) []store.Observation {
+	day := time.Date(2013, 2, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]store.Observation, n)
+	for i := range out {
+		domain := fmt.Sprintf("shop%02d.example.com", i%40)
+		src := store.SourceCrawl
+		round := i % 7
+		sku := fmt.Sprintf("P-%d", (i/40)%80)
+		if i%97 == 0 {
+			src, round = store.SourceCrowd, -1
+			if i%5 != 0 {
+				sku = fmt.Sprintf("C-%d", (i/40)%200)
+			}
+		}
+		out[i] = store.Observation{
+			Domain: domain, SKU: sku,
+			VP: fmt.Sprintf("vp-%d", i%14), PriceUnits: int64(1000 + i%5000),
+			Currency: "USD", Time: day.AddDate(0, 0, round),
+			Round: round, Source: src, OK: i%11 != 0,
+		}
+	}
+	return out
+}
+
+var storeBenchSizes = []struct {
+	name string
+	n    int
+}{
+	{"10K", 10_000},
+	{"100K", 100_000},
+	{"1M", 1_000_000},
+}
+
+// BenchmarkStoreAdd measures serial single-observation ingest, index
+// maintenance included.
+func BenchmarkStoreAdd(b *testing.B) {
+	for _, size := range storeBenchSizes {
+		obs := benchObservations(size.n)
+		b.Run(size.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := store.New()
+				for _, o := range obs {
+					st.Add(o)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreAddAll measures batch ingest in fan-out-sized batches
+// (14 observations, one product check), the backend/crawler write shape.
+func BenchmarkStoreAddAll(b *testing.B) {
+	for _, size := range storeBenchSizes {
+		obs := benchObservations(size.n)
+		b.Run(size.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := store.New()
+				for j := 0; j < len(obs); j += 14 {
+					end := j + 14
+					if end > len(obs) {
+						end = len(obs)
+					}
+					st.AddAll(obs[j:end])
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreFilterDomain measures a domain-scoped query on the
+// sharded, indexed engine (O(result) posting-list walk).
+func BenchmarkStoreFilterDomain(b *testing.B) {
+	for _, size := range storeBenchSizes {
+		obs := benchObservations(size.n)
+		st := store.New()
+		st.AddAll(obs)
+		q := store.Query{Domain: "shop02.example.com", Round: 3, OnlyOK: true}
+		b.Run(size.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if rows := st.Filter(q); len(rows) == 0 {
+					b.Fatal("empty filter")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreFilterDomainLinear is the same query against the seed's
+// linear scan — the baseline the ≥5× win is measured against.
+func BenchmarkStoreFilterDomainLinear(b *testing.B) {
+	for _, size := range storeBenchSizes {
+		st := &benchLinear{}
+		for _, o := range benchObservations(size.n) {
+			st.add(o)
+		}
+		q := store.Query{Domain: "shop02.example.com", Round: 3, OnlyOK: true}
+		b.Run(size.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if rows := st.filter(q); len(rows) == 0 {
+					b.Fatal("empty filter")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreGroupByProduct measures the analysis layer's partition
+// query on the indexed engine (posting lists, no full-dataset scan).
+func BenchmarkStoreGroupByProduct(b *testing.B) {
+	for _, size := range storeBenchSizes {
+		st := store.New()
+		st.AddAll(benchObservations(size.n))
+		b.Run(size.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if g := st.GroupByProduct(store.SourceCrawl); len(g) == 0 {
+					b.Fatal("empty grouping")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreGroupByProductLinear is the seed's full-scan grouping.
+func BenchmarkStoreGroupByProductLinear(b *testing.B) {
+	for _, size := range storeBenchSizes {
+		st := &benchLinear{}
+		for _, o := range benchObservations(size.n) {
+			st.add(o)
+		}
+		b.Run(size.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if g := st.groupByProduct(store.SourceCrawl); len(g) == 0 {
+					b.Fatal("empty grouping")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreGroupsStream measures the zero-materialization streaming
+// path the figures actually run on.
+func BenchmarkStoreGroupsStream(b *testing.B) {
+	for _, size := range storeBenchSizes {
+		st := store.New()
+		st.AddAll(benchObservations(size.n))
+		b.Run(size.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				groups := 0
+				for _, g := range st.Groups(store.SourceCrawl) {
+					groups += len(g)
+				}
+				if groups == 0 {
+					b.Fatal("empty stream")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreConcurrentMixed measures the fan-out contention case the
+// sharding exists for: parallel writers on distinct domains racing
+// domain-scoped readers.
+func BenchmarkStoreConcurrentMixed(b *testing.B) {
+	obs := benchObservations(100_000)
+	st := store.New()
+	st.AddAll(obs)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%4 == 0 {
+				st.AddAll(obs[i%1000*14 : i%1000*14+14])
+			} else {
+				st.Filter(store.Query{Domain: obs[i%len(obs)].Domain, Round: 3, OnlyOK: true})
+			}
+			i++
+		}
+	})
 }
 
 // BenchmarkStoreAppendAndQuery measures observation ingest plus a domain

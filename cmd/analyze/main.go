@@ -42,8 +42,14 @@ func main() {
 		log.Fatalf("read dataset: %v", err)
 	}
 	market := fx.NewMarket(*seed)
-	fmt.Printf("dataset: %d observations, %d prices, %d domains\n\n",
+	fmt.Printf("dataset: %d observations, %d prices, %d domains\n",
 		st.Len(), st.LenOK(), len(st.Domains()))
+	for _, src := range []string{store.SourceCrowd, store.SourceCrawl, store.SourceLogin, store.SourcePersona} {
+		if total, ok := st.LenSource(src); total > 0 {
+			fmt.Printf("  %-8s %d observations, %d prices\n", src, total, ok)
+		}
+	}
+	fmt.Println()
 
 	show := func(want string) bool { return *fig == "all" || *fig == want }
 

@@ -1,0 +1,3 @@
+module sheriff
+
+go 1.24

@@ -61,10 +61,7 @@ type StrategyFit struct {
 func Fig6(st *store.Store, market *fx.Market, domain string, minPoints int) []VPSeries {
 	pointsByVP := map[string][]RatioPoint{}
 	labels := map[string]string{}
-	for key, obs := range st.GroupByProduct(store.SourceCrawl) {
-		if key.Domain != domain {
-			continue
-		}
+	for _, obs := range st.DomainGroups(domain, store.SourceCrawl) {
 		for _, group := range byRound(obs) {
 			minUSD := -1.0
 			usdByVP := map[string]float64{}
@@ -201,10 +198,7 @@ func Fig8(st *store.Store, market *fx.Market, domain, level string) Fig8Grid {
 	// Collect per-(product, round) USD prices by location name.
 	type groupPrices map[string]float64
 	var groups []groupPrices
-	for key, obs := range st.GroupByProduct(store.SourceCrawl) {
-		if key.Domain != domain {
-			continue
-		}
+	for _, obs := range st.DomainGroups(domain, store.SourceCrawl) {
 		for _, group := range byRound(obs) {
 			gp := groupPrices{}
 			minUSD := -1.0

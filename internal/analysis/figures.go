@@ -25,7 +25,7 @@ type DomainCount struct {
 // where price differences occurred".
 func Fig1(st *store.Store, market *fx.Market) []DomainCount {
 	perDomain := map[string]*DomainCount{}
-	for key, obs := range st.GroupByProduct(store.SourceCrowd) {
+	for key, obs := range st.Groups(store.SourceCrowd) {
 		for _, check := range byCheck(obs) {
 			dc := perDomain[key.Domain]
 			if dc == nil {
@@ -64,7 +64,7 @@ type DomainBox struct {
 // "Magnitude of price differences per domain".
 func Fig2(st *store.Store, market *fx.Market) []DomainBox {
 	ratios := map[string][]float64{}
-	for key, obs := range st.GroupByProduct(store.SourceCrowd) {
+	for key, obs := range st.Groups(store.SourceCrowd) {
 		for _, check := range byCheck(obs) {
 			if ratio, real := GroupRatio(market, check); real {
 				ratios[key.Domain] = append(ratios[key.Domain], ratio)
@@ -107,7 +107,7 @@ type DomainExtent struct {
 // across rounds is required, which is what rejects A/B noise.
 func Fig3(st *store.Store, market *fx.Market) []DomainExtent {
 	perDomain := map[string]*DomainExtent{}
-	for key, obs := range st.GroupByProduct(store.SourceCrawl) {
+	for key, obs := range st.Groups(store.SourceCrawl) {
 		de := perDomain[key.Domain]
 		if de == nil {
 			de = &DomainExtent{Domain: key.Domain}
@@ -143,7 +143,7 @@ func Fig3(st *store.Store, market *fx.Market) []DomainExtent {
 // "Magnitude of price variability per domain".
 func Fig4(st *store.Store, market *fx.Market) []DomainBox {
 	ratios := map[string][]float64{}
-	for key, obs := range st.GroupByProduct(store.SourceCrawl) {
+	for key, obs := range st.Groups(store.SourceCrawl) {
 		pr := summarizeProduct(market, obs)
 		if pr.persistent() {
 			ratios[key.Domain] = append(ratios[key.Domain], pr.medianRatio())
@@ -166,7 +166,7 @@ type PricePoint struct {
 // product price, across all crawled stores.
 func Fig5(st *store.Store, market *fx.Market) []PricePoint {
 	var out []PricePoint
-	for key, obs := range st.GroupByProduct(store.SourceCrawl) {
+	for key, obs := range st.Groups(store.SourceCrawl) {
 		pr := summarizeProduct(market, obs)
 		if pr.minUSD <= 0 || len(pr.ratios) == 0 {
 			continue
@@ -234,7 +234,7 @@ type LocationBox struct {
 // location".
 func Fig7(st *store.Store, market *fx.Market) []LocationBox {
 	ratiosByVP := map[string][]float64{}
-	for _, obs := range st.GroupByProduct(store.SourceCrawl) {
+	for _, obs := range st.Groups(store.SourceCrawl) {
 		for _, group := range byRound(obs) {
 			addLocationRatios(market, group, ratiosByVP)
 		}
@@ -284,7 +284,7 @@ func addLocationRatios(market *fx.Market, group []store.Observation, acc map[str
 // Finland is (sometimes) the cheapest location.
 func Fig9(st *store.Store, market *fx.Market) []DomainBox {
 	ratios := map[string][]float64{}
-	for key, obs := range st.GroupByProduct(store.SourceCrawl) {
+	for key, obs := range st.Groups(store.SourceCrawl) {
 		for _, group := range byRound(obs) {
 			acc := map[string][]float64{}
 			addLocationRatios(market, group, acc)
@@ -310,11 +310,10 @@ type LoginSeries struct {
 // Fig10 reconstructs the login experiment series from SourceLogin
 // observations.
 func Fig10(st *store.Store, market *fx.Market) LoginSeries {
-	obs := st.Filter(store.Query{Source: store.SourceLogin, Round: -1, OnlyOK: true})
 	skuSet := map[string]bool{}
 	accSet := map[string]bool{}
 	prices := map[string]map[string]float64{} // account -> sku -> usd
-	for _, o := range obs {
+	for o := range st.Scan(store.Query{Source: store.SourceLogin, Round: -1, OnlyOK: true}) {
 		skuSet[o.SKU] = true
 		accSet[o.Account] = true
 		usd, ok := usdOf(market, o)
@@ -394,21 +393,17 @@ func Summarize(st *store.Store, crowdUsers, crowdCountries, crowdDomains int) Su
 	crawlDomains := map[string]bool{}
 	crawlProducts := map[store.Key]bool{}
 	maxRound := -1
-	for _, o := range st.All() {
-		switch o.Source {
-		case store.SourceCrowd:
-			checkTimes[o.Domain+"|"+o.SKU+"|"+o.Time.String()] = true
-		case store.SourceCrawl:
-			crawlDomains[o.Domain] = true
-			crawlProducts[store.Key{Domain: o.Domain, SKU: o.SKU}] = true
-			if o.Round > maxRound {
-				maxRound = o.Round
-			}
-			if o.OK {
-				s.ExtractedPrices++
-			}
+	for o := range st.Scan(store.Query{Source: store.SourceCrowd, Round: -1}) {
+		checkTimes[o.Domain+"|"+o.SKU+"|"+o.Time.String()] = true
+	}
+	for o := range st.Scan(store.Query{Source: store.SourceCrawl, Round: -1}) {
+		crawlDomains[o.Domain] = true
+		crawlProducts[store.Key{Domain: o.Domain, SKU: o.SKU}] = true
+		if o.Round > maxRound {
+			maxRound = o.Round
 		}
 	}
+	_, s.ExtractedPrices = st.LenSource(store.SourceCrawl)
 	s.CrowdRequests = len(checkTimes)
 	s.CrawledDomains = len(crawlDomains)
 	s.CrawledProducts = len(crawlProducts)

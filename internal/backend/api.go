@@ -93,6 +93,10 @@ type statsPayload struct {
 	Checks       int `json:"checks"`
 	Observations int `json:"observations"`
 	OKPrices     int `json:"ok_prices"`
+	// ByVP counts stored observations per vantage point — off the
+	// store's per-VP index, so a skewed or dead vantage point shows up
+	// in monitoring without a dataset scan.
+	ByVP map[string]int `json:"by_vp,omitempty"`
 }
 
 func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -100,11 +104,20 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, statsPayload{
+	p := statsPayload{
 		Checks:       a.backend.Checks(),
 		Observations: a.backend.store.Len(),
 		OKPrices:     a.backend.store.LenOK(),
-	})
+	}
+	for _, vp := range a.backend.vps {
+		if n := a.backend.store.LenVP(vp.ID); n > 0 {
+			if p.ByVP == nil {
+				p.ByVP = make(map[string]int)
+			}
+			p.ByVP[vp.ID] = n
+		}
+	}
+	writeJSON(w, p)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

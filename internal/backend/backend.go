@@ -124,7 +124,6 @@ func (b *Backend) Check(req CheckRequest) (CheckResult, error) {
 	if err != nil {
 		return CheckResult{}, fmt.Errorf("backend: %w", err)
 	}
-	_ = userLoc
 
 	b.mu.Lock()
 	b.anchors[domain] = anchor
@@ -146,8 +145,12 @@ func (b *Backend) Check(req CheckRequest) (CheckResult, error) {
 	}
 	wg.Wait()
 
-	// Store observations and apply the currency filter.
+	// Store the check's observations as one batch (a single shard lock
+	// acquisition — the fan-out's 14 rows share a domain) and apply the
+	// currency filter. Each row records the originating user's country,
+	// so crowd demographics survive into the dataset.
 	var quotes []fx.Quote
+	obs := make([]store.Observation, len(results))
 	for i, r := range results {
 		o := store.Observation{
 			Domain: domain, SKU: sku, URL: req.URL,
@@ -155,15 +158,17 @@ func (b *Backend) Check(req CheckRequest) (CheckResult, error) {
 			Country: b.vps[i].Location.Country.Code, City: b.vps[i].Location.City,
 			PriceUnits: r.PriceUnits, Currency: r.Currency,
 			Time: now, Round: -1, Source: store.SourceCrowd,
-			OK: r.OK, Err: r.Err,
+			UserCountry: userLoc.Country.Code,
+			OK:          r.OK, Err: r.Err,
 		}
-		b.store.Add(o)
+		obs[i] = o
 		if r.OK {
 			if amt, ok := o.Amount(); ok {
 				quotes = append(quotes, fx.Quote{Amount: amt, Day: now})
 			}
 		}
 	}
+	b.store.AddAll(obs)
 	ratio, varies := b.market.RealVariation(quotes)
 	return CheckResult{
 		Domain: domain, SKU: sku,

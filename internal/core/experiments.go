@@ -172,16 +172,20 @@ func (w *World) RunLoginExperiment(domain string, products int, accounts []strin
 				return nil, fmt.Errorf("core: login %s: %w", account, err)
 			}
 		}
+		// One batch append per account state: the series shares a domain,
+		// so it lands under a single shard lock.
+		obs := make([]store.Observation, 0, len(ebooks))
 		for _, p := range ebooks {
-			w.observeLogin(b, r, p, vp, anchor, account)
+			obs = append(obs, w.observeLogin(b, r, p, vp, anchor, account))
 		}
+		w.Store.AddAll(obs)
 	}
 	return &LoginReport{Domain: domain, Products: len(ebooks), Accounts: accounts}, nil
 }
 
-// observeLogin fetches one product under one account state and stores the
-// observation.
-func (w *World) observeLogin(b *browser.Browser, r *shop.Retailer, p shop.Product, vp geo.VantagePoint, anchor extract.Anchor, account string) {
+// observeLogin fetches one product under one account state and returns
+// the observation.
+func (w *World) observeLogin(b *browser.Browser, r *shop.Retailer, p shop.Product, vp geo.VantagePoint, anchor extract.Anchor, account string) store.Observation {
 	o := store.Observation{
 		Domain: r.Domain(), SKU: p.SKU,
 		URL: "http://" + r.Domain() + "/product/" + p.SKU,
@@ -193,23 +197,20 @@ func (w *World) observeLogin(b *browser.Browser, r *shop.Retailer, p shop.Produc
 	page, err := b.Get(o.URL)
 	if err != nil {
 		o.Err = err.Error()
-		w.Store.Add(o)
-		return
+		return o
 	}
 	doc, err := htmlx.ParseString(page)
 	if err != nil {
 		o.Err = err.Error()
-		w.Store.Add(o)
-		return
+		return o
 	}
 	amt, err := anchor.Extract(doc, vp.Location.Country.Currency)
 	if err != nil {
 		o.Err = err.Error()
-		w.Store.Add(o)
-		return
+		return o
 	}
 	o.PriceUnits, o.Currency, o.OK = amt.Units, amt.Currency.Code, true
-	w.Store.Add(o)
+	return o
 }
 
 // learnAnchor derives an extraction anchor from a product page rendered
@@ -293,8 +294,10 @@ func (w *World) RunPersonaExperiment(domains []string, products int) (*PersonaRe
 			if diff {
 				rep.Differing++
 			}
-			w.storePersonaObs(r, p, vp, pageA, "affluent")
-			w.storePersonaObs(r, p, vp, pageB, "budget")
+			w.Store.AddAll([]store.Observation{
+				w.personaObs(r, p, vp, pageA, "affluent"),
+				w.personaObs(r, p, vp, pageB, "budget"),
+			})
 		}
 	}
 	return rep, nil
@@ -325,8 +328,8 @@ func (w *World) personaPricesDiffer(pageA, pageB, domain string, vp geo.VantageP
 	return a.Units != b.Units || a.Currency.Code != b.Currency.Code, nil
 }
 
-// storePersonaObs records one persona observation for the dataset.
-func (w *World) storePersonaObs(r *shop.Retailer, p shop.Product, vp geo.VantagePoint, page, segment string) {
+// personaObs builds one persona observation for the dataset.
+func (w *World) personaObs(r *shop.Retailer, p shop.Product, vp geo.VantagePoint, page, segment string) store.Observation {
 	o := store.Observation{
 		Domain: r.Domain(), SKU: p.SKU,
 		URL: "http://" + r.Domain() + "/product/" + p.SKU,
@@ -345,7 +348,7 @@ func (w *World) storePersonaObs(r *shop.Retailer, p shop.Product, vp geo.Vantage
 			o.PriceUnits, o.Currency, o.OK = amt.Units, amt.Currency.Code, true
 		}
 	}
-	w.Store.Add(o)
+	return o
 }
 
 // SegmentFinding is one retailer's verdict from the segment detector.

@@ -180,8 +180,11 @@ func (c *Crawler) crawlProduct(domain, productURL string, anchor extract.Anchor,
 		}(i, vp)
 	}
 	wg.Wait()
+	// One batch append per product-round: the 14 per-VP rows share the
+	// product's domain, so this takes a single shard lock and concurrent
+	// product groups on other retailers never contend.
+	c.store.AddAll(results)
 	for _, o := range results {
-		c.store.Add(o)
 		if o.OK {
 			okCount++
 		} else {

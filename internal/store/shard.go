@@ -1,0 +1,128 @@
+package store
+
+import "sync"
+
+// shardBits fixes the shard count. 16 shards keep lock contention
+// negligible for a 14-way vantage-point fan-out plus crawler parallelism
+// while costing nothing on small datasets.
+const (
+	shardBits = 4
+	numShards = 1 << shardBits
+)
+
+// shardIdx maps a domain to its shard (FNV-1a over the domain bytes).
+// Everything observed at one retailer lives in one shard, so
+// domain-scoped queries touch a single lock.
+func shardIdx(domain string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(domain); i++ {
+		h ^= uint32(domain[i])
+		h *= 16777619
+	}
+	return h & (numShards - 1)
+}
+
+// keyGroup is the primary storage unit: one product's observations,
+// contiguous in memory and in append order. Keeping the dataset grouped
+// by key at ingest is what makes GroupByProduct — the analysis layer's
+// dominant query — an index walk over cache-local runs instead of a
+// full-dataset scan-and-partition. All slices are append-only; elements
+// are never mutated once published, so a slice header captured under the
+// shard's read lock stays valid forever.
+type keyGroup struct {
+	// obs and seqs hold the group's observations and their global
+	// sequence numbers, in append order.
+	obs  []Observation
+	seqs []uint64
+	// bySource posts group-local observation positions per campaign
+	// source, for source-restricted grouping.
+	bySource map[string][]int32
+}
+
+// gref addresses one observation: the group it lives in plus its
+// position there. Order lists of grefs give the shard its insertion
+// sequence without storing the dataset twice.
+type gref struct {
+	g   *keyGroup
+	pos int32
+}
+
+// obs returns the referenced observation. Only call with the shard lock
+// held (reading g.obs's live header), or via headers captured under it.
+func (r gref) obs() *Observation { return &r.g.obs[r.pos] }
+
+// seq returns the referenced observation's global sequence number.
+func (r gref) seq() uint64 { return r.g.seqs[r.pos] }
+
+// domainIndex is the posting state of one domain.
+type domainIndex struct {
+	// order lists the domain's observations in append order.
+	order []gref
+	// skus is the domain's distinct product set.
+	skus map[string]struct{}
+}
+
+// shard is one independently-locked partition of the store.
+type shard struct {
+	mu sync.RWMutex
+	// ok counts successful extractions.
+	ok int
+	// groups is the primary storage, keyed by product.
+	groups map[Key]*keyGroup
+	// order lists every observation in append order — the shard's
+	// contribution to global insertion-order scans and serialization.
+	order []gref
+	// byDomain indexes each domain's observations and SKU set — the
+	// Filter{Domain} and Products fast paths.
+	byDomain map[string]*domainIndex
+	// bySource lists observations per campaign source in append order —
+	// the Filter{Source} fast path.
+	bySource map[string][]gref
+	// okBySource counts successful extractions per campaign source.
+	okBySource map[string]int
+	// byVP counts observations per vantage point.
+	byVP map[string]int
+}
+
+// init readies the shard's maps.
+func (sh *shard) init() {
+	sh.groups = make(map[Key]*keyGroup)
+	sh.byDomain = make(map[string]*domainIndex)
+	sh.bySource = make(map[string][]gref)
+	sh.okBySource = make(map[string]int)
+	sh.byVP = make(map[string]int)
+}
+
+// add appends one observation and updates every index. Caller holds mu.
+// Groups address observations with int32 positions; at ~2 billion
+// observations per product the store must grow a wider posting type.
+func (sh *shard) add(o Observation, seq uint64) {
+	k := Key{Domain: o.Domain, SKU: o.SKU}
+	g := sh.groups[k]
+	if g == nil {
+		g = &keyGroup{bySource: make(map[string][]int32)}
+		sh.groups[k] = g
+	}
+	pos := int32(len(g.obs))
+	g.obs = append(g.obs, o)
+	g.seqs = append(g.seqs, seq)
+	g.bySource[o.Source] = append(g.bySource[o.Source], pos)
+
+	r := gref{g: g, pos: pos}
+	sh.order = append(sh.order, r)
+
+	di := sh.byDomain[o.Domain]
+	if di == nil {
+		di = &domainIndex{skus: make(map[string]struct{})}
+		sh.byDomain[o.Domain] = di
+	}
+	di.order = append(di.order, r)
+	di.skus[o.SKU] = struct{}{}
+
+	sh.bySource[o.Source] = append(sh.bySource[o.Source], r)
+	sh.byVP[o.VP]++
+	if o.OK {
+		sh.ok++
+		sh.okBySource[o.Source]++
+	}
+}

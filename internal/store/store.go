@@ -4,15 +4,29 @@
 // ever reads this store, so a dataset can be persisted as JSON Lines,
 // reloaded, and re-analyzed without re-running a campaign, mirroring how
 // the paper separates collection from analysis.
+//
+// The engine is sharded and indexed for campaign scale: observations are
+// partitioned by hash(Domain) into independently-locked shards, so the
+// backend's 14-way check fan-outs and concurrent crawler rounds never
+// contend on one mutex, and every shard maintains incremental indexes at
+// Add time (per-product posting lists, per-source posting lists, per-VP
+// counters, domain/SKU sets). Queries that used to be O(dataset) linear
+// scans — Products, Domains, LenOK, GroupByProduct, domain-scoped
+// Filters — are O(result) index walks. Readers iterate through Scan and
+// Groups, which snapshot only a query's matching rows (never rescanning
+// or copying the rest of the dataset) and hold no lock while the
+// consumer's loop body runs; the slice-returning APIs remain as thin
+// adapters over them.
+//
+// Ordering: every observation receives a global sequence number when it
+// is admitted, and all query and serialization paths yield observations
+// in sequence order. For any serial sequence of Add/AddAll calls this is
+// exactly insertion order, so WriteJSONL emits byte-identical output to
+// the historical single-slice engine.
 package store
 
 import (
-	"bufio"
-	"encoding/json"
-	"fmt"
-	"io"
-	"sort"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"sheriff/internal/money"
@@ -61,6 +75,9 @@ type Observation struct {
 	Account string `json:"account,omitempty"`
 	// Segment is the persona segment for persona experiments.
 	Segment string `json:"segment,omitempty"`
+	// UserCountry is the originating crowd user's country code — where the
+	// highlight was made — empty outside crowd checks.
+	UserCountry string `json:"user_country,omitempty"`
 	// OK reports whether extraction succeeded; when false Err explains.
 	OK bool `json:"ok"`
 	// Err is the extraction failure, empty on success.
@@ -82,177 +99,127 @@ type Key struct {
 	SKU    string
 }
 
-// Store is an append-only observation log with query helpers.
-// It is safe for concurrent use.
+// Store is an append-only observation database, sharded by domain hash.
+// It is safe for concurrent use; writers to different domains proceed in
+// parallel and readers never block writers of other shards.
 type Store struct {
-	mu  sync.RWMutex
-	obs []Observation
+	seq    atomic.Uint64
+	shards [numShards]shard
 }
 
 // New returns an empty store.
-func New() *Store { return &Store{} }
+func New() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].init()
+	}
+	return s
+}
 
 // Add appends one observation.
 func (s *Store) Add(o Observation) {
-	s.mu.Lock()
-	s.obs = append(s.obs, o)
-	s.mu.Unlock()
+	sh := &s.shards[shardIdx(o.Domain)]
+	sh.mu.Lock()
+	sh.add(o, s.seq.Add(1))
+	sh.mu.Unlock()
 }
 
-// AddAll appends a batch.
+// AddAll appends a batch, preserving batch order in the store's global
+// sequence (a backend check's 14 per-VP observations or a crawler
+// product-round land with one reservation and, when they share a domain,
+// one lock acquisition).
 func (s *Store) AddAll(os []Observation) {
-	s.mu.Lock()
-	s.obs = append(s.obs, os...)
-	s.mu.Unlock()
+	if len(os) == 0 {
+		return
+	}
+	base := s.seq.Add(uint64(len(os))) - uint64(len(os))
+
+	// Fast path: single-domain batches (the common shape — one product
+	// fanned out across vantage points) take one shard lock.
+	first := shardIdx(os[0].Domain)
+	single := true
+	for i := 1; i < len(os); i++ {
+		if shardIdx(os[i].Domain) != first {
+			single = false
+			break
+		}
+	}
+	if single {
+		sh := &s.shards[first]
+		sh.mu.Lock()
+		for i := range os {
+			sh.add(os[i], base+uint64(i)+1)
+		}
+		sh.mu.Unlock()
+		return
+	}
+
+	// Mixed batch (e.g. a JSONL load): group indices by shard, keeping
+	// batch order within each group so per-shard sequences stay ascending.
+	var groups [numShards][]int32
+	for i := range os {
+		si := shardIdx(os[i].Domain)
+		groups[si] = append(groups[si], int32(i))
+	}
+	for si := range groups {
+		if len(groups[si]) == 0 {
+			continue
+		}
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for _, i := range groups[si] {
+			sh.add(os[i], base+uint64(i)+1)
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // Len returns the number of observations (successes and failures).
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.obs)
-}
-
-// LenOK returns the number of successfully extracted prices — the paper's
-// "188K extracted prices" counts these.
-func (s *Store) LenOK() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for _, o := range s.obs {
-		if o.OK {
-			n++
-		}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.order)
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
-// Query filters observations. Zero-valued fields match everything.
-type Query struct {
-	// Domain restricts to one retailer.
-	Domain string
-	// SKU restricts to one product.
-	SKU string
-	// Source restricts to one campaign type.
-	Source string
-	// VP restricts to one vantage point ID.
-	VP string
-	// Round restricts to one crawl round when >= 0 (use -1 to match all).
-	Round int
-	// OnlyOK drops failed extractions.
-	OnlyOK bool
+// LenOK returns the number of successfully extracted prices — the paper's
+// "188K extracted prices" counts these. Maintained incrementally: O(shards).
+func (s *Store) LenOK() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += sh.ok
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
-// Filter returns matching observations in insertion order.
-func (s *Store) Filter(q Query) []Observation {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []Observation
-	for _, o := range s.obs {
-		if q.Domain != "" && o.Domain != q.Domain {
-			continue
-		}
-		if q.SKU != "" && o.SKU != q.SKU {
-			continue
-		}
-		if q.Source != "" && o.Source != q.Source {
-			continue
-		}
-		if q.VP != "" && o.VP != q.VP {
-			continue
-		}
-		if q.Round >= 0 && o.Round != q.Round {
-			continue
-		}
-		if q.OnlyOK && !o.OK {
-			continue
-		}
-		out = append(out, o)
+// LenSource returns the number of observations of one campaign source,
+// and how many of them carry a successfully extracted price.
+func (s *Store) LenSource(source string) (total, ok int) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += len(sh.bySource[source])
+		ok += sh.okBySource[source]
+		sh.mu.RUnlock()
 	}
-	return out
+	return total, ok
 }
 
-// All returns every observation. The paper's analysis scripts iterate the
-// whole dataset; so do ours.
-func (s *Store) All() []Observation {
-	return s.Filter(Query{Round: -1})
-}
-
-// Domains returns the distinct domains observed, sorted.
-func (s *Store) Domains() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	set := map[string]bool{}
-	for _, o := range s.obs {
-		set[o.Domain] = true
+// LenVP returns the number of observations recorded from one vantage point.
+func (s *Store) LenVP(vp string) int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += sh.byVP[vp]
+		sh.mu.RUnlock()
 	}
-	out := make([]string, 0, len(set))
-	for d := range set {
-		out = append(out, d)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// Products returns the distinct product keys of a domain, sorted by SKU.
-func (s *Store) Products(domain string) []Key {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	set := map[Key]bool{}
-	for _, o := range s.obs {
-		if o.Domain == domain {
-			set[Key{Domain: o.Domain, SKU: o.SKU}] = true
-		}
-	}
-	out := make([]Key, 0, len(set))
-	for k := range set {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].SKU < out[j].SKU })
-	return out
-}
-
-// GroupByProduct partitions observations of one source by product key.
-func (s *Store) GroupByProduct(source string) map[Key][]Observation {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := map[Key][]Observation{}
-	for _, o := range s.obs {
-		if source != "" && o.Source != source {
-			continue
-		}
-		k := Key{Domain: o.Domain, SKU: o.SKU}
-		out[k] = append(out[k], o)
-	}
-	return out
-}
-
-// WriteJSONL streams the store as JSON Lines.
-func (s *Store) WriteJSONL(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	for i := range s.obs {
-		if err := enc.Encode(&s.obs[i]); err != nil {
-			return fmt.Errorf("store: encode observation %d: %w", i, err)
-		}
-	}
-	return bw.Flush()
-}
-
-// ReadJSONL loads a store previously written with WriteJSONL.
-func ReadJSONL(r io.Reader) (*Store, error) {
-	s := New()
-	dec := json.NewDecoder(bufio.NewReader(r))
-	for i := 0; ; i++ {
-		var o Observation
-		if err := dec.Decode(&o); err != nil {
-			if err == io.EOF {
-				return s, nil
-			}
-			return nil, fmt.Errorf("store: decode line %d: %w", i, err)
-		}
-		s.obs = append(s.obs, o)
-	}
+	return n
 }

@@ -94,9 +94,17 @@ type VantagePoint = geo.VantagePoint
 func VantagePoints() []VantagePoint { return geo.VantagePoints() }
 
 // Store is the observation database; Observation one extracted price.
+// The store is sharded by domain and indexed at ingest; stream it with
+// Store.Scan / Store.Groups, filter with a Query.
 type (
 	Store       = store.Store
 	Observation = store.Observation
+	// Query selects observations for Store.Scan and Store.Filter;
+	// zero-valued fields match everything (set Round to -1 to match all
+	// rounds).
+	Query = store.Query
+	// ProductKey identifies one (domain, SKU) product group.
+	ProductKey = store.Key
 )
 
 // ReadDataset loads a JSONL dataset previously written with
