@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, so CI can archive benchmark results as a structured
+// artifact (BENCH_pr.json) and the performance trajectory accumulates
+// across PRs in a diffable, machine-readable form.
+//
+//	go test -bench=. -benchmem -run='^$' -count=1 . | benchjson > BENCH_pr.json
+//
+// Repeated benchmark names (from -count>1) appear as separate entries;
+// consumers aggregate as they see fit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	// Pkg is the package under test (from the preceding "pkg:" line).
+	Pkg string `json:"pkg,omitempty"`
+	// Name is the benchmark name without the -N GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value ("ns/op", "B/op", "allocs/op", and any
+	// custom b.ReportMetric units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the full artifact.
+type Doc struct {
+	// Env echoes the goos/goarch/cpu header lines.
+	Env map[string]string `json:"env,omitempty"`
+	// Benchmarks in input order.
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes `go test -bench` output. Lines it does not understand
+// (PASS, ok, test log noise) are skipped: bench output is interleaved with
+// whatever the tests print.
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Env: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			doc.Env[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseBenchLine(line); ok {
+				res.Pkg = pkg
+				doc.Benchmarks = append(doc.Benchmarks, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on stdin")
+	}
+	return doc, nil
+}
+
+// parseBenchLine parses "BenchmarkName-8  100  123 ns/op  45 B/op ...".
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Procs: 1, Metrics: map[string]float64{}}
+	if i := strings.LastIndexByte(res.Name, '-'); i > 0 {
+		if n, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Name, res.Procs = res.Name[:i], n
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = val
+	}
+	return res, true
+}

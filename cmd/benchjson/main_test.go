@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: sheriff
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkStoreFilter10K-8   	     100	     12400 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkStoreFilter10KLinear-8 	      50	    132000 ns/op	   16384 B/op	     100 allocs/op
+BenchmarkAblationExtractionAnchor-8 	     200	     55000 ns/op
+PASS
+ok  	sheriff	12.345s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Env["goos"] != "linux" || doc.Env["cpu"] == "" {
+		t.Fatalf("env = %v", doc.Env)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkStoreFilter10K" || b.Procs != 8 || b.Pkg != "sheriff" {
+		t.Fatalf("first = %+v", b)
+	}
+	if b.Iterations != 100 || b.Metrics["ns/op"] != 12400 || b.Metrics["allocs/op"] != 12 {
+		t.Fatalf("metrics = %+v", b)
+	}
+	// A -benchmem-less line still parses, with only ns/op.
+	if m := doc.Benchmarks[2].Metrics; len(m) != 1 || m["ns/op"] != 55000 {
+		t.Fatalf("third metrics = %v", m)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok sheriff 1s\n")); err == nil {
+		t.Fatal("no error on benchmark-free input")
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	noisy := "2026/01/01 log line with Benchmark word later\n" + sample
+	doc, err := parse(strings.NewReader(noisy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+}

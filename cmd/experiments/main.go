@@ -6,6 +6,13 @@
 //	experiments -scale full        # the paper's numbers (~1-2 minutes)
 //	experiments -scale quick       # reduced scale for smoke runs
 //	experiments -scale full -jsonl dataset.jsonl
+//	experiments -scenarios         # rule-engine validation matrix
+//
+// With -scenarios the command instead sweeps the discrimination-scenario
+// matrix: one isolated world per pricing-rule combination (geo,
+// fingerprint, selective disclosure, weekday/drift and their compounds),
+// each crawled synchronized and judged by the per-rule detector, reporting
+// per-family detection precision/recall against the compiled ground truth.
 package main
 
 import (
@@ -22,11 +29,27 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed")
 	scale := flag.String("scale", "full", "full or quick")
 	jsonl := flag.String("jsonl", "", "optionally dump the dataset here")
+	scenarios := flag.Bool("scenarios", false, "run the scenario-matrix sweep instead of the paper reproduction")
 	flag.Parse()
 
 	users, requests, products, rounds, longtail := 340, 1500, 100, 7, 580
 	if *scale == "quick" {
 		users, requests, products, rounds, longtail = 60, 150, 12, 3, 40
+	}
+
+	if *scenarios {
+		if *jsonl != "" {
+			log.Fatalf("-jsonl is not supported with -scenarios: the matrix spans one isolated world per scenario, not a single dataset")
+		}
+		begin := time.Now()
+		rep, err := sheriff.RunScenarioMatrix(sheriff.MatrixOptions{Seed: *seed, Products: products})
+		if err != nil {
+			log.Fatalf("scenario matrix: %v", err)
+		}
+		fmt.Println("== Rule-engine scenario matrix — per-family detection ==")
+		fmt.Println(rep)
+		log.Printf("matrix wall time %v over %d scenarios", time.Since(begin).Round(time.Millisecond), len(rep.Outcomes))
+		return
 	}
 
 	begin := time.Now()

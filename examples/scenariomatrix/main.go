@@ -1,0 +1,49 @@
+// Scenariomatrix: sweep a slice of the discrimination-scenario matrix —
+// one isolated world per pricing-rule combination, crawled synchronized
+// and judged by the per-rule strategy detector — and print each verdict
+// next to the retailer's compiled ground truth.
+//
+// The three scenarios here are the strategies the paper could not
+// express: fingerprint pricing (Hupperich et al.), selective price
+// disclosure (Hajaj et al.), and weekday pricing — the temporal strategy
+// a synchronized crawl must refuse to call discrimination.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"sheriff"
+)
+
+func main() {
+	rep, err := sheriff.RunScenarioMatrix(sheriff.MatrixOptions{
+		Seed:      7,
+		Products:  10,
+		Scenarios: []string{"control", "fingerprint", "disclosure", "weekday"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, o := range rep.Outcomes {
+		fmt.Printf("scenario %-12s rules=%v\n", o.Scenario, o.Rules)
+		fams := make([]string, 0, len(o.Truth))
+		for f := range o.Truth {
+			fams = append(fams, string(f))
+		}
+		sort.Strings(fams)
+		for _, name := range fams {
+			f := sheriff.StrategyFamily(name)
+			fmt.Printf("  %-12s truth=%-5v detected=%-5v\n", name, o.Truth[f], o.Detected[f])
+		}
+		fmt.Printf("  crawl: %d prices extracted, %d failures\n\n", o.Extracted, o.Failed)
+	}
+
+	fmt.Println("per-family scores across the sweep:")
+	for _, f := range sheriff.DetectableFamilies {
+		s := rep.Scores[f]
+		fmt.Printf("  %-12s precision %.2f  recall %.2f\n", f, s.Precision(), s.Recall())
+	}
+}

@@ -75,6 +75,25 @@ type pairVote struct {
 	first, second int
 }
 
+// orderConsistency is the share of rounds one side must win for a pair's
+// price order to count as persistent (the repetition defence of Sec. 2.2).
+const orderConsistency = 0.75
+
+// consistentMajority reports whether one side was dearer in at least
+// orderConsistency of this pair's voting rounds. Fewer than two votes
+// prove nothing.
+func (v pairVote) consistentMajority() bool {
+	total := v.first + v.second
+	if total < 2 {
+		return false
+	}
+	major := v.first
+	if v.second > major {
+		major = v.second
+	}
+	return float64(major)/float64(total) >= orderConsistency
+}
+
 // summarizeProduct folds one product's crawl observations.
 func summarizeProduct(market *fx.Market, obs []store.Observation) productRounds {
 	pr := productRounds{
@@ -120,6 +139,16 @@ const pairEqualTol = 0.005
 // of observed vantage points. Missing VPs (failed fetches) simply don't
 // vote, so a flaky round cannot distort the pairs it did observe.
 func (pr *productRounds) voteSides(market *fx.Market, group []store.Observation) {
+	tallyPairVotes(market, group, pr.pairVotes, nil)
+}
+
+// tallyPairVotes records the dearer side of every accepted pair of
+// observed vantage points in one varying round (mid-fixing USD values;
+// near-equal pairs abstain). accept filters pairs by VP id — nil accepts
+// all. The strategy detector reuses this with same-fingerprint /
+// same-location filters, so the paper's repetition defence lives in one
+// place.
+func tallyPairVotes(market *fx.Market, group []store.Observation, votes map[string]*pairVote, accept func(vpA, vpB string) bool) {
 	type vpUSD struct {
 		vp  string
 		usd float64
@@ -137,6 +166,9 @@ func (pr *productRounds) voteSides(market *fx.Market, group []store.Observation)
 	for i := 0; i < len(vals); i++ {
 		for j := i + 1; j < len(vals); j++ {
 			a, b := vals[i], vals[j]
+			if accept != nil && !accept(a.vp, b.vp) {
+				continue
+			}
 			base := a.usd
 			if b.usd < base {
 				base = b.usd
@@ -149,10 +181,10 @@ func (pr *productRounds) voteSides(market *fx.Market, group []store.Observation)
 				continue // equal: no vote
 			}
 			key := a.vp + "|" + b.vp
-			v := pr.pairVotes[key]
+			v := votes[key]
 			if v == nil {
 				v = &pairVote{}
-				pr.pairVotes[key] = v
+				votes[key] = v
 			}
 			if diff > 0 {
 				v.first++
@@ -176,17 +208,11 @@ func (pr productRounds) persistent() bool {
 	if pr.rounds == 0 || pr.realRounds*2 <= pr.rounds {
 		return false
 	}
-	const orderConsistency = 0.75
 	for _, v := range pr.pairVotes {
-		total := v.first + v.second
-		if total < 2 {
+		if v.first+v.second < 2 {
 			continue // a single disagreement sample proves nothing
 		}
-		major := v.first
-		if v.second > major {
-			major = v.second
-		}
-		if float64(major)/float64(total) < orderConsistency {
+		if !v.consistentMajority() {
 			return false
 		}
 	}

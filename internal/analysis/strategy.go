@@ -1,0 +1,371 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sheriff/internal/fx"
+	"sheriff/internal/geo"
+	"sheriff/internal/shop"
+	"sheriff/internal/store"
+)
+
+// This file is the per-rule detector: it attributes the variation observed
+// in a domain's crawl data to discrimination strategy families
+// (shop.StrategyFamily), using the structure of the vantage-point fleet as
+// its controls:
+//
+//   - geo: vantage points with the SAME browser fingerprint at different
+//     locations disagree within a synchronized round, persistently and
+//     with a stable who-pays-more order (the paper's repetition defence
+//     filters A/B churn);
+//   - fingerprint: vantage points at the SAME location with different
+//     fingerprints disagree — the Barcelona trio exists exactly for this
+//     (Fig. 7's three Spanish browser configurations);
+//   - disclosure: a vantage point persistently fails extraction on a
+//     product every other vantage point reads fine — selective "price on
+//     request" withholding, not transient 503 noise (which re-rolls per
+//     simulated day);
+//   - temporal: the consensus price of same-fingerprint, USD-currency
+//     vantage points is uniform within every round yet moves across
+//     rounds — drift or weekday pricing, invisible to any synchronized
+//     cross-location comparison and therefore never attributed to geo.
+//
+// The scenario matrix (internal/core) scores these verdicts against the
+// ground-truth rule families each scenario retailer compiled.
+
+// DetectOptions tunes DetectStrategies; zero values take the defaults.
+type DetectOptions struct {
+	// MinProducts is the minimum number of affected products before a
+	// family is flagged (default 3).
+	MinProducts int
+	// MinFraction is the minimum affected share of eligible products
+	// (default 0.08).
+	MinFraction float64
+	// MinFailRounds is how many rounds a vantage point must persistently
+	// fail (while another succeeds) to count as withheld (default 3).
+	MinFailRounds int
+}
+
+func (o DetectOptions) withDefaults() DetectOptions {
+	if o.MinProducts <= 0 {
+		o.MinProducts = 3
+	}
+	if o.MinFraction <= 0 {
+		o.MinFraction = 0.08
+	}
+	if o.MinFailRounds <= 0 {
+		o.MinFailRounds = 3
+	}
+	return o
+}
+
+// FamilyEvidence is one family's verdict for a domain.
+type FamilyEvidence struct {
+	// Family is the strategy family judged.
+	Family shop.StrategyFamily
+	// Flagged reports whether the domain exercises the family.
+	Flagged bool
+	// Affected is how many products exhibit the effect; Eligible how many
+	// carried enough data to judge.
+	Affected, Eligible int
+}
+
+// Affected01 is the affected share of eligible products in [0, 1]
+// (0 when nothing was eligible).
+func (e FamilyEvidence) Affected01() float64 {
+	if e.Eligible == 0 {
+		return 0
+	}
+	return float64(e.Affected) / float64(e.Eligible)
+}
+
+// StrategyReport attributes a domain's observed variation to strategy
+// families.
+type StrategyReport struct {
+	// Domain judged.
+	Domain string
+	// Evidence per family, keyed by family.
+	Evidence map[shop.StrategyFamily]FamilyEvidence
+}
+
+// Flagged reports whether a family was detected.
+func (r StrategyReport) Flagged(f shop.StrategyFamily) bool {
+	return r.Evidence[f].Flagged
+}
+
+// String renders a compact one-line verdict for reports.
+func (r StrategyReport) String() string {
+	fams := make([]string, 0, len(r.Evidence))
+	for f := range r.Evidence {
+		fams = append(fams, string(f))
+	}
+	sort.Strings(fams)
+	parts := make([]string, 0, len(fams))
+	for _, f := range fams {
+		e := r.Evidence[shop.StrategyFamily(f)]
+		mark := "-"
+		if e.Flagged {
+			mark = "+"
+		}
+		parts = append(parts, fmt.Sprintf("%s%s(%d/%d)", mark, f, e.Affected, e.Eligible))
+	}
+	return r.Domain + ": " + strings.Join(parts, " ")
+}
+
+// DetectableFamilies lists the families DetectStrategies can attribute
+// from crawl data. Account and segment pricing need the dedicated login
+// and persona experiments; A/B churn is what the persistence filters
+// remove rather than report.
+var DetectableFamilies = []shop.StrategyFamily{
+	shop.FamilyGeo, shop.FamilyFingerprint, shop.FamilyDisclosure, shop.FamilyTemporal,
+}
+
+// vpMeta caches per-vantage-point controls.
+type vpMeta struct {
+	fingerprint string // BrowserProfile.Key()
+	location    string // "CC/City"
+	usd         bool   // vantage point is billed in USD
+}
+
+func vantageMeta() map[string]vpMeta {
+	out := map[string]vpMeta{}
+	for _, vp := range geo.VantagePoints() {
+		out[vp.ID] = vpMeta{
+			fingerprint: vp.Browser.Key(),
+			location:    vp.Location.Country.Code + "/" + vp.Location.City,
+			usd:         vp.Location.Country.Currency.Code == "USD",
+		}
+	}
+	return out
+}
+
+// DetectStrategies attributes a domain's crawl variation to strategy
+// families. It reads SourceCrawl observations only.
+func DetectStrategies(st *store.Store, market *fx.Market, domain string, opts DetectOptions) StrategyReport {
+	opts = opts.withDefaults()
+	meta := vantageMeta()
+	// Pair filters for the repetition tallies: geo compares only VPs that
+	// share a fingerprint across locations; fingerprint only VPs that
+	// share a location across fingerprints.
+	acceptGeo := func(a, b string) bool {
+		ma, mb := meta[a], meta[b]
+		return ma.location != mb.location && ma.fingerprint == mb.fingerprint
+	}
+	acceptFingerprint := func(a, b string) bool {
+		ma, mb := meta[a], meta[b]
+		return ma.fingerprint != mb.fingerprint && ma.location == mb.location
+	}
+
+	type familyCount struct{ affected, eligible int }
+	counts := map[shop.StrategyFamily]*familyCount{}
+	for _, f := range DetectableFamilies {
+		counts[f] = &familyCount{}
+	}
+
+	for _, obs := range st.DomainGroups(domain, store.SourceCrawl) {
+		rounds := byRound(obs)
+		keys := make([]int, 0, len(rounds))
+		for r := range rounds {
+			keys = append(keys, r)
+		}
+		sort.Ints(keys)
+
+		var (
+			geoElig, geoHits int
+			geoSides         = map[string]*pairVote{}
+			fpElig, fpHits   int
+			fpSides          = map[string]*pairVote{}
+			consensus        []int64 // per-round same-fingerprint USD consensus
+			okRounds         = map[string]int{}
+			failRounds       = map[string]int{} // persistent extraction failures
+		)
+
+		for _, rk := range keys {
+			group := rounds[rk]
+			byFP := map[string][]store.Observation{}  // fingerprint → OK obs
+			byLoc := map[string][]store.Observation{} // location → OK obs
+			for _, o := range group {
+				m, known := meta[o.VP]
+				if !known {
+					continue
+				}
+				if o.OK {
+					okRounds[o.VP]++
+					byFP[m.fingerprint] = append(byFP[m.fingerprint], o)
+					byLoc[m.location] = append(byLoc[m.location], o)
+				} else if strings.Contains(o.Err, "no price") {
+					failRounds[o.VP]++
+				}
+			}
+
+			// Geo: same fingerprint, multiple locations, currency filter.
+			geoEligible, geoVaries := false, false
+			for _, g := range byFP {
+				if spanLocations(g, meta) < 2 {
+					continue
+				}
+				geoEligible = true
+				if _, real := market.RealVariation(quotesOf(g)); real {
+					geoVaries = true
+					tallyPairVotes(market, g, geoSides, acceptGeo)
+				}
+			}
+			if geoEligible {
+				geoElig++
+				if geoVaries {
+					geoHits++
+				}
+			}
+
+			// Fingerprint: same location, multiple fingerprints. Same
+			// location means same display currency, so differing minor
+			// units are a real price difference, no filter needed.
+			fpEligible, fpVaries := false, false
+			for _, g := range byLoc {
+				if spanFingerprints(g, meta) < 2 {
+					continue
+				}
+				fpEligible = true
+				if unitsDiffer(g) {
+					fpVaries = true
+					tallyPairVotes(market, g, fpSides, acceptFingerprint)
+				}
+			}
+			if fpEligible {
+				fpElig++
+				if fpVaries {
+					fpHits++
+				}
+			}
+
+			// Temporal: consensus of the largest same-fingerprint group of
+			// USD vantage points, recorded only when internally uniform.
+			if units, ok := usdConsensus(byFP, meta); ok {
+				consensus = append(consensus, units)
+			}
+		}
+
+		// Product verdicts.
+		if geoElig >= 3 {
+			counts[shop.FamilyGeo].eligible++
+			if geoHits*2 > geoElig && sidesConsistent(geoSides) {
+				counts[shop.FamilyGeo].affected++
+			}
+		}
+		if fpElig >= 3 {
+			counts[shop.FamilyFingerprint].eligible++
+			if fpHits*2 > fpElig && sidesConsistent(fpSides) {
+				counts[shop.FamilyFingerprint].affected++
+			}
+		}
+		if len(consensus) >= 3 {
+			counts[shop.FamilyTemporal].eligible++
+			for _, u := range consensus[1:] {
+				if u != consensus[0] {
+					counts[shop.FamilyTemporal].affected++
+					break
+				}
+			}
+		}
+		// Disclosure: a VP that failed extraction in >= MinFailRounds
+		// rounds and never succeeded, while another VP succeeded at least
+		// as often. Transient 503s re-roll per day and cannot sustain this.
+		maxOK := 0
+		for _, n := range okRounds {
+			if n > maxOK {
+				maxOK = n
+			}
+		}
+		if maxOK >= opts.MinFailRounds {
+			counts[shop.FamilyDisclosure].eligible++
+			for vp, fails := range failRounds {
+				if fails >= opts.MinFailRounds && okRounds[vp] == 0 {
+					counts[shop.FamilyDisclosure].affected++
+					break
+				}
+			}
+		}
+	}
+
+	rep := StrategyReport{Domain: domain, Evidence: map[shop.StrategyFamily]FamilyEvidence{}}
+	for f, c := range counts {
+		e := FamilyEvidence{Family: f, Affected: c.affected, Eligible: c.eligible}
+		e.Flagged = c.affected >= opts.MinProducts &&
+			c.eligible > 0 && float64(c.affected)/float64(c.eligible) >= opts.MinFraction
+		rep.Evidence[f] = e
+	}
+	return rep
+}
+
+// spanLocations counts distinct locations among observations.
+func spanLocations(obs []store.Observation, meta map[string]vpMeta) int {
+	seen := map[string]bool{}
+	for _, o := range obs {
+		seen[meta[o.VP].location] = true
+	}
+	return len(seen)
+}
+
+// spanFingerprints counts distinct fingerprints among observations.
+func spanFingerprints(obs []store.Observation, meta map[string]vpMeta) int {
+	seen := map[string]bool{}
+	for _, o := range obs {
+		seen[meta[o.VP].fingerprint] = true
+	}
+	return len(seen)
+}
+
+// unitsDiffer reports whether any two observations disagree on minor
+// units (callers guarantee a shared display currency).
+func unitsDiffer(obs []store.Observation) bool {
+	for i := 1; i < len(obs); i++ {
+		if obs[i].PriceUnits != obs[0].PriceUnits {
+			return true
+		}
+	}
+	return false
+}
+
+// sidesConsistent requires at least one pair with a persistent order and
+// no pair with a flip-flopping one — the repetition defence of Sec. 2.2,
+// shared with the Fig. 3 persistence analysis via pairVote (ratios.go).
+func sidesConsistent(sides map[string]*pairVote) bool {
+	any := false
+	for _, s := range sides {
+		if s.first+s.second < 2 {
+			continue
+		}
+		if !s.consistentMajority() {
+			return false
+		}
+		any = true
+	}
+	return any
+}
+
+// usdConsensus returns the uniform price of the largest same-fingerprint
+// group of USD vantage points (at least two), or ok=false when no group is
+// large enough or a group disagrees internally (which is a location or
+// A/B effect, not a temporal one).
+func usdConsensus(byFP map[string][]store.Observation, meta map[string]vpMeta) (int64, bool) {
+	bestN := 0
+	var bestUnits int64
+	for _, g := range byFP {
+		var usdObs []store.Observation
+		for _, o := range g {
+			if meta[o.VP].usd && o.Currency == "USD" {
+				usdObs = append(usdObs, o)
+			}
+		}
+		if len(usdObs) < 2 || unitsDiffer(usdObs) {
+			continue
+		}
+		if len(usdObs) > bestN {
+			bestN = len(usdObs)
+			bestUnits = usdObs[0].PriceUnits
+		}
+	}
+	return bestUnits, bestN >= 2
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"sheriff/internal/money"
+	"sheriff/internal/shop"
+	"sheriff/internal/store"
+)
+
+// Real vantage-point IDs: the detector's controls come from the fleet's
+// structure (same-fingerprint pairs across locations, the Barcelona trio
+// at one location, USD consensus groups), so synthetic data must use them.
+//
+//	Windows/Chrome:  us-bos us-chi us-lin us-nyc br-sao es-win
+//	Linux/Firefox:   be-lie fi-tam de-ber es-lin uk-lon
+//	Macintosh/Safari: es-mac us-la
+//	Windows/Firefox: us-alb
+
+// crawlObs emits one OK crawl observation.
+func crawlObs(st *store.Store, domain, sku, vp string, round int, at time.Time, units int64, cur string) {
+	st.Add(store.Observation{
+		Domain: domain, SKU: sku, VP: vp, VPLabel: vp,
+		PriceUnits: units, Currency: cur,
+		Time: at, Round: round, Source: store.SourceCrawl, OK: true,
+	})
+}
+
+// crawlFail emits one failed-extraction crawl observation.
+func crawlFail(st *store.Store, domain, sku, vp string, round int, at time.Time) {
+	st.Add(store.Observation{
+		Domain: domain, SKU: sku, VP: vp, VPLabel: vp,
+		Time: at, Round: round, Source: store.SourceCrawl,
+		OK: false, Err: "extract: no price found",
+	})
+}
+
+// eurUnits converts USD minor units into the EUR display units a localized
+// storefront would show on the given day.
+func eurUnits(t *testing.T, usdUnits int64, at time.Time) int64 {
+	t.Helper()
+	eur, ok := money.ByCode("EUR")
+	if !ok {
+		t.Fatal("no EUR")
+	}
+	return market.ConvertRetail(money.FromMinor(usdUnits, money.USD), eur, at).Units
+}
+
+func roundTime(r int) time.Time { return t0.Add(time.Duration(r) * 24 * time.Hour) }
+
+func TestDetectGeoPricing(t *testing.T) {
+	st := store.New()
+	// Brazil persistently 30% dearer than the US at the same fingerprint
+	// (us-bos/us-chi/br-sao are all Windows/Chrome); prices in USD.
+	for p := 0; p < 5; p++ {
+		sku := "G-" + string(rune('A'+p))
+		for r := 0; r < 5; r++ {
+			at := roundTime(r)
+			crawlObs(st, "geo.test", sku, "us-bos", r, at, 10000, "USD")
+			crawlObs(st, "geo.test", sku, "us-chi", r, at, 10000, "USD")
+			crawlObs(st, "geo.test", sku, "br-sao", r, at, 13000, "USD")
+		}
+	}
+	rep := DetectStrategies(st, market, "geo.test", DetectOptions{})
+	if !rep.Flagged(shop.FamilyGeo) {
+		t.Fatalf("geo not flagged: %s", rep)
+	}
+	for _, f := range []shop.StrategyFamily{shop.FamilyFingerprint, shop.FamilyDisclosure, shop.FamilyTemporal} {
+		if rep.Flagged(f) {
+			t.Errorf("%s falsely flagged: %s", f, rep)
+		}
+	}
+}
+
+func TestDetectFingerprintPricing(t *testing.T) {
+	st := store.New()
+	// Pure fingerprint shop: Mac/Safari pays 1.07×, Windows/Chrome 1.03×,
+	// identical at every location. The Barcelona trio exposes it.
+	for p := 0; p < 5; p++ {
+		sku := "F-" + string(rune('A'+p))
+		for r := 0; r < 5; r++ {
+			at := roundTime(r)
+			for _, vp := range []string{"us-bos", "us-chi", "us-nyc"} { // Win/Chrome
+				crawlObs(st, "fp.test", sku, vp, r, at, 10300, "USD")
+			}
+			crawlObs(st, "fp.test", sku, "us-la", r, at, 10700, "USD")  // Mac/Safari
+			crawlObs(st, "fp.test", sku, "us-alb", r, at, 10000, "USD") // Win/FF
+			crawlObs(st, "fp.test", sku, "es-lin", r, at, eurUnits(t, 10000, at), "EUR")
+			crawlObs(st, "fp.test", sku, "es-mac", r, at, eurUnits(t, 10700, at), "EUR")
+			crawlObs(st, "fp.test", sku, "es-win", r, at, eurUnits(t, 10300, at), "EUR")
+		}
+	}
+	rep := DetectStrategies(st, market, "fp.test", DetectOptions{})
+	if !rep.Flagged(shop.FamilyFingerprint) {
+		t.Fatalf("fingerprint not flagged: %s", rep)
+	}
+	if rep.Flagged(shop.FamilyGeo) {
+		t.Errorf("geo falsely flagged on a fingerprint-only shop: %s", rep)
+	}
+	if rep.Flagged(shop.FamilyTemporal) {
+		t.Errorf("temporal falsely flagged: %s", rep)
+	}
+}
+
+func TestDetectSelectiveDisclosure(t *testing.T) {
+	st := store.New()
+	for p := 0; p < 6; p++ {
+		sku := "D-" + string(rune('A'+p))
+		hidden := p < 4 // 4 of 6 products withheld from one vantage point
+		for r := 0; r < 6; r++ {
+			at := roundTime(r)
+			if hidden {
+				crawlFail(st, "disc.test", sku, "us-bos", r, at)
+			} else {
+				crawlObs(st, "disc.test", sku, "us-bos", r, at, 10000, "USD")
+			}
+			crawlObs(st, "disc.test", sku, "us-chi", r, at, 10000, "USD")
+			crawlObs(st, "disc.test", sku, "us-nyc", r, at, 10000, "USD")
+		}
+	}
+	rep := DetectStrategies(st, market, "disc.test", DetectOptions{})
+	if !rep.Flagged(shop.FamilyDisclosure) {
+		t.Fatalf("disclosure not flagged: %s", rep)
+	}
+	if rep.Flagged(shop.FamilyGeo) || rep.Flagged(shop.FamilyFingerprint) || rep.Flagged(shop.FamilyTemporal) {
+		t.Errorf("spurious families: %s", rep)
+	}
+}
+
+func TestDetectTemporalPricing(t *testing.T) {
+	st := store.New()
+	// Weekend markup: uniform across locations within every round, moving
+	// between rounds.
+	units := []int64{10000, 10000, 11200, 11200, 10000, 10000, 11200}
+	for p := 0; p < 5; p++ {
+		sku := "T-" + string(rune('A'+p))
+		for r := 0; r < len(units); r++ {
+			at := roundTime(r)
+			for _, vp := range []string{"us-bos", "us-chi", "us-nyc", "us-lin"} {
+				crawlObs(st, "temp.test", sku, vp, r, at, units[r], "USD")
+			}
+		}
+	}
+	rep := DetectStrategies(st, market, "temp.test", DetectOptions{})
+	if !rep.Flagged(shop.FamilyTemporal) {
+		t.Fatalf("temporal not flagged: %s", rep)
+	}
+	if rep.Flagged(shop.FamilyGeo) {
+		t.Errorf("synchronized rounds read temporal pricing as geo: %s", rep)
+	}
+}
+
+func TestABChurnNotFlaggedAsGeo(t *testing.T) {
+	st := store.New()
+	// Same-fingerprint locations disagree within rounds, but the dearer
+	// side flips round to round — A/B bucket churn, not geo policy.
+	for p := 0; p < 5; p++ {
+		sku := "AB-" + string(rune('A'+p))
+		for r := 0; r < 6; r++ {
+			at := roundTime(r)
+			hi, lo := int64(10500), int64(10000)
+			if (p+r)%2 == 0 {
+				hi, lo = lo, hi
+			}
+			crawlObs(st, "ab.test", sku, "us-bos", r, at, hi, "USD")
+			crawlObs(st, "ab.test", sku, "br-sao", r, at, lo, "USD")
+		}
+	}
+	rep := DetectStrategies(st, market, "ab.test", DetectOptions{})
+	if rep.Flagged(shop.FamilyGeo) {
+		t.Fatalf("A/B churn flagged as geo: %s", rep)
+	}
+}
+
+func TestDetectNothingOnCleanShop(t *testing.T) {
+	st := store.New()
+	for p := 0; p < 4; p++ {
+		sku := "C-" + string(rune('A'+p))
+		for r := 0; r < 5; r++ {
+			at := roundTime(r)
+			for _, vp := range []string{"us-bos", "us-chi", "br-sao", "us-la"} {
+				crawlObs(st, "clean.test", sku, vp, r, at, 9900, "USD")
+			}
+		}
+	}
+	rep := DetectStrategies(st, market, "clean.test", DetectOptions{})
+	for _, f := range DetectableFamilies {
+		if rep.Flagged(f) {
+			t.Errorf("%s flagged on a uniform shop: %s", f, rep)
+		}
+	}
+}

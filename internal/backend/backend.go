@@ -68,6 +68,11 @@ type CheckRequest struct {
 	UserAddr netip.Addr `json:"user_addr"`
 	// UserID tags the originating crowd user for the dataset.
 	UserID string `json:"user_id"`
+	// UserAgent is the user's browser User-Agent string; the user-side
+	// fetch presents it so fingerprint-pricing retailers render the page
+	// the highlight was actually made on. Empty is allowed (the page then
+	// prices as the baseline fingerprint).
+	UserAgent string `json:"user_agent,omitempty"`
 }
 
 // VPPrice is the price one vantage point saw.
@@ -112,7 +117,7 @@ func (b *Backend) Check(req CheckRequest) (CheckResult, error) {
 	// Fetch the page as the user sees it and derive the anchor from the
 	// highlight (the extension does this client-side in the real system).
 	userLoc, userCur := b.locate(req.UserAddr)
-	userPage, err := b.fetch(req.URL, req.UserAddr)
+	userPage, err := b.fetch(req.URL, req.UserAddr, req.UserAgent)
 	if err != nil {
 		return CheckResult{}, fmt.Errorf("backend: user-side fetch: %w", err)
 	}
@@ -201,10 +206,11 @@ func (b *Backend) checkOne(rawURL string, anchor extract.Anchor, vp geo.VantageP
 	return out
 }
 
-// fetch retrieves a URL from an arbitrary fabric address.
-func (b *Backend) fetch(rawURL string, src netip.Addr) (string, error) {
+// fetch retrieves a URL from an arbitrary fabric address, presenting the
+// given User-Agent (empty sends none).
+func (b *Backend) fetch(rawURL string, src netip.Addr, ua string) (string, error) {
 	tr := netsim.NewTransport(b.registry, b.clock, src)
-	return doGet(tr.Client(nil), rawURL, "")
+	return doGet(tr.Client(nil), rawURL, ua)
 }
 
 // fetchAs retrieves a URL as a vantage point, with its browser fingerprint.

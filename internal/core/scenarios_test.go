@@ -1,0 +1,80 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sheriff/internal/shop"
+)
+
+// TestScenarioMatrixSubset runs a representative slice of the matrix at
+// reduced scale: one scenario per detectable family plus the control and
+// the kitchen-sink combination. The full sweep runs in cmd/experiments
+// -scenarios; this keeps the CI cost bounded while still proving every
+// detector end to end against a live crawl.
+func TestScenarioMatrixSubset(t *testing.T) {
+	rep, err := RunScenarioMatrix(MatrixOptions{
+		Seed:     1,
+		Products: 8,
+		Scenarios: []string{
+			"control", "geo-mult", "fingerprint", "disclosure", "weekday", "everything",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) != 6 {
+		t.Fatalf("outcomes = %d, want 6", len(rep.Outcomes))
+	}
+	for _, o := range rep.Outcomes {
+		if o.Extracted == 0 && o.Scenario != "disclosure" {
+			t.Errorf("%s: no prices extracted", o.Scenario)
+		}
+		for f, truth := range o.Truth {
+			if o.Detected[f] != truth {
+				t.Errorf("%s: family %s truth=%v detected=%v", o.Scenario, f, truth, o.Detected[f])
+			}
+		}
+	}
+	for _, f := range []shop.StrategyFamily{shop.FamilyGeo, shop.FamilyFingerprint,
+		shop.FamilyDisclosure, shop.FamilyTemporal} {
+		s := rep.Scores[f]
+		if s.Precision() < 1 || s.Recall() < 1 {
+			t.Errorf("%s: precision %.2f recall %.2f (%+v)", f, s.Precision(), s.Recall(), s)
+		}
+	}
+	// The rendered report names every scenario it ran.
+	text := rep.String()
+	for _, name := range []string{"control", "everything", "precision"} {
+		if !strings.Contains(text, name) {
+			t.Errorf("report missing %q:\n%s", name, text)
+		}
+	}
+}
+
+// TestScenarioWorldIsolated checks the Configs world shape: exactly the
+// given retailers, no extras, no tail, no failure injection.
+func TestScenarioWorldIsolated(t *testing.T) {
+	cfg := shop.ScenarioConfigs(1)[0]
+	w := NewWorld(WorldOptions{Seed: 1, Configs: []shop.Config{cfg}, FetchFailureRate: -1})
+	if len(w.Crawled) != 1 || w.Crawled[0] != cfg.Domain {
+		t.Fatalf("Crawled = %v", w.Crawled)
+	}
+	if len(w.Tail) != 0 {
+		t.Fatalf("scenario world grew a long tail: %d domains", len(w.Tail))
+	}
+	if w.DomainCount() != 1 {
+		t.Fatalf("DomainCount = %d", w.DomainCount())
+	}
+	if _, ok := w.Retailers[cfg.Domain]; !ok {
+		t.Fatal("scenario retailer missing")
+	}
+}
+
+// TestScenarioMatrixUnknownScenario errors rather than silently sweeping
+// nothing.
+func TestScenarioMatrixUnknownScenario(t *testing.T) {
+	if _, err := RunScenarioMatrix(MatrixOptions{Seed: 1, Scenarios: []string{"nope"}}); err == nil {
+		t.Fatal("unknown scenario did not error")
+	}
+}

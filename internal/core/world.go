@@ -24,15 +24,23 @@ type WorldOptions struct {
 	// Seed drives every stochastic component. Worlds with equal options
 	// are bit-for-bit identical.
 	Seed int64
+	// Configs, when non-empty, replaces the paper's retailer roster: the
+	// given shops become the crawled (and interesting) set and no extra
+	// crowd domains are added. Scenario worlds (core.RunScenarioMatrix)
+	// are built this way — one purpose-built retailer per world. Empty
+	// means the paper's 21 crawled + 9 crowd-extra retailers.
+	Configs []shop.Config
 	// LongTail is the number of no-variation long-tail domains
-	// (default 580, giving ~600 domains total with the named retailers).
+	// (default 580 for paper worlds, 0 for Configs worlds).
 	LongTail int
 	// Start is the simulated campaign start (default 2013-01-10, the
 	// beginning of the paper's Jan–May window).
 	Start time.Time
 	// FetchFailureRate injects deterministic per-request 503s at the
 	// named retailers (default 0.085, which turns the crawl's ~206K
-	// attempts into the paper's ~188K extracted prices).
+	// attempts into the paper's ~188K extracted prices). Negative
+	// disables injection entirely — scenario worlds do this so detector
+	// scoring sees only the behaviour under test.
 	FetchFailureRate float64
 	// SegmentPricingDomain, when set, plants browsing-history price
 	// discrimination at that retailer (affluent visitors pay 8% more).
@@ -70,7 +78,7 @@ type World struct {
 
 // NewWorld builds a deterministic world from options.
 func NewWorld(opts WorldOptions) *World {
-	if opts.LongTail == 0 {
+	if opts.LongTail == 0 && len(opts.Configs) == 0 {
 		opts.LongTail = 580
 	}
 	if opts.Start.IsZero() {
@@ -90,8 +98,12 @@ func NewWorld(opts WorldOptions) *World {
 		Retailers: map[string]*shop.Retailer{},
 	}
 
-	crawled := shop.CrawledConfigs(opts.Seed)
-	extra := shop.CrowdExtraConfigs(opts.Seed)
+	crawled := opts.Configs
+	var extra []shop.Config
+	if len(crawled) == 0 {
+		crawled = shop.CrawledConfigs(opts.Seed)
+		extra = shop.CrowdExtraConfigs(opts.Seed)
+	}
 	tail := shop.LongTailConfigs(opts.Seed, opts.LongTail)
 
 	plant := func(cfg *shop.Config) {

@@ -224,9 +224,18 @@ func (s *Simulator) checkOnce(user User, domain string) (backend.CheckResult, er
 	p := ps[s.rng.Intn(len(ps))]
 
 	// The human step: the user reads the main price off the page their own
-	// locale is served.
+	// locale and browser are served (fingerprint-pricing retailers render
+	// differently per User-Agent, so the visit must carry it).
 	visit := shop.Visit{
 		Loc: user.Location, Time: s.clock.Now(), IP: user.Addr.String(),
+		Browser: user.Browser,
+	}
+	// A user can only highlight a price they were shown: on selective-
+	// disclosure retailers, browse on until a product with a visible price
+	// turns up (a mostly-hidden catalog eventually yields a failed check,
+	// which is what a frustrated user's bogus highlight would produce).
+	for tries := 0; !r.PriceDisclosed(p, visit) && tries < 8; tries++ {
+		p = ps[s.rng.Intn(len(ps))]
 	}
 	amt := r.DisplayPrice(p, visit)
 	highlight := money.Format(amt, amt.Currency.Style())
@@ -236,5 +245,6 @@ func (s *Simulator) checkOnce(user User, domain string) (backend.CheckResult, er
 		Highlight: highlight,
 		UserAddr:  user.Addr,
 		UserID:    user.ID,
+		UserAgent: user.Browser.UserAgent(),
 	})
 }

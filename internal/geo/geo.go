@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"strings"
 
 	"sheriff/internal/money"
 )
@@ -239,6 +240,46 @@ func (b BrowserProfile) UserAgent() string {
 	default:
 		return fmt.Sprintf("Mozilla/5.0 (%s) %s", b.OS, b.Browser)
 	}
+}
+
+// Key is the profile's stable "OS/Browser" identifier — the granularity at
+// which fingerprint-pricing retailers discriminate and at which the
+// analysis controls for client software.
+func (b BrowserProfile) Key() string { return b.OS + "/" + b.Browser }
+
+// ProfileFromUA recovers a BrowserProfile from a User-Agent string — the
+// server side of the fingerprint: retailers that price by client software
+// (Hupperich et al.) see only the UA header, exactly like real shops.
+// It inverts UserAgent for every profile the simulation emits; unknown or
+// empty strings yield the zero profile (priced as the baseline).
+func ProfileFromUA(ua string) BrowserProfile {
+	if ua == "" {
+		return BrowserProfile{}
+	}
+	var os string
+	if i := strings.IndexByte(ua, '('); i >= 0 {
+		if j := strings.IndexAny(ua[i+1:], ";)"); j >= 0 {
+			os = strings.TrimSpace(ua[i+1 : i+1+j])
+		}
+	}
+	var browser string
+	switch {
+	case strings.Contains(ua, "Firefox"):
+		browser = "Firefox"
+	case strings.Contains(ua, "Chrome"):
+		browser = "Chrome"
+	case strings.Contains(ua, "Safari"):
+		browser = "Safari"
+	default:
+		// Generic "Mozilla/5.0 (OS) Browser" form.
+		if k := strings.LastIndexByte(ua, ')'); k >= 0 && k+1 < len(ua) {
+			browser = strings.TrimSpace(ua[k+1:])
+		}
+	}
+	if os == "" && browser == "" {
+		return BrowserProfile{}
+	}
+	return BrowserProfile{OS: os, Browser: browser}
 }
 
 // VantagePoint is one of the measurement endpoints the $heriff backend fans

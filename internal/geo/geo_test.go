@@ -219,3 +219,33 @@ func TestCountryByCode(t *testing.T) {
 		t.Fatal("bogus code resolved")
 	}
 }
+
+func TestProfileFromUARoundTrip(t *testing.T) {
+	// Every fingerprint the simulation emits — vantage points and the
+	// crowd browser pool — must survive the UA round trip, or
+	// fingerprint-pricing retailers would see the wrong client.
+	profiles := []BrowserProfile{
+		{OS: "Linux", Browser: "Firefox"},
+		{OS: "Windows", Browser: "Firefox"},
+		{OS: "Windows", Browser: "Chrome"},
+		{OS: "Macintosh", Browser: "Chrome"},
+		{OS: "Macintosh", Browser: "Safari"},
+		{OS: "Linux", Browser: "Konqueror"}, // generic fallback form
+	}
+	for _, p := range profiles {
+		if got := ProfileFromUA(p.UserAgent()); got != p {
+			t.Errorf("ProfileFromUA(%q) = %+v, want %+v", p.UserAgent(), got, p)
+		}
+	}
+	for _, vp := range VantagePoints() {
+		if got := ProfileFromUA(vp.Browser.UserAgent()); got != vp.Browser {
+			t.Errorf("vantage point %s: UA round trip %+v != %+v", vp.ID, got, vp.Browser)
+		}
+	}
+	if got := ProfileFromUA(""); got != (BrowserProfile{}) {
+		t.Errorf("empty UA parsed to %+v", got)
+	}
+	if k := (BrowserProfile{OS: "Linux", Browser: "Firefox"}).Key(); k != "Linux/Firefox" {
+		t.Errorf("Key() = %q", k)
+	}
+}

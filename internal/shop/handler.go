@@ -78,6 +78,9 @@ func (s *Server) visitFrom(req *http.Request) Visit {
 	if c, err := req.Cookie(SegmentCookie); err == nil {
 		v.Segment = c.Value
 	}
+	// The client-software fingerprint arrives the only way it does in
+	// production: as the User-Agent header.
+	v.Browser = geo.ProfileFromUA(req.Header.Get("User-Agent"))
 	return v
 }
 

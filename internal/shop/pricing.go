@@ -50,7 +50,9 @@ type Config struct {
 
 	// VariedFraction is the fraction of products subject to geo pricing at
 	// all; the rest price identically everywhere (Fig. 3's "extent").
-	// Zero means no product varies... so presets use 1.0 explicitly.
+	// The zero value means no product varies — a retailer that geo-prices
+	// its whole catalog must say VariedFraction: 1.0 explicitly, which
+	// every preset does.
 	VariedFraction float64
 
 	// ABFraction of products run an A/B price test; ABAmplitude is the
@@ -79,6 +81,29 @@ type Config struct {
 	// on browsing history.
 	SegmentFactor map[string]float64
 
+	// FingerprintFactor multiplies the price per client-software
+	// fingerprint, keyed by the browser profile's "OS/Browser" string
+	// (e.g. "Macintosh/Safari": 1.05) — device/OS-based pricing per
+	// Hupperich et al. Fingerprints not in the map pay the baseline. The
+	// retailer reads the fingerprint off the User-Agent header, exactly
+	// like a real shop.
+	FingerprintFactor map[string]float64
+
+	// WeekdayFactor multiplies the price per UTC weekday name
+	// ("Saturday": 1.10) — temporal discrimination that is identical at
+	// every location at any instant. A synchronized measurement round must
+	// never attribute it to location.
+	WeekdayFactor map[string]float64
+
+	// HideFraction is the fraction of (product, client IP) pairs whose
+	// price is withheld and rendered as "Price on request" — selective
+	// per-client price disclosure per Hajaj et al. The decision is
+	// deterministic per pair, so the same client persistently sees (or
+	// never sees) a given price. HideCountries optionally restricts hiding
+	// to clients geo-located in those countries.
+	HideFraction  float64
+	HideCountries []string
+
 	// Trackers embedded in every page: any of "ga", "doubleclick",
 	// "facebook", "pinterest", "twitter" (Sec. 4.4).
 	Trackers []string
@@ -94,8 +119,13 @@ type Visit struct {
 	Account string
 	// Segment is the behavioural segment cookie value ("" when untagged).
 	Segment string
-	// IP is the client address string, used for A/B bucketing.
+	// IP is the client address string, used for A/B bucketing and
+	// selective price disclosure.
 	IP string
+	// Browser is the client-software fingerprint the visit presented
+	// (parsed from the User-Agent header); the zero profile prices as the
+	// baseline.
+	Browser geo.BrowserProfile
 }
 
 // Retailer is a configured, priced, renderable shop. Create with New.
@@ -103,17 +133,21 @@ type Retailer struct {
 	cfg     Config
 	catalog *Catalog
 	market  *fx.Market
+	rules   []PricingRule
 }
 
 // New builds a retailer from its config and the shared FX market
-// (needed to localize display prices).
+// (needed to localize display prices). The pricing pipeline is compiled
+// once here; see rules.go.
 func New(cfg Config, market *fx.Market) *Retailer {
 	if cfg.Template == "" {
 		cfg.Template = "classic"
 	}
 	prefix := skuPrefix(cfg.Domain)
 	cat := GenCatalog(cfg.Seed, prefix, cfg.Categories, cfg.ProductCount, cfg.PriceLo, cfg.PriceHi)
-	return &Retailer{cfg: cfg, catalog: cat, market: market}
+	r := &Retailer{cfg: cfg, catalog: cat, market: market}
+	r.rules = compileRules(r)
+	return r
 }
 
 // skuPrefix derives a short SKU prefix from the domain.
@@ -140,9 +174,14 @@ func (r *Retailer) Domain() string { return r.cfg.Domain }
 // Catalog exposes the retailer's products.
 func (r *Retailer) Catalog() *Catalog { return r.catalog }
 
-// varied reports whether a product participates in geo pricing.
+// varied reports whether a product participates in geo pricing. The
+// VariedFraction zero value explicitly means no product varies (the
+// long-tail retailers rely on this); a full-catalog extent requires 1.0.
 func (r *Retailer) varied(p Product) bool {
-	if r.cfg.VariedFraction >= 1 {
+	switch {
+	case r.cfg.VariedFraction <= 0:
+		return false
+	case r.cfg.VariedFraction >= 1:
 		return true
 	}
 	return hash01(r.cfg.Seed, "varied", p.SKU) < r.cfg.VariedFraction
@@ -222,19 +261,13 @@ func (r *Retailer) loginDelta(p Product, account string) float64 {
 }
 
 // USDPrice computes the price of a product for a visit, in USD, before
-// currency localization. This is the ground truth the analysis pipeline
-// tries to recover from rendered pages.
+// currency localization, by folding the visit through the compiled
+// pricing-rule pipeline (rules.go). This is the ground truth the analysis
+// pipeline tries to recover from rendered pages.
 func (r *Retailer) USDPrice(p Product, v Visit) money.Amount {
-	base := p.Base.Float()
-	price := base
-	if r.varied(p) {
-		price = base*r.geoFactor(p, v.Loc) + r.geoAdd(v.Loc)
-	}
-	price *= r.abDelta(p, v)
-	price *= r.drift(p, v.Time)
-	price *= r.loginDelta(p, v.Account)
-	if f, ok := r.cfg.SegmentFactor[v.Segment]; ok && v.Segment != "" {
-		price *= f
+	price := p.Base.Float()
+	for i := range r.rules {
+		price = r.rules[i].Apply(price, p, v)
 	}
 	if price < 0.01 {
 		price = 0.01

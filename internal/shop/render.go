@@ -38,6 +38,16 @@ func priceString(a money.Amount) string {
 	return money.Format(a, a.Currency.Style())
 }
 
+// priceText renders what this visit actually sees in a price slot: the
+// display price, or the "Price on request" withholding text when the
+// retailer selectively does not disclose the price to this client.
+func (r *Retailer) priceText(p Product, v Visit) string {
+	if !r.PriceDisclosed(p, v) {
+		return PriceOnRequest
+	}
+	return priceString(r.DisplayPrice(p, v))
+}
+
 // rec is a recommended/related product teaser with its own price — the
 // decoys that defeat naive "find the first $" extraction.
 type rec struct {
@@ -61,7 +71,7 @@ func (r *Retailer) recommendations(p Product, v Visit, n int) []rec {
 		out = append(out, rec{
 			name:  q.Name,
 			href:  "/product/" + q.SKU,
-			price: priceString(r.DisplayPrice(q, v)),
+			price: r.priceText(q, v),
 		})
 	}
 	return out
@@ -72,8 +82,15 @@ func (r *Retailer) recommendations(p Product, v Visit, n int) []rec {
 // prices (recommendations, "was" prices, shipping) so that extraction has
 // to find the right one.
 func (r *Retailer) RenderProduct(p Product, v Visit) string {
-	price := priceString(r.DisplayPrice(p, v))
-	was := priceString(r.WasPrice(p, v))
+	// Selective disclosure: the price slot carries no parseable amount,
+	// so extraction must fall through its layers and fail — the decoy
+	// prices elsewhere on the page stay, which is what makes the
+	// fallbacks' decoy filtering earn its keep.
+	price, was := PriceOnRequest, "n/a"
+	if r.PriceDisclosed(p, v) {
+		price = priceString(r.DisplayPrice(p, v))
+		was = priceString(r.WasPrice(p, v))
+	}
 	recs := r.recommendations(p, v, 3)
 	name := html.EscapeString(p.Name)
 
@@ -228,7 +245,7 @@ func (r *Retailer) RenderCategoryPage(cat Category, v Visit, page int) string {
 `, cat, html.EscapeString(r.cfg.Domain), r.trackerHTML(), cat, page+1)
 	for _, p := range inCat[start:end] {
 		fmt.Fprintf(&b, `<li><a class="product-link" href="/product/%s">%s</a> <span class="teaser">%s</span></li>`+"\n",
-			p.SKU, html.EscapeString(p.Name), priceString(r.DisplayPrice(p, v)))
+			p.SKU, html.EscapeString(p.Name), r.priceText(p, v))
 	}
 	b.WriteString("</ul>\n")
 	if end < len(inCat) {

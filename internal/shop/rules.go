@@ -1,0 +1,219 @@
+package shop
+
+import "time"
+
+// This file is the pricing-rule engine. Every pricing behaviour a retailer
+// exhibits — the paper's geo factors and login jitter as much as the
+// related-work strategies layered on later — is one named PricingRule,
+// compiled from the Config into a fixed pipeline at construction time.
+// USDPrice folds a visit through the pipeline; adding a discrimination
+// scenario means adding one rule and its Config fields, not editing a
+// monolithic price formula.
+//
+// Equivalence contract: for any Config expressible before the engine
+// existed, the compiled pipeline produces bit-identical prices to the
+// historical monolithic USDPrice. Rules that are inactive for a Config are
+// compiled out entirely (never applied as ×1.0 no-ops), and active rules
+// apply in the monolith's exact operation order, so the float sequence is
+// unchanged. rules_test.go holds the golden test for this contract.
+
+// StrategyFamily groups pricing rules by the discrimination strategy they
+// implement. The analysis layer's per-rule detector reports findings in
+// this vocabulary, so a scenario run can score detection per family.
+type StrategyFamily string
+
+// Strategy families.
+const (
+	// FamilyGeo covers location-dependent pricing: country/city factors,
+	// jitters and additive surcharges (the paper's Figs. 6–9).
+	FamilyGeo StrategyFamily = "geo"
+	// FamilyFingerprint covers client-software pricing: the price depends
+	// on the browser/OS fingerprint presented (Hupperich et al., "An
+	// Empirical Study on Price Differentiation Based on System
+	// Fingerprints").
+	FamilyFingerprint StrategyFamily = "fingerprint"
+	// FamilyDisclosure covers selective price disclosure: some clients are
+	// shown "price on request" instead of a price (Hajaj et al.,
+	// "Improving Comparison Shopping Agents' Competence through Selective
+	// Price Disclosure").
+	FamilyDisclosure StrategyFamily = "disclosure"
+	// FamilyTemporal covers location-independent time effects: intra-day
+	// drift and weekday/time-of-day pricing. Synchronized rounds must not
+	// read these as geo discrimination.
+	FamilyTemporal StrategyFamily = "temporal"
+	// FamilyABTest covers per-(client, day) bucket experiments — transient
+	// noise, not persistent discrimination (Sec. 2.2).
+	FamilyABTest StrategyFamily = "abtest"
+	// FamilyAccount covers logged-in account pricing (Fig. 10).
+	FamilyAccount StrategyFamily = "account"
+	// FamilySegment covers browsing-history segment pricing (Sec. 4.4).
+	FamilySegment StrategyFamily = "segment"
+)
+
+// PricingRule is one named, composable pricing behaviour. Apply transforms
+// the running USD price for a (product, visit) pair; rules run in pipeline
+// order over the catalog base price.
+type PricingRule struct {
+	// Name identifies the rule in reports ("geo", "weekday", ...).
+	Name string
+	// Family is the strategy family the rule belongs to.
+	Family StrategyFamily
+	// Apply transforms the running price. A disclosure rule leaves the
+	// price unchanged (hiding happens at render time) but still appears in
+	// the pipeline so the retailer's strategy set is complete.
+	Apply func(price float64, p Product, v Visit) float64
+}
+
+// compileRules builds the retailer's pipeline from its Config. Order is
+// load-bearing: geo consumes the base price (multiplying and adding on the
+// catalog base), and every later rule multiplies the running price in the
+// order the historical monolith applied them, with the new scenario rules
+// (fingerprint, weekday, disclosure) slotted where they cannot disturb
+// that order for configs predating them.
+func compileRules(r *Retailer) []PricingRule {
+	cfg := &r.cfg
+	var rules []PricingRule
+
+	geoConfigured := len(cfg.CountryFactor) > 0 || len(cfg.CountryJitter) > 0 ||
+		len(cfg.CountryAdd) > 0 || len(cfg.CityFactor) > 0 || len(cfg.CityJitter) > 0
+	if geoConfigured && cfg.VariedFraction > 0 {
+		rules = append(rules, PricingRule{
+			Name: "geo", Family: FamilyGeo,
+			Apply: func(price float64, p Product, v Visit) float64 {
+				if !r.varied(p) {
+					return price
+				}
+				return price*r.geoFactor(p, v.Loc) + r.geoAdd(v.Loc)
+			},
+		})
+	}
+	if len(cfg.FingerprintFactor) > 0 {
+		rules = append(rules, PricingRule{
+			Name: "fingerprint", Family: FamilyFingerprint,
+			Apply: func(price float64, p Product, v Visit) float64 {
+				return price * r.fingerprintFactor(v)
+			},
+		})
+	}
+	if cfg.ABFraction > 0 {
+		rules = append(rules, PricingRule{
+			Name: "abtest", Family: FamilyABTest,
+			Apply: func(price float64, p Product, v Visit) float64 {
+				return price * r.abDelta(p, v)
+			},
+		})
+	}
+	if cfg.DriftAmplitude > 0 {
+		rules = append(rules, PricingRule{
+			Name: "drift", Family: FamilyTemporal,
+			Apply: func(price float64, p Product, v Visit) float64 {
+				return price * r.drift(p, v.Time)
+			},
+		})
+	}
+	if len(cfg.WeekdayFactor) > 0 {
+		rules = append(rules, PricingRule{
+			Name: "weekday", Family: FamilyTemporal,
+			Apply: func(price float64, p Product, v Visit) float64 {
+				return price * r.weekdayFactor(v.Time)
+			},
+		})
+	}
+	if cfg.LoginJitter > 0 && len(cfg.LoginCategories) > 0 {
+		rules = append(rules, PricingRule{
+			Name: "login", Family: FamilyAccount,
+			Apply: func(price float64, p Product, v Visit) float64 {
+				return price * r.loginDelta(p, v.Account)
+			},
+		})
+	}
+	if len(cfg.SegmentFactor) > 0 {
+		rules = append(rules, PricingRule{
+			Name: "segment", Family: FamilySegment,
+			Apply: func(price float64, p Product, v Visit) float64 {
+				if f, ok := cfg.SegmentFactor[v.Segment]; ok && v.Segment != "" {
+					return price * f
+				}
+				return price
+			},
+		})
+	}
+	if cfg.HideFraction > 0 {
+		rules = append(rules, PricingRule{
+			Name: "disclosure", Family: FamilyDisclosure,
+			Apply: func(price float64, p Product, v Visit) float64 {
+				return price // hiding is a render-time decision, not a price change
+			},
+		})
+	}
+	return rules
+}
+
+// Rules returns the compiled pipeline (copy; Apply closures are shared).
+func (r *Retailer) Rules() []PricingRule {
+	out := make([]PricingRule, len(r.rules))
+	copy(out, r.rules)
+	return out
+}
+
+// Families returns the set of strategy families the retailer's pipeline
+// exercises — the ground truth a scenario run scores detectors against.
+func (r *Retailer) Families() map[StrategyFamily]bool {
+	out := map[StrategyFamily]bool{}
+	for _, rule := range r.rules {
+		out[rule.Family] = true
+	}
+	return out
+}
+
+// fingerprintFactor is the multiplier for the visit's client fingerprint.
+// Retailers key factors by the profile's "OS/Browser" string; fingerprints
+// not in the map (including the empty profile of a UA-less client) pay the
+// baseline.
+func (r *Retailer) fingerprintFactor(v Visit) float64 {
+	if f, ok := r.cfg.FingerprintFactor[v.Browser.Key()]; ok {
+		return f
+	}
+	return 1
+}
+
+// weekdayFactor is the multiplier for the visit's (UTC) weekday — the
+// location-independent temporal strategy. Identical at every location at
+// any instant, so synchronized rounds must never read it as geo pricing.
+func (r *Retailer) weekdayFactor(t time.Time) float64 {
+	if f, ok := r.cfg.WeekdayFactor[t.UTC().Weekday().String()]; ok {
+		return f
+	}
+	return 1
+}
+
+// PriceOnRequest is the text a selective-disclosure retailer shows in
+// place of a withheld price. It deliberately contains no parseable amount:
+// extraction must fall through its layers and report failure, exactly as
+// against a real "call for price" page.
+const PriceOnRequest = "Price on request"
+
+// PriceDisclosed reports whether the storefront reveals p's price to this
+// visit. Selective-disclosure retailers withhold the price from a
+// deterministic HideFraction of (product, client IP) pairs — the same
+// client always gets the same answer, so a crawler sees persistent
+// per-vantage-point extraction failures rather than transient noise.
+// HideCountries, when set, limits hiding to clients in those countries.
+func (r *Retailer) PriceDisclosed(p Product, v Visit) bool {
+	if r.cfg.HideFraction <= 0 {
+		return true
+	}
+	if len(r.cfg.HideCountries) > 0 {
+		hidden := false
+		for _, cc := range r.cfg.HideCountries {
+			if cc == v.Loc.Country.Code {
+				hidden = true
+				break
+			}
+		}
+		if !hidden {
+			return true
+		}
+	}
+	return hash01(r.cfg.Seed, "hide", p.SKU, v.IP) >= r.cfg.HideFraction
+}

@@ -1,0 +1,411 @@
+package shop
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"sheriff/internal/geo"
+	"sheriff/internal/money"
+)
+
+// ---------------------------------------------------------------------------
+// Golden equivalence: the rule pipeline must price bit-identically to the
+// pre-refactor monolithic USDPrice for every config expressible before the
+// engine existed. The reference below is that monolith, kept verbatim as
+// free functions so a regression in the pipeline (or in a helper it calls)
+// cannot hide inside shared code paths for the composition logic.
+// ---------------------------------------------------------------------------
+
+// refVaried is the pre-refactor varied(): no explicit zero-value branch —
+// the hash comparison made zero mean "never" implicitly.
+func refVaried(cfg Config, p Product) bool {
+	if cfg.VariedFraction >= 1 {
+		return true
+	}
+	return hash01(cfg.Seed, "varied", p.SKU) < cfg.VariedFraction
+}
+
+func refGeoFactor(cfg Config, p Product, loc geo.Location) float64 {
+	f := 1.0
+	cc := loc.Country.Code
+	if base, ok := cfg.CountryFactor[cc]; ok {
+		f *= base
+	}
+	if amp, ok := cfg.CountryJitter[cc]; ok && amp > 0 {
+		f += amp * (2*hash01(cfg.Seed, "cjit", cc, p.SKU) - 1)
+	}
+	cityKey := cc + "/" + loc.City
+	if base, ok := cfg.CityFactor[cityKey]; ok {
+		f *= base
+	}
+	if amp, ok := cfg.CityJitter[cityKey]; ok && amp > 0 {
+		f += amp * (2*hash01(cfg.Seed, "cityjit", cityKey, p.SKU) - 1)
+	}
+	if f < 0.05 {
+		f = 0.05
+	}
+	return f
+}
+
+func refABDelta(cfg Config, p Product, v Visit) float64 {
+	if cfg.ABFraction <= 0 || hash01(cfg.Seed, "abmember", p.SKU) >= cfg.ABFraction {
+		return 1
+	}
+	day := v.Time.UTC().Format("2006-01-02")
+	if hash01(cfg.Seed, "abbucket", p.SKU, v.IP, day) < 0.5 {
+		return 1
+	}
+	return 1 + cfg.ABAmplitude
+}
+
+func refDrift(cfg Config, p Product, t time.Time) float64 {
+	if cfg.DriftAmplitude <= 0 {
+		return 1
+	}
+	hour := float64(t.UTC().Unix() / 3600)
+	phase := 2 * math.Pi * hash01(cfg.Seed, "driftphase", p.SKU)
+	return 1 + cfg.DriftAmplitude*math.Sin(hour/3.7+phase)
+}
+
+func refLoginDelta(cfg Config, p Product, account string) float64 {
+	if cfg.LoginJitter <= 0 || account == "" {
+		return 1
+	}
+	for _, c := range cfg.LoginCategories {
+		if c != p.Category {
+			continue
+		}
+		if hash01(cfg.Seed, "loginmask", account, p.SKU) < 0.35 {
+			return 1
+		}
+		return 1 + cfg.LoginJitter*(2*hash01(cfg.Seed, "login", account, p.SKU)-1)
+	}
+	return 1
+}
+
+// refUSDPrice is the monolithic pre-refactor USDPrice, verbatim.
+func refUSDPrice(cfg Config, p Product, v Visit) money.Amount {
+	base := p.Base.Float()
+	price := base
+	if refVaried(cfg, p) {
+		price = base*refGeoFactor(cfg, p, v.Loc) + refGeoAdd(cfg, v.Loc)
+	}
+	price *= refABDelta(cfg, p, v)
+	price *= refDrift(cfg, p, v.Time)
+	price *= refLoginDelta(cfg, p, v.Account)
+	if f, ok := cfg.SegmentFactor[v.Segment]; ok && v.Segment != "" {
+		price *= f
+	}
+	if price < 0.01 {
+		price = 0.01
+	}
+	return money.FromFloat(price, money.USD)
+}
+
+func refGeoAdd(cfg Config, loc geo.Location) float64 {
+	return cfg.CountryAdd[loc.Country.Code]
+}
+
+// equivalenceVisits builds the visit grid: locations × accounts × segments
+// × times. Times include a weekday and a weekend day so an (incorrectly)
+// activated weekday rule would be caught, plus different hours for drift.
+func equivalenceVisits(t *testing.T) []Visit {
+	t.Helper()
+	locs := []geo.Location{
+		loc(t, "US", "New York"), loc(t, "US", "Chicago"), loc(t, "US", "Lincoln"),
+		loc(t, "GB", "London"), loc(t, "FI", "Tampere"), loc(t, "BR", "Sao Paulo"),
+		loc(t, "DE", "Berlin"), loc(t, "ES", "Barcelona"),
+	}
+	accounts := []string{"", "userA"}
+	segments := []string{"", "affluent"}
+	times := []time.Time{
+		time.Date(2013, 2, 1, 12, 0, 0, 0, time.UTC),  // Friday noon
+		time.Date(2013, 2, 3, 19, 0, 0, 0, time.UTC),  // Sunday evening
+		time.Date(2013, 4, 16, 7, 30, 0, 0, time.UTC), // Tuesday morning
+	}
+	browsers := []geo.BrowserProfile{
+		{}, {OS: "Windows", Browser: "Chrome"}, {OS: "Macintosh", Browser: "Safari"},
+	}
+	var visits []Visit
+	for i, l := range locs {
+		for _, acct := range accounts {
+			for _, seg := range segments {
+				for j, at := range times {
+					visits = append(visits, Visit{
+						Loc: l, Time: at, Account: acct, Segment: seg,
+						IP:      "10.0.1." + string(rune('1'+i)),
+						Browser: browsers[(i+j)%len(browsers)],
+					})
+				}
+			}
+		}
+	}
+	return visits
+}
+
+// TestRulePipelineMatchesMonolith is the golden test: every preset prices
+// byte-identically (USDPrice and DisplayPrice) under the rule pipeline and
+// the pre-refactor formula, across the full visit grid.
+func TestRulePipelineMatchesMonolith(t *testing.T) {
+	var cfgs []Config
+	cfgs = append(cfgs, CrawledConfigs(3)...)
+	cfgs = append(cfgs, CrowdExtraConfigs(3)...)
+	cfgs = append(cfgs, LongTailConfigs(3, 12)...)
+	visits := equivalenceVisits(t)
+	checked := 0
+	for _, cfg := range cfgs {
+		r := New(cfg, market)
+		ps := r.Catalog().Products()
+		if len(ps) > 12 {
+			ps = ps[:12]
+		}
+		for _, p := range ps {
+			for _, v := range visits {
+				want := refUSDPrice(cfg, p, v)
+				got := r.USDPrice(p, v)
+				if got != want {
+					t.Fatalf("%s %s at %s acct=%q seg=%q t=%s: pipeline %v, monolith %v",
+						cfg.Domain, p.SKU, v.Loc, v.Account, v.Segment, v.Time, got, want)
+				}
+				// DisplayPrice goes through the same USD price plus the FX
+				// conversion path; assert the full user-visible amount too.
+				wantDisp := refDisplayPrice(r, cfg, p, v, want)
+				if gotDisp := r.DisplayPrice(p, v); gotDisp != wantDisp {
+					t.Fatalf("%s %s: display %v, want %v", cfg.Domain, p.SKU, gotDisp, wantDisp)
+				}
+				checked++
+			}
+		}
+	}
+	if checked < 40000 {
+		t.Fatalf("grid too small: %d price comparisons", checked)
+	}
+}
+
+// refDisplayPrice is the pre-refactor DisplayPrice on top of a reference
+// USD price.
+func refDisplayPrice(r *Retailer, cfg Config, p Product, v Visit, usd money.Amount) money.Amount {
+	if !cfg.Localize {
+		return usd
+	}
+	local := v.Loc.Country.Currency
+	if local.Code == "" || local.Code == "USD" {
+		return usd
+	}
+	return r.market.ConvertRetail(usd, local, v.Time)
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline composition and the new scenario rules.
+// ---------------------------------------------------------------------------
+
+func TestCompiledRuleNamesPerPreset(t *testing.T) {
+	r := testRetailer(Config{
+		Seed:          70,
+		CountryFactor: map[string]float64{"FI": 1.2},
+		ABFraction:    0.1, ABAmplitude: 0.05,
+		DriftAmplitude:  0.02,
+		LoginJitter:     0.1,
+		LoginCategories: []Category{CatClothing},
+		FingerprintFactor: map[string]float64{
+			"Macintosh/Safari": 1.05,
+		},
+		WeekdayFactor: map[string]float64{"Saturday": 1.1},
+		HideFraction:  0.2,
+		SegmentFactor: map[string]float64{"affluent": 1.08},
+	})
+	want := []string{"geo", "fingerprint", "abtest", "drift", "weekday", "login", "segment", "disclosure"}
+	rules := r.Rules()
+	if len(rules) != len(want) {
+		t.Fatalf("compiled %d rules, want %d", len(rules), len(want))
+	}
+	for i, rule := range rules {
+		if rule.Name != want[i] {
+			t.Errorf("rule %d = %q, want %q", i, rule.Name, want[i])
+		}
+	}
+	fams := r.Families()
+	for _, f := range []StrategyFamily{FamilyGeo, FamilyFingerprint, FamilyABTest,
+		FamilyTemporal, FamilyAccount, FamilySegment, FamilyDisclosure} {
+		if !fams[f] {
+			t.Errorf("family %s missing", f)
+		}
+	}
+}
+
+func TestNoRulesCompiledForPlainShop(t *testing.T) {
+	r := testRetailer(Config{Seed: 71})
+	if n := len(r.Rules()); n != 0 {
+		t.Fatalf("plain shop compiled %d rules, want 0", n)
+	}
+	p := r.Catalog().Products()[0]
+	if got := r.USDPrice(p, visitAt(t, "FI", "Tampere")); got != p.Base {
+		t.Fatalf("plain shop price %v != base %v", got, p.Base)
+	}
+}
+
+func TestFingerprintPricing(t *testing.T) {
+	r := testRetailer(Config{
+		Seed: 72,
+		FingerprintFactor: map[string]float64{
+			"Macintosh/Safari": 1.06,
+			"Linux/Firefox":    0.97,
+		},
+	})
+	p := r.Catalog().Products()[0]
+	base := visitAt(t, "US", "Boston")
+	mac, lin, win := base, base, base
+	mac.Browser = geo.BrowserProfile{OS: "Macintosh", Browser: "Safari"}
+	lin.Browser = geo.BrowserProfile{OS: "Linux", Browser: "Firefox"}
+	win.Browser = geo.BrowserProfile{OS: "Windows", Browser: "Chrome"}
+
+	pb := r.USDPrice(p, base).Float()
+	if got := r.USDPrice(p, mac).Float() / pb; got < 1.055 || got > 1.065 {
+		t.Fatalf("Mac/Safari ratio = %v, want ~1.06", got)
+	}
+	if got := r.USDPrice(p, lin).Float() / pb; got < 0.965 || got > 0.975 {
+		t.Fatalf("Linux/Firefox ratio = %v, want ~0.97", got)
+	}
+	// Unlisted fingerprints pay the baseline, as does a UA-less client.
+	if got := r.USDPrice(p, win); got.Float() != pb {
+		t.Fatalf("Windows/Chrome %v != baseline %v", got.Float(), pb)
+	}
+	// Location does not move the price: this is pure fingerprint pricing.
+	macFI := mac
+	macFI.Loc = loc(t, "FI", "Tampere")
+	if r.USDPrice(p, mac) != r.USDPrice(p, macFI) {
+		t.Fatal("fingerprint-only shop priced by location")
+	}
+}
+
+func TestFingerprintReachesPricingThroughUserAgent(t *testing.T) {
+	// End-to-end within the shop layer: the UA string a real client sends
+	// must map onto the factor key via geo.ProfileFromUA.
+	prof := geo.BrowserProfile{OS: "Macintosh", Browser: "Safari"}
+	parsed := geo.ProfileFromUA(prof.UserAgent())
+	if parsed != prof {
+		t.Fatalf("UA round trip = %+v, want %+v", parsed, prof)
+	}
+	if parsed.Key() != "Macintosh/Safari" {
+		t.Fatalf("fingerprint key = %q", parsed.Key())
+	}
+}
+
+func TestWeekdayPricing(t *testing.T) {
+	r := testRetailer(Config{
+		Seed: 73,
+		WeekdayFactor: map[string]float64{
+			"Saturday": 1.10, "Sunday": 1.10,
+		},
+	})
+	p := r.Catalog().Products()[0]
+	fri := visitAt(t, "US", "Boston") // testDay is Friday 2013-02-01
+	sat := fri
+	sat.Time = time.Date(2013, 2, 2, 12, 0, 0, 0, time.UTC)
+
+	pf, ps := r.USDPrice(p, fri).Float(), r.USDPrice(p, sat).Float()
+	if ratio := ps / pf; ratio < 1.095 || ratio > 1.105 {
+		t.Fatalf("Saturday/Friday = %v, want ~1.10", ratio)
+	}
+	// Same instant, different locations: identical price. Temporal pricing
+	// must be invisible to a synchronized cross-location comparison.
+	satFI, satBR := sat, sat
+	satFI.Loc = loc(t, "FI", "Tampere")
+	satBR.Loc = loc(t, "BR", "Sao Paulo")
+	if r.USDPrice(p, sat) != r.USDPrice(p, satFI) || r.USDPrice(p, sat) != r.USDPrice(p, satBR) {
+		t.Fatal("weekday factor varied across locations at the same instant")
+	}
+}
+
+func TestSelectiveDisclosure(t *testing.T) {
+	r := testRetailer(Config{Seed: 74, ProductCount: 80, HideFraction: 0.3})
+	v := visitAt(t, "US", "Boston")
+	hidden := 0
+	for _, p := range r.Catalog().Products() {
+		if !r.PriceDisclosed(p, v) {
+			hidden++
+			page := r.RenderProduct(p, v)
+			if !strings.Contains(page, PriceOnRequest) {
+				t.Fatalf("hidden product %s page lacks %q", p.SKU, PriceOnRequest)
+			}
+			want := priceString(r.DisplayPrice(p, v))
+			if strings.Contains(page, ">"+want+"<") {
+				t.Fatalf("hidden product %s still shows its price %q", p.SKU, want)
+			}
+		} else if page := r.RenderProduct(p, v); !strings.Contains(page, priceString(r.DisplayPrice(p, v))) {
+			t.Fatalf("disclosed product %s page lacks its price", p.SKU)
+		}
+	}
+	if frac := float64(hidden) / 80; frac < 0.15 || frac > 0.45 {
+		t.Fatalf("hidden fraction = %v, want ~0.3", frac)
+	}
+	// Deterministic per (product, client): an independently built retailer
+	// from the same config hides the identical subset, while a different
+	// client sees a different one.
+	r2 := testRetailer(Config{Seed: 74, ProductCount: 80, HideFraction: 0.3})
+	other := v
+	other.IP = "10.0.1.77"
+	differs := 0
+	for _, p := range r.Catalog().Products() {
+		if r.PriceDisclosed(p, v) != r2.PriceDisclosed(p, v) {
+			t.Fatal("disclosure not deterministic across identical retailers")
+		}
+		if r.PriceDisclosed(p, v) != r.PriceDisclosed(p, other) {
+			differs++
+		}
+	}
+	if differs == 0 {
+		t.Fatal("every client sees the identical hidden subset")
+	}
+}
+
+func TestDisclosureCountryRestriction(t *testing.T) {
+	r := testRetailer(Config{
+		Seed: 75, ProductCount: 60,
+		HideFraction: 0.5, HideCountries: []string{"FI"},
+	})
+	vUS := visitAt(t, "US", "Boston")
+	vFI := visitAt(t, "FI", "Tampere")
+	hiddenFI := 0
+	for _, p := range r.Catalog().Products() {
+		if !r.PriceDisclosed(p, vUS) {
+			t.Fatalf("US visit hidden for %s despite HideCountries=[FI]", p.SKU)
+		}
+		if !r.PriceDisclosed(p, vFI) {
+			hiddenFI++
+		}
+	}
+	if hiddenFI == 0 {
+		t.Fatal("no FI price hidden at HideFraction=0.5")
+	}
+}
+
+func TestVariedFractionZeroNeverVaries(t *testing.T) {
+	// The zero value must mean "no product varies" even with aggressive
+	// geo factors configured — the documented contract, now explicit in
+	// varied() rather than an accident of the hash comparison.
+	r := New(Config{
+		Domain: "zero.example.com", Label: "zero", Seed: 76,
+		Categories: []Category{CatClothing}, ProductCount: 40,
+		PriceLo: 10, PriceHi: 100,
+		VariedFraction: 0,
+		CountryFactor:  map[string]float64{"FI": 1.5, "GB": 1.3},
+		CountryAdd:     map[string]float64{"GB": 25},
+	}, market)
+	for _, p := range r.Catalog().Products() {
+		us := r.USDPrice(p, visitAt(t, "US", "Boston"))
+		fi := r.USDPrice(p, visitAt(t, "FI", "Tampere"))
+		uk := r.USDPrice(p, visitAt(t, "GB", "London"))
+		if us != fi || us != uk {
+			t.Fatalf("VariedFraction=0 still varies: %s US=%v FI=%v GB=%v", p.SKU, us, fi, uk)
+		}
+	}
+	// And the pipeline reflects it: no geo rule is compiled at all.
+	for _, rule := range r.Rules() {
+		if rule.Family == FamilyGeo {
+			t.Fatal("geo rule compiled despite VariedFraction=0")
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package shop
+
+// This file holds the scenario presets for the rule-engine validation
+// matrix: one small retailer per discrimination strategy (and per
+// interesting combination), each exercising exactly the rules its name
+// says. The matrix runner (internal/core) builds a world per scenario,
+// crawls it, runs the per-rule detector and scores detection against the
+// retailer's compiled rule families — so every new PricingRule earns a
+// scenario here and a detector that catches it (or a documented reason
+// synchronized measurement cannot).
+
+// ScenarioDomainSuffix is the domain suffix every scenario retailer uses;
+// the part before it names the scenario.
+const ScenarioDomainSuffix = ".scenario.test"
+
+// ScenarioConfigs returns the scenario retailers, one per rule combination
+// the matrix sweeps. Labels are the scenario names.
+func ScenarioConfigs(seed int64) []Config {
+	s := func(i int64) int64 { return seed*5000 + i }
+	base := func(i int64, name string, tmpl string) Config {
+		return Config{
+			Domain: name + ScenarioDomainSuffix, Label: name, Seed: s(i),
+			Categories: []Category{CatElectronics}, ProductCount: 48,
+			PriceLo: 20, PriceHi: 800,
+			Template: tmpl, Localize: true, VariedFraction: 1.0,
+			Trackers: []string{"ga"},
+		}
+	}
+	// The Barcelona vantage-point trio (same city, three browser configs)
+	// is the fingerprint detector's control group; these factors make the
+	// trio disagree while same-fingerprint locations stay identical.
+	fingerprints := map[string]float64{
+		"Macintosh/Safari": 1.07,
+		"Windows/Chrome":   1.03,
+	}
+	weekend := map[string]float64{"Saturday": 1.12, "Sunday": 1.12}
+
+	control := base(1, "control", "classic")
+
+	geoMult := base(2, "geo-mult", "modern")
+	geoMult.CountryFactor = geoFactors(1.12, 1.08, 1.25, 0.98, nil)
+
+	geoAdd := base(3, "geo-add", "classic")
+	geoAdd.CountryAdd = map[string]float64{"GB": 9, "FI": 14}
+
+	geoCity := base(4, "geo-city", "table")
+	geoCity.Localize = false
+	geoCity.CityFactor = map[string]float64{
+		"US/New York": 1.08, "US/Chicago": 0.97, "US/Boston": 1.03,
+	}
+	geoCity.CityJitter = map[string]float64{"US/Lincoln": 0.05}
+
+	fingerprint := base(5, "fingerprint", "modern")
+	fingerprint.FingerprintFactor = fingerprints
+
+	disclosure := base(6, "disclosure", "classic")
+	disclosure.HideFraction = 0.3
+
+	weekday := base(7, "weekday", "minimal")
+	weekday.WeekdayFactor = weekend
+
+	drift := base(8, "drift", "classic")
+	drift.DriftAmplitude = 0.05
+
+	fingerGeo := base(9, "fingerprint-geo", "modern")
+	fingerGeo.FingerprintFactor = fingerprints
+	fingerGeo.CountryFactor = geoFactors(1.10, 1.06, 1.20, 1.0, nil)
+
+	discWeekday := base(10, "disclosure-weekday", "table")
+	discWeekday.HideFraction = 0.25
+	discWeekday.WeekdayFactor = weekend
+
+	everything := base(11, "everything", "classic")
+	everything.CountryFactor = geoFactors(1.15, 1.10, 1.30, 1.02, nil)
+	everything.CountryAdd = map[string]float64{"GB": 5}
+	everything.FingerprintFactor = fingerprints
+	everything.HideFraction = 0.2
+	everything.WeekdayFactor = weekend
+
+	return []Config{
+		control, geoMult, geoAdd, geoCity, fingerprint, disclosure,
+		weekday, drift, fingerGeo, discWeekday, everything,
+	}
+}

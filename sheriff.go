@@ -31,6 +31,7 @@ import (
 	"sheriff/internal/crowd"
 	"sheriff/internal/extract"
 	"sheriff/internal/geo"
+	"sheriff/internal/shop"
 	"sheriff/internal/store"
 )
 
@@ -157,3 +158,55 @@ var EnvelopeOf = analysis.EnvelopeOf
 // Summarize derives the dataset summary from a store plus crowd-campaign
 // statistics.
 var Summarize = analysis.Summarize
+
+// Pricing-rule engine and strategy attribution, re-exported for
+// downstream scenario work.
+type (
+	// PricingRule is one compiled pricing behaviour of a retailer.
+	PricingRule = shop.PricingRule
+	// StrategyFamily groups rules by discrimination strategy.
+	StrategyFamily = shop.StrategyFamily
+	// ShopConfig declares a retailer, rule parameters included.
+	ShopConfig = shop.Config
+	// StrategyReport is a domain's per-family attribution verdict.
+	StrategyReport = analysis.StrategyReport
+	// FamilyEvidence is one family's verdict inside a StrategyReport.
+	FamilyEvidence = analysis.FamilyEvidence
+	// DetectOptions tunes DetectStrategies.
+	DetectOptions = analysis.DetectOptions
+	// MatrixOptions configures RunScenarioMatrix.
+	MatrixOptions = core.MatrixOptions
+	// MatrixReport is the scenario sweep result with per-family scores.
+	MatrixReport = core.MatrixReport
+	// ScenarioOutcome is one scenario's truth-vs-detection row.
+	ScenarioOutcome = core.ScenarioOutcome
+	// FamilyScore is a per-family confusion matrix with precision/recall.
+	FamilyScore = core.FamilyScore
+)
+
+// Strategy families a rule (and a detector verdict) can belong to.
+const (
+	FamilyGeo         = shop.FamilyGeo
+	FamilyFingerprint = shop.FamilyFingerprint
+	FamilyDisclosure  = shop.FamilyDisclosure
+	FamilyTemporal    = shop.FamilyTemporal
+	FamilyABTest      = shop.FamilyABTest
+	FamilyAccount     = shop.FamilyAccount
+	FamilySegment     = shop.FamilySegment
+)
+
+// DetectStrategies attributes a domain's crawl variation to strategy
+// families using the vantage-point fleet's structure as controls.
+var DetectStrategies = analysis.DetectStrategies
+
+// DetectableFamilies lists the families DetectStrategies can attribute
+// from crawl data alone.
+var DetectableFamilies = analysis.DetectableFamilies
+
+// RunScenarioMatrix sweeps the discrimination-scenario presets
+// (ScenarioConfigs) and scores per-family detection precision/recall.
+var RunScenarioMatrix = core.RunScenarioMatrix
+
+// ScenarioConfigs returns the scenario retailers the matrix sweeps, one
+// per rule combination.
+var ScenarioConfigs = shop.ScenarioConfigs
