@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -652,4 +653,63 @@ func BenchmarkStrategyFit(b *testing.B) {
 			b.Fatalf("fit = %+v", fit)
 		}
 	}
+}
+
+// --- Campaign-engine benchmarks (parallel matrix + concurrent checks) ---
+
+// benchMatrix runs a reduced scenario-matrix sweep at the given worker
+// count: the parallel campaign engine's end-to-end cost (world build,
+// anchor learning, synchronized crawl, detection) per scenario world.
+func benchMatrix(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := sheriff.RunScenarioMatrix(sheriff.MatrixOptions{
+			Seed: 1, Products: 4, Rounds: 2, Workers: workers,
+			Scenarios: []string{"control", "geo-mult", "fingerprint", "weekday"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Outcomes) != 4 {
+			b.Fatalf("outcomes = %d", len(rep.Outcomes))
+		}
+	}
+}
+
+// BenchmarkScenarioMatrixSequential is the workers=1 baseline.
+func BenchmarkScenarioMatrixSequential(b *testing.B) { benchMatrix(b, 1) }
+
+// BenchmarkScenarioMatrixParallel runs the same sweep with 4 workers;
+// on multicore hardware the isolated worlds overlap and wall time drops
+// toward 1/4 of the sequential run.
+func BenchmarkScenarioMatrixParallel(b *testing.B) { benchMatrix(b, 4) }
+
+// BenchmarkCrowdCheckConcurrent hammers Backend.Check from GOMAXPROCS
+// goroutines at one simulated instant — the crowd-load shape. The
+// single-flight page cache collapses repeated (product × vantage point)
+// fetches across the concurrent users.
+func BenchmarkCrowdCheckConcurrent(b *testing.B) {
+	f := benchFixture(b)
+	r := f.world.Retailers["www.digitalrev.com"]
+	ps := r.Catalog().Products()
+	loc, _ := geo.LocationOf("US", "Boston")
+	b.ResetTimer()
+	var next int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(atomic.AddInt64(&next, 1))
+			addr, _ := geo.AddrFor(loc, 100+i%100)
+			p := ps[i%len(ps)]
+			amt := r.DisplayPrice(p, shop.Visit{Loc: loc, Time: f.world.Clock.Now(), IP: addr.String()})
+			_, err := f.world.Backend.Check(sheriff.CheckRequest{
+				URL:       "http://www.digitalrev.com/product/" + p.SKU,
+				Highlight: money.Format(amt, amt.Currency.Style()),
+				UserAddr:  addr,
+				UserID:    "bench-concurrent",
+			})
+			if err != nil && !strings.Contains(err.Error(), "status 503") {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -7,14 +7,32 @@
 //
 // Repeated benchmark names (from -count>1) appear as separate entries;
 // consumers aggregate as they see fit.
+//
+// With -compare, benchjson is the CI bench-regression gate instead: it
+// reads two previously generated documents and fails (exit 1) when any
+// benchmark present in both regressed past the threshold on the gated
+// metric:
+//
+//	benchjson -compare [-metric ns/op] [-threshold 25] old.json new.json
+//
+// Duplicate entries (from -count>1) are averaged before comparing.
+// Benchmarks that exist on only one side are reported but never fail the
+// gate — adding and retiring benchmarks must not require touching the
+// baseline in the same PR. Typical gating: allocs/op with a tight
+// threshold (allocation counts are deterministic across machines) and
+// ns/op with a loose one (the committed baseline and the CI runner are
+// different hardware, so only catastrophic time regressions are
+// actionable).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -43,6 +61,36 @@ type Doc struct {
 }
 
 func main() {
+	compareMode := flag.Bool("compare", false, "compare two benchmark JSON files and fail on regressions")
+	metric := flag.String("metric", "ns/op", "metric to gate on in -compare mode")
+	threshold := flag.Float64("threshold", 25, "allowed regression in percent before -compare fails")
+	flag.Parse()
+
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		oldDoc, err := readDoc(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		newDoc, err := readDoc(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		rep := compare(oldDoc, newDoc, *metric, *threshold)
+		fmt.Print(rep.String())
+		if len(rep.Regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% on %s\n",
+				len(rep.Regressions), *threshold, *metric)
+			os.Exit(1)
+		}
+		return
+	}
+
 	doc, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -54,6 +102,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// readDoc loads a benchmark JSON artifact from disk.
+func readDoc(path string) (*Doc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var doc Doc
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
 }
 
 // parse consumes `go test -bench` output. Lines it does not understand
@@ -113,4 +175,166 @@ func parseBenchLine(line string) (Result, bool) {
 		res.Metrics[fields[i+1]] = val
 	}
 	return res, true
+}
+
+// benchID identifies one benchmark across documents. Pkg is part of the
+// identity but may be empty on both sides (root-only runs). Procs is
+// deliberately NOT part of the identity: the -N suffix is GOMAXPROCS of
+// the machine the run happened on, and the whole point of -compare is
+// pairing a committed baseline from one box with a CI run from another —
+// keying on procs would pair nothing and silently pass every gate.
+// Same-name entries within one document (repeats from -count>1, or in
+// principle differing procs) are averaged by average().
+type benchID struct {
+	Pkg  string
+	Name string
+}
+
+func (id benchID) String() string {
+	if id.Pkg == "" {
+		return id.Name
+	}
+	return id.Pkg + "." + id.Name
+}
+
+// Delta is one benchmark's old-vs-new comparison on the gated metric.
+type Delta struct {
+	ID       benchID
+	Old, New float64
+	// Pct is the relative change in percent; positive means slower /
+	// more (a potential regression — higher is worse for every metric
+	// `go test -bench` emits).
+	Pct float64
+}
+
+// CompareReport is the gate's result.
+type CompareReport struct {
+	// Metric and Threshold echo the gate parameters.
+	Metric    string
+	Threshold float64
+	// Regressions exceeded the threshold; Deltas holds every benchmark
+	// present in both documents (regressions included), sorted worst
+	// first. OnlyOld/OnlyNew name benchmarks without a counterpart.
+	Regressions []Delta
+	Deltas      []Delta
+	OnlyOld     []string
+	OnlyNew     []string
+	// Missing counts compared pairs lacking the gated metric.
+	Missing int
+}
+
+// String renders the human table CI logs show.
+func (r *CompareReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bench gate: metric %s, threshold +%.0f%% (%d compared, %d old-only, %d new-only)\n",
+		r.Metric, r.Threshold, len(r.Deltas), len(r.OnlyOld), len(r.OnlyNew))
+	for _, d := range r.Deltas {
+		mark := "  "
+		if d.Pct > r.Threshold {
+			mark = "!!"
+		}
+		fmt.Fprintf(&b, "%s %-60s %14.1f -> %14.1f  %+7.1f%%\n", mark, d.ID, d.Old, d.New, d.Pct)
+	}
+	for _, name := range r.OnlyNew {
+		fmt.Fprintf(&b, "++ %-60s (new benchmark, not gated)\n", name)
+	}
+	for _, name := range r.OnlyOld {
+		fmt.Fprintf(&b, "-- %-60s (removed or not run)\n", name)
+	}
+	if r.Missing > 0 {
+		fmt.Fprintf(&b, ".. %d benchmark(s) lack metric %s on one side\n", r.Missing, r.Metric)
+	}
+	return b.String()
+}
+
+// average folds a document's benchmarks (possibly repeated via -count>1)
+// into one mean value per benchmark for the given metric. The bool is
+// false when no entry carried the metric.
+func average(doc *Doc, metric string) map[benchID]float64 {
+	sum := map[benchID]float64{}
+	n := map[benchID]int{}
+	for _, res := range doc.Benchmarks {
+		v, ok := res.Metrics[metric]
+		if !ok {
+			continue
+		}
+		id := benchID{Pkg: res.Pkg, Name: res.Name}
+		sum[id] += v
+		n[id]++
+	}
+	out := make(map[benchID]float64, len(sum))
+	for id, s := range sum {
+		out[id] = s / float64(n[id])
+	}
+	return out
+}
+
+// ids collects every benchmark identity in a document, metric or not.
+func ids(doc *Doc) map[benchID]bool {
+	out := map[benchID]bool{}
+	for _, res := range doc.Benchmarks {
+		out[benchID{Pkg: res.Pkg, Name: res.Name}] = true
+	}
+	return out
+}
+
+// compare gates newDoc against oldDoc on metric: any shared benchmark
+// whose mean grew more than threshold percent is a regression.
+func compare(oldDoc, newDoc *Doc, metric string, threshold float64) *CompareReport {
+	rep := &CompareReport{Metric: metric, Threshold: threshold}
+	oldVals, newVals := average(oldDoc, metric), average(newDoc, metric)
+	oldIDs, newIDs := ids(oldDoc), ids(newDoc)
+
+	for id := range oldIDs {
+		if !newIDs[id] {
+			rep.OnlyOld = append(rep.OnlyOld, id.String())
+		}
+	}
+	for id := range newIDs {
+		if !oldIDs[id] {
+			rep.OnlyNew = append(rep.OnlyNew, id.String())
+		}
+	}
+	sort.Strings(rep.OnlyOld)
+	sort.Strings(rep.OnlyNew)
+
+	for id := range oldIDs {
+		if !newIDs[id] {
+			continue
+		}
+		oldV, okOld := oldVals[id]
+		newV, okNew := newVals[id]
+		if !okOld || !okNew {
+			rep.Missing++
+			continue
+		}
+		d := Delta{ID: id, Old: oldV, New: newV}
+		switch {
+		case oldV == 0 && newV == 0:
+			d.Pct = 0
+		case oldV == 0:
+			// From zero to anything: infinite relative growth; report it
+			// as just past any finite threshold.
+			d.Pct = threshold + 100
+		default:
+			d.Pct = (newV - oldV) / oldV * 100
+		}
+		rep.Deltas = append(rep.Deltas, d)
+		if d.Pct > threshold {
+			rep.Regressions = append(rep.Regressions, d)
+		}
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool {
+		if rep.Deltas[i].Pct != rep.Deltas[j].Pct {
+			return rep.Deltas[i].Pct > rep.Deltas[j].Pct
+		}
+		return rep.Deltas[i].ID.String() < rep.Deltas[j].ID.String()
+	})
+	sort.Slice(rep.Regressions, func(i, j int) bool {
+		if rep.Regressions[i].Pct != rep.Regressions[j].Pct {
+			return rep.Regressions[i].Pct > rep.Regressions[j].Pct
+		}
+		return rep.Regressions[i].ID.String() < rep.Regressions[j].ID.String()
+	})
+	return rep
 }

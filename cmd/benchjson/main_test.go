@@ -56,3 +56,156 @@ func TestParseSkipsNoise(t *testing.T) {
 		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
 	}
 }
+
+// mkDoc builds a Doc from (name, ns/op, allocs/op) triples.
+func mkDoc(entries ...[3]any) *Doc {
+	doc := &Doc{}
+	for _, e := range entries {
+		doc.Benchmarks = append(doc.Benchmarks, Result{
+			Pkg: "sheriff", Name: e[0].(string), Procs: 8, Iterations: 100,
+			Metrics: map[string]float64{
+				"ns/op":     float64(e[1].(int)),
+				"allocs/op": float64(e[2].(int)),
+			},
+		})
+	}
+	return doc
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	oldDoc := mkDoc(
+		[3]any{"BenchmarkA", 1000, 10},
+		[3]any{"BenchmarkB", 2000, 20},
+		[3]any{"BenchmarkC", 3000, 30},
+	)
+	newDoc := mkDoc(
+		[3]any{"BenchmarkA", 1100, 10}, // +10%: inside a 25% threshold
+		[3]any{"BenchmarkB", 3000, 20}, // +50%: regression
+		[3]any{"BenchmarkC", 1500, 30}, // -50%: improvement
+	)
+	rep := compare(oldDoc, newDoc, "ns/op", 25)
+	if len(rep.Regressions) != 1 || rep.Regressions[0].ID.Name != "BenchmarkB" {
+		t.Fatalf("regressions = %+v", rep.Regressions)
+	}
+	if len(rep.Deltas) != 3 {
+		t.Fatalf("deltas = %d, want 3", len(rep.Deltas))
+	}
+	// Worst first.
+	if rep.Deltas[0].ID.Name != "BenchmarkB" || rep.Deltas[2].ID.Name != "BenchmarkC" {
+		t.Fatalf("delta order: %+v", rep.Deltas)
+	}
+	text := rep.String()
+	if !strings.Contains(text, "!! sheriff.BenchmarkB") {
+		t.Fatalf("report does not mark the regression:\n%s", text)
+	}
+}
+
+func TestComparePassesWithinThreshold(t *testing.T) {
+	oldDoc := mkDoc([3]any{"BenchmarkA", 1000, 10})
+	newDoc := mkDoc([3]any{"BenchmarkA", 1200, 10})
+	if rep := compare(oldDoc, newDoc, "ns/op", 25); len(rep.Regressions) != 0 {
+		t.Fatalf("20%% growth flagged at 25%% threshold: %+v", rep.Regressions)
+	}
+	// The boundary itself passes: "past the threshold" is strict.
+	newDoc = mkDoc([3]any{"BenchmarkA", 1250, 10})
+	if rep := compare(oldDoc, newDoc, "ns/op", 25); len(rep.Regressions) != 0 {
+		t.Fatalf("exactly-threshold growth flagged: %+v", rep.Regressions)
+	}
+}
+
+func TestCompareGatesChosenMetric(t *testing.T) {
+	oldDoc := mkDoc([3]any{"BenchmarkA", 1000, 10})
+	newDoc := mkDoc([3]any{"BenchmarkA", 1000, 40}) // 4x allocations, flat time
+	if rep := compare(oldDoc, newDoc, "ns/op", 25); len(rep.Regressions) != 0 {
+		t.Fatalf("ns/op gate fired on an alloc regression: %+v", rep.Regressions)
+	}
+	rep := compare(oldDoc, newDoc, "allocs/op", 25)
+	if len(rep.Regressions) != 1 {
+		t.Fatalf("allocs/op gate missed a 300%% regression: %+v", rep.Regressions)
+	}
+}
+
+func TestCompareUnpairedBenchmarksNeverFail(t *testing.T) {
+	oldDoc := mkDoc([3]any{"BenchmarkA", 1000, 10}, [3]any{"BenchmarkGone", 1, 1})
+	newDoc := mkDoc([3]any{"BenchmarkA", 1000, 10}, [3]any{"BenchmarkFresh", 9999999, 9999})
+	rep := compare(oldDoc, newDoc, "ns/op", 25)
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("unpaired benchmarks failed the gate: %+v", rep.Regressions)
+	}
+	if len(rep.OnlyOld) != 1 || rep.OnlyOld[0] != "sheriff.BenchmarkGone" {
+		t.Fatalf("OnlyOld = %v", rep.OnlyOld)
+	}
+	if len(rep.OnlyNew) != 1 || rep.OnlyNew[0] != "sheriff.BenchmarkFresh" {
+		t.Fatalf("OnlyNew = %v", rep.OnlyNew)
+	}
+	text := rep.String()
+	if !strings.Contains(text, "++") || !strings.Contains(text, "--") {
+		t.Fatalf("report omits unpaired benchmarks:\n%s", text)
+	}
+}
+
+func TestCompareAveragesRepeatedRuns(t *testing.T) {
+	// -count=3: three entries for the same benchmark average to 2000,
+	// which is flat against the baseline.
+	oldDoc := mkDoc([3]any{"BenchmarkA", 2000, 10})
+	newDoc := mkDoc(
+		[3]any{"BenchmarkA", 1800, 10},
+		[3]any{"BenchmarkA", 2000, 10},
+		[3]any{"BenchmarkA", 2200, 10},
+	)
+	rep := compare(oldDoc, newDoc, "ns/op", 5)
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("averaging failed, regressions: %+v", rep.Regressions)
+	}
+	if len(rep.Deltas) != 1 || rep.Deltas[0].New != 2000 {
+		t.Fatalf("averaged delta = %+v", rep.Deltas)
+	}
+}
+
+func TestCompareMissingMetricIsCountedNotFailed(t *testing.T) {
+	oldDoc := mkDoc([3]any{"BenchmarkA", 1000, 10})
+	newDoc := &Doc{Benchmarks: []Result{{
+		Pkg: "sheriff", Name: "BenchmarkA", Procs: 8, Iterations: 100,
+		Metrics: map[string]float64{"ns/op": 1000}, // no allocs/op
+	}}}
+	rep := compare(oldDoc, newDoc, "allocs/op", 25)
+	if len(rep.Regressions) != 0 || rep.Missing != 1 {
+		t.Fatalf("missing-metric handling: %+v", rep)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	oldDoc := mkDoc([3]any{"BenchmarkA", 1000, 0})
+	newDoc := mkDoc([3]any{"BenchmarkA", 1000, 5})
+	// 0 -> 5 allocs cannot be expressed as a percentage; it must still
+	// trip the gate.
+	if rep := compare(oldDoc, newDoc, "allocs/op", 25); len(rep.Regressions) != 1 {
+		t.Fatalf("zero baseline growth passed: %+v", rep.Regressions)
+	}
+	// 0 -> 0 is flat.
+	if rep := compare(oldDoc, oldDoc, "allocs/op", 25); len(rep.Regressions) != 0 {
+		t.Fatalf("0 -> 0 flagged: %+v", rep.Regressions)
+	}
+}
+
+func TestComparePairsAcrossProcs(t *testing.T) {
+	// The committed baseline comes from a different machine than the CI
+	// runner, so GOMAXPROCS suffixes differ (-1 vs -4). Benchmarks must
+	// still pair by (pkg, name) — otherwise the gate compares nothing
+	// and silently passes.
+	oldDoc := mkDoc([3]any{"BenchmarkA", 1000, 10})
+	for i := range oldDoc.Benchmarks {
+		oldDoc.Benchmarks[i].Procs = 1
+	}
+	newDoc := mkDoc([3]any{"BenchmarkA", 1000, 40})
+	for i := range newDoc.Benchmarks {
+		newDoc.Benchmarks[i].Procs = 4
+	}
+	rep := compare(oldDoc, newDoc, "allocs/op", 25)
+	if len(rep.Deltas) != 1 || len(rep.OnlyOld) != 0 || len(rep.OnlyNew) != 0 {
+		t.Fatalf("procs mismatch broke pairing: %+v", rep)
+	}
+	if len(rep.Regressions) != 1 {
+		t.Fatalf("regression across procs not flagged: %+v", rep.Regressions)
+	}
+}

@@ -7,12 +7,21 @@
 //	experiments -scale quick       # reduced scale for smoke runs
 //	experiments -scale full -jsonl dataset.jsonl
 //	experiments -scenarios         # rule-engine validation matrix
+//	experiments -scenarios -workers 4
+//	experiments -load -concurrency 16 -requests 640
 //
 // With -scenarios the command instead sweeps the discrimination-scenario
 // matrix: one isolated world per pricing-rule combination (geo,
 // fingerprint, selective disclosure, weekday/drift and their compounds),
 // each crawled synchronized and judged by the per-rule detector, reporting
 // per-family detection precision/recall against the compiled ground truth.
+// Worlds run concurrently on -workers goroutines (default GOMAXPROCS);
+// the report is byte-identical at any worker count.
+//
+// With -load the command runs the crowd-load harness instead: -concurrency
+// simulated users hammer Backend.Check in synchronized rounds, and the
+// report gives checks/sec, latency percentiles, and the page-cache dedupe
+// ratio — the backend's concurrent-crowd capacity on this hardware.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"sheriff"
@@ -30,6 +40,11 @@ func main() {
 	scale := flag.String("scale", "full", "full or quick")
 	jsonl := flag.String("jsonl", "", "optionally dump the dataset here")
 	scenarios := flag.Bool("scenarios", false, "run the scenario-matrix sweep instead of the paper reproduction")
+	workers := flag.Int("workers", 0, "concurrent scenario worlds for -scenarios (0 = GOMAXPROCS)")
+	load := flag.Bool("load", false, "run the crowd-load harness instead of the paper reproduction")
+	concurrency := flag.Int("concurrency", 16, "concurrent simulated users for -load")
+	loadRequests := flag.Int("requests", 0, "total checks for -load (0 = 20 per user)")
+	loadRounds := flag.Int("rounds", 4, "synchronized rounds for -load")
 	flag.Parse()
 
 	users, requests, products, rounds, longtail := 340, 1500, 100, 7, 580
@@ -42,13 +57,40 @@ func main() {
 			log.Fatalf("-jsonl is not supported with -scenarios: the matrix spans one isolated world per scenario, not a single dataset")
 		}
 		begin := time.Now()
-		rep, err := sheriff.RunScenarioMatrix(sheriff.MatrixOptions{Seed: *seed, Products: products})
+		rep, err := sheriff.RunScenarioMatrix(sheriff.MatrixOptions{Seed: *seed, Products: products, Workers: *workers})
 		if err != nil {
 			log.Fatalf("scenario matrix: %v", err)
 		}
 		fmt.Println("== Rule-engine scenario matrix — per-family detection ==")
 		fmt.Println(rep)
-		log.Printf("matrix wall time %v over %d scenarios", time.Since(begin).Round(time.Millisecond), len(rep.Outcomes))
+		log.Printf("matrix wall time %v over %d scenarios (workers=%d, GOMAXPROCS=%d)",
+			time.Since(begin).Round(time.Millisecond), len(rep.Outcomes), *workers, runtime.GOMAXPROCS(0))
+		return
+	}
+
+	if *load {
+		if *jsonl != "" {
+			log.Fatalf("-jsonl is not supported with -load: the harness measures throughput, not a campaign dataset")
+		}
+		w := sheriff.NewWorld(sheriff.WorldOptions{Seed: *seed, LongTail: 40})
+		log.Printf("world ready: %d domains, %d crawl targets, 14 vantage points",
+			w.DomainCount(), len(w.Crawled))
+		rep, err := w.RunLoad(sheriff.LoadOptions{
+			Users:    *concurrency,
+			Requests: *loadRequests,
+			Rounds:   *loadRounds,
+		})
+		if err != nil {
+			log.Fatalf("load: %v", err)
+		}
+		fmt.Println("== Crowd-load harness — Backend.Check under concurrency ==")
+		fmt.Println(rep)
+		hits, misses := w.Backend.PageCacheStats()
+		total := hits + misses
+		if total > 0 {
+			fmt.Printf("page cache: %d hits / %d misses (%.0f%% of fetches deduped)\n",
+				hits, misses, 100*float64(hits)/float64(total))
+		}
 		return
 	}
 

@@ -26,12 +26,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"sheriff"
 	"sheriff/internal/geo"
@@ -42,6 +47,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Int64("seed", 1, "world seed (deterministic)")
 	longtail := flag.Int("longtail", 100, "number of long-tail domains to simulate")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	flag.Parse()
 
 	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: *seed, LongTail: *longtail})
@@ -67,9 +73,48 @@ func main() {
 			w.Crawled[0], w.Retailers[w.Crawled[0]].Catalog().Products()[0].SKU)
 	})
 
-	log.Printf("sheriffd: %d domains simulated, %d vantage points, listening on %s",
-		w.DomainCount(), len(sheriff.VantagePoints()), *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	// A server with limits: a stuck or malicious client must not pin a
+	// connection forever, and a concurrent check (14-VP fan-out included)
+	// comfortably finishes inside the write window.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	// Signal-driven graceful shutdown: on SIGINT/SIGTERM stop accepting,
+	// drain in-flight checks for up to -drain, then exit. A second signal
+	// kills the process the usual way (the handler is reset once fired).
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("sheriffd: %d domains simulated, %d vantage points, listening on %s",
+			w.DomainCount(), len(sheriff.VantagePoints()), *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("sheriffd: serve: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("sheriffd: signal received, draining for up to %v", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("sheriffd: forced shutdown: %v", err)
+			srv.Close()
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("sheriffd: serve: %v", err)
+		}
+		log.Printf("sheriffd: stopped cleanly")
+	}
 }
 
 // serveWorldProxy lets a real browser visit the simulated shops:

@@ -1,0 +1,130 @@
+// Loadgen: drive concurrent crowd load through the $heriff HTTP API —
+// the wire the real browser extension talks — and report checks/sec and
+// latency percentiles.
+//
+// Two targets:
+//
+//	loadgen                          # self-contained: in-process API server
+//	loadgen -addr http://localhost:8080 -seed 1
+//
+// With -addr it hammers a live sheriffd. The server's world is
+// deterministic per seed, so loadgen builds a same-seed twin locally to
+// play the users' eyes: each simulated user reads the ground-truth
+// display price from the twin and submits the highlight a human at that
+// location would have made. The twin's clock stays frozen at the shared
+// origin because the harness cannot advance a remote server's simulated
+// time (crowd.LoadOptions.Freeze).
+//
+// Against the default in-process server the run exercises the full HTTP
+// stack — JSON decode, Backend.Check with its synchronized 14-VP fan-out
+// and single-flight page cache, JSON encode — over real TCP sockets.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"sheriff"
+)
+
+// checkPayload mirrors the wire form of POST /api/check.
+type checkPayload struct {
+	URL       string `json:"url"`
+	Highlight string `json:"highlight"`
+	UserAddr  string `json:"user_addr"`
+	UserID    string `json:"user_id"`
+	UserAgent string `json:"user_agent,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a live sheriffd (empty: spin an in-process API server)")
+	seed := flag.Int64("seed", 1, "world seed — must match the target server's")
+	longtail := flag.Int("longtail", 100, "long-tail domains — must match the target server's")
+	users := flag.Int("users", 16, "concurrent simulated users")
+	requests := flag.Int("requests", 0, "total checks (0 = 20 per user)")
+	rounds := flag.Int("rounds", 4, "synchronized rounds")
+	flag.Parse()
+
+	// The local twin: against a live server it provides the users' eyes
+	// (ground-truth display prices); in-process it IS the server world.
+	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: *seed, LongTail: *longtail})
+
+	base := *addr
+	remote := base != ""
+	if !remote {
+		srv := httptest.NewServer(sheriff.NewAPI(w))
+		defer srv.Close()
+		base = srv.URL
+		fmt.Printf("in-process API server at %s (%d domains)\n", base, w.DomainCount())
+	} else {
+		fmt.Printf("targeting live sheriffd at %s with a seed-%d twin world\n", base, *seed)
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	check := func(req sheriff.CheckRequest) (sheriff.CheckResult, error) {
+		body, err := json.Marshal(checkPayload{
+			URL: req.URL, Highlight: req.Highlight,
+			UserAddr: req.UserAddr.String(), UserID: req.UserID,
+			UserAgent: req.UserAgent,
+		})
+		if err != nil {
+			return sheriff.CheckResult{}, err
+		}
+		resp, err := client.Post(base+"/api/check", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return sheriff.CheckResult{}, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return sheriff.CheckResult{}, fmt.Errorf("api: status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+		}
+		var res sheriff.CheckResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return sheriff.CheckResult{}, err
+		}
+		return res, nil
+	}
+
+	rep, err := sheriff.RunLoad(check, w.Clock, w.Retailers, w.Interesting, w.Tail, sheriff.LoadOptions{
+		Seed:     *seed + 211,
+		Users:    *users,
+		Requests: *requests,
+		Rounds:   *rounds,
+		// A remote server's clock cannot be advanced from here; keep the
+		// twin aligned at the shared origin instead.
+		Freeze: remote,
+	})
+	if err != nil {
+		log.Fatalf("load: %v", err)
+	}
+	fmt.Println(rep)
+
+	// The server-side view: check counters and the page-cache dedupe the
+	// concurrent rounds achieved.
+	resp, err := client.Get(base + "/api/stats")
+	if err == nil {
+		defer resp.Body.Close()
+		var stats struct {
+			Checks      int    `json:"checks"`
+			CacheHits   uint64 `json:"cache_hits"`
+			CacheMisses uint64 `json:"cache_misses"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&stats) == nil {
+			total := stats.CacheHits + stats.CacheMisses
+			fmt.Printf("server: %d checks processed", stats.Checks)
+			if total > 0 {
+				fmt.Printf(", page cache deduped %.0f%% of %d fetches",
+					100*float64(stats.CacheHits)/float64(total), total)
+			}
+			fmt.Println()
+		}
+	}
+}

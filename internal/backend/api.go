@@ -44,6 +44,7 @@ type checkPayload struct {
 	Highlight string `json:"highlight"`
 	UserAddr  string `json:"user_addr"`
 	UserID    string `json:"user_id"`
+	UserAgent string `json:"user_agent,omitempty"`
 }
 
 func (a *API) handleCheck(w http.ResponseWriter, r *http.Request) {
@@ -67,6 +68,7 @@ func (a *API) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := a.backend.Check(CheckRequest{
 		URL: p.URL, Highlight: p.Highlight, UserAddr: addr, UserID: p.UserID,
+		UserAgent: p.UserAgent,
 	})
 	if err != nil {
 		status := http.StatusBadGateway
@@ -97,6 +99,10 @@ type statsPayload struct {
 	// store's per-VP index, so a skewed or dead vantage point shows up
 	// in monitoring without a dataset scan.
 	ByVP map[string]int `json:"by_vp,omitempty"`
+	// CacheHits/CacheMisses are the single-flight page cache counters;
+	// the hit fraction is how much fetch work concurrent load deduped.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
 }
 
 func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -109,6 +115,7 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		Observations: a.backend.store.Len(),
 		OKPrices:     a.backend.store.LenOK(),
 	}
+	p.CacheHits, p.CacheMisses = a.backend.PageCacheStats()
 	for _, vp := range a.backend.vps {
 		if n := a.backend.store.LenVP(vp.ID); n > 0 {
 			if p.ByVP == nil {

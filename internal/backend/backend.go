@@ -18,6 +18,7 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"time"
 
 	"sheriff/internal/extract"
 	"sheriff/internal/fx"
@@ -37,6 +38,13 @@ type Backend struct {
 	store    *store.Store
 	geodb    *geo.DB
 
+	// pages dedupes identical fabric fetches within one simulated
+	// instant (see pagecache.go); checks fanning out to the same URL —
+	// the same product checked by many users in a synchronized round —
+	// share one fetch per vantage point instead of re-rendering 14 pages
+	// per user.
+	pages *pageCache
+
 	mu      sync.RWMutex
 	anchors map[string]extract.Anchor // per domain
 	checks  int
@@ -52,6 +60,7 @@ func New(reg *netsim.Registry, clk *netsim.Clock, market *fx.Market, vps []geo.V
 		vps:      vps,
 		store:    st,
 		geodb:    geo.NewDB(),
+		pages:    newPageCache(),
 		anchors:  make(map[string]extract.Anchor),
 	}
 }
@@ -108,16 +117,30 @@ type CheckResult struct {
 // Check runs one crowd-assisted price check: derive the anchor from the
 // user's own rendering, then fan out to every vantage point at the same
 // simulated instant.
+//
+// Check is safe for concurrent callers: the anchor table and check
+// counter sit behind the backend's lock, the store ingests each check's
+// fan-out as one batch, and identical fetches across concurrent checks
+// collapse in the single-flight page cache. The one contract callers must
+// keep is the clock's: the simulated clock may only advance between
+// checks, never while checks are in flight (the crowd simulator steps it
+// between sequential checks; the load harness advances it at round
+// barriers with no checks outstanding).
 func (b *Backend) Check(req CheckRequest) (CheckResult, error) {
 	domain, sku, err := splitProductURL(req.URL)
 	if err != nil {
 		return CheckResult{}, err
 	}
 
+	// One instant per check: the user-side fetch, the synchronized
+	// fan-out and the stored observations all carry it (the paper's
+	// defence against temporal noise), and it keys the page cache.
+	now := b.clock.Now()
+
 	// Fetch the page as the user sees it and derive the anchor from the
 	// highlight (the extension does this client-side in the real system).
 	userLoc, userCur := b.locate(req.UserAddr)
-	userPage, err := b.fetch(req.URL, req.UserAddr, req.UserAgent)
+	userPage, err := b.fetch(now, req.URL, req.UserAddr, req.UserAgent)
 	if err != nil {
 		return CheckResult{}, fmt.Errorf("backend: user-side fetch: %w", err)
 	}
@@ -138,14 +161,13 @@ func (b *Backend) Check(req CheckRequest) (CheckResult, error) {
 	// Synchronized fan-out: every vantage point fetches at the same
 	// simulated instant (the clock only moves between checks), which is
 	// the paper's defence against temporal noise.
-	now := b.clock.Now()
 	results := make([]VPPrice, len(b.vps))
 	var wg sync.WaitGroup
 	for i, vp := range b.vps {
 		wg.Add(1)
 		go func(i int, vp geo.VantagePoint) {
 			defer wg.Done()
-			results[i] = b.checkOne(req.URL, anchor, vp)
+			results[i] = b.checkOne(now, req.URL, anchor, vp)
 		}(i, vp)
 	}
 	wg.Wait()
@@ -182,9 +204,9 @@ func (b *Backend) Check(req CheckRequest) (CheckResult, error) {
 }
 
 // checkOne fetches and extracts from a single vantage point.
-func (b *Backend) checkOne(rawURL string, anchor extract.Anchor, vp geo.VantagePoint) VPPrice {
+func (b *Backend) checkOne(now time.Time, rawURL string, anchor extract.Anchor, vp geo.VantagePoint) VPPrice {
 	out := VPPrice{VP: vp.ID, Label: vp.Label}
-	page, err := b.fetchAs(rawURL, vp)
+	page, err := b.fetch(now, rawURL, vp.Addr, vp.Browser.UserAgent())
 	if err != nil {
 		out.Err = err.Error()
 		return out
@@ -201,22 +223,22 @@ func (b *Backend) checkOne(rawURL string, anchor extract.Anchor, vp geo.VantageP
 	}
 	out.PriceUnits = amt.Units
 	out.Currency = amt.Currency.Code
-	out.USD = amt.Float() * b.market.Mid(amt.Currency, b.clock.Now())
+	out.USD = amt.Float() * b.market.Mid(amt.Currency, now)
 	out.OK = true
 	return out
 }
 
-// fetch retrieves a URL from an arbitrary fabric address, presenting the
-// given User-Agent (empty sends none).
-func (b *Backend) fetch(rawURL string, src netip.Addr, ua string) (string, error) {
-	tr := netsim.NewTransport(b.registry, b.clock, src)
-	return doGet(tr.Client(nil), rawURL, ua)
-}
-
-// fetchAs retrieves a URL as a vantage point, with its browser fingerprint.
-func (b *Backend) fetchAs(rawURL string, vp geo.VantagePoint) (string, error) {
-	tr := netsim.NewTransport(b.registry, b.clock, vp.Addr)
-	return doGet(tr.Client(nil), rawURL, vp.Browser.UserAgent())
+// fetch retrieves a URL from a fabric address presenting the given
+// User-Agent (empty sends none), through the single-flight page cache: on
+// the fabric the response is a deterministic function of exactly
+// (URL, source, UA, instant), so duplicates within the instant are served
+// without touching the registry.
+func (b *Backend) fetch(now time.Time, rawURL string, src netip.Addr, ua string) (string, error) {
+	key := pageKey{url: rawURL, src: src.String(), ua: ua}
+	return b.pages.do(now, key, func() (string, error) {
+		tr := netsim.NewTransport(b.registry, b.clock, src)
+		return doGet(tr.Client(nil), rawURL, ua)
+	})
 }
 
 func doGet(c *http.Client, rawURL, ua string) (string, error) {
@@ -275,6 +297,12 @@ func (b *Backend) Checks() int {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return b.checks
+}
+
+// PageCacheStats returns the single-flight page cache's cumulative
+// hit/miss counters — the dedupe ratio concurrent crowd load achieves.
+func (b *Backend) PageCacheStats() (hits, misses uint64) {
+	return b.pages.stats()
 }
 
 // VantagePoints returns the backend's measurement endpoints.

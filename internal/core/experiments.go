@@ -41,6 +41,17 @@ func (w *World) RunCrowd(opts CrowdOptions) (*crowd.Report, error) {
 	return sim.Run()
 }
 
+// RunLoad drives the crowd-load harness against this world's backend:
+// opts.Users concurrent simulated users hammering Backend.Check in
+// synchronized rounds, reporting checks/sec and latency percentiles. See
+// crowd.RunLoad for the clock and synchronization contract.
+func (w *World) RunLoad(opts crowd.LoadOptions) (*crowd.LoadReport, error) {
+	if opts.Seed == 0 {
+		opts.Seed = w.Opts.Seed + 211
+	}
+	return crowd.RunLoad(w.Backend.Check, w.Clock, w.Retailers, w.Interesting, w.Tail, opts)
+}
+
 // CrawlOptions configures the systematic crawl; zero values take the
 // paper's numbers (all 21 domains, 100 products, 7 daily rounds).
 type CrawlOptions struct {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -30,6 +31,12 @@ type MatrixOptions struct {
 	// Scenarios optionally restricts the sweep to the named scenarios
 	// (shop.ScenarioConfigs labels); empty sweeps all.
 	Scenarios []string
+	// Workers bounds how many scenario worlds run concurrently. Each
+	// world is fully isolated (its own clock, registry, store and
+	// retailers), so parallel execution is safe by construction, and the
+	// merged report is byte-identical to a sequential run regardless of
+	// the worker count. 0 means GOMAXPROCS; 1 forces sequential.
+	Workers int
 	// Detect tunes the detector.
 	Detect analysis.DetectOptions
 }
@@ -126,6 +133,12 @@ func markOf(truth, detected bool) string {
 // isolated world (failure injection off), learns anchors, runs a
 // synchronized crawl, attributes strategies, and scores detection against
 // the compiled rule families.
+//
+// Worlds run concurrently on a bounded worker pool (MatrixOptions.Workers)
+// — each scenario owns its complete universe, so the only shared state is
+// the result slot its outcome lands in. Outcomes are merged and scored in
+// scenario-preset order afterwards, which makes the report byte-identical
+// to a sequential sweep at any worker count.
 func RunScenarioMatrix(opts MatrixOptions) (*MatrixReport, error) {
 	if opts.Products <= 0 {
 		opts.Products = 12
@@ -133,65 +146,94 @@ func RunScenarioMatrix(opts MatrixOptions) (*MatrixReport, error) {
 	if opts.Rounds <= 0 {
 		opts.Rounds = 7
 	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
 	wanted := map[string]bool{}
 	for _, name := range opts.Scenarios {
 		wanted[name] = true
 	}
-
-	rep := &MatrixReport{Scores: map[shop.StrategyFamily]FamilyScore{}}
+	var configs []shop.Config
 	for _, cfg := range shop.ScenarioConfigs(opts.Seed) {
 		if len(wanted) > 0 && !wanted[cfg.Label] {
 			continue
 		}
-		w := NewWorld(WorldOptions{
-			Seed:             opts.Seed,
-			Configs:          []shop.Config{cfg},
-			FetchFailureRate: -1,
-		})
-		if err := w.EnsureAnchors(w.Crawled); err != nil {
-			return nil, fmt.Errorf("core: scenario %s: %w", cfg.Label, err)
-		}
-		crawlRep, err := w.RunCrawl(CrawlOptions{
-			MaxProducts: opts.Products,
-			Rounds:      opts.Rounds,
-		})
+		configs = append(configs, cfg)
+	}
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("core: no scenarios matched %v", opts.Scenarios)
+	}
+
+	outs := make([]ScenarioOutcome, len(configs))
+	err := runIndexed(opts.Workers, len(configs), func(i int) error {
+		out, err := runScenario(opts, configs[i])
 		if err != nil {
-			return nil, fmt.Errorf("core: scenario %s crawl: %w", cfg.Label, err)
+			return err
 		}
+		outs[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
-		r := w.Retailers[cfg.Domain]
-		truthAll := r.Families()
-		det := analysis.DetectStrategies(w.Store, w.Market, cfg.Domain, opts.Detect)
-
-		out := ScenarioOutcome{
-			Scenario: cfg.Label, Domain: cfg.Domain,
-			Truth:     map[shop.StrategyFamily]bool{},
-			Detected:  map[shop.StrategyFamily]bool{},
-			Extracted: crawlRep.Extracted, Failed: crawlRep.Failed,
-		}
-		for _, rule := range r.Rules() {
-			out.Rules = append(out.Rules, rule.Name)
-		}
+	// Deterministic merge: fold outcomes into the confusion matrices in
+	// preset order, exactly as the sequential loop did.
+	rep := &MatrixReport{Outcomes: outs, Scores: map[shop.StrategyFamily]FamilyScore{}}
+	for _, out := range outs {
 		for _, f := range analysis.DetectableFamilies {
-			truth, detected := truthAll[f], det.Flagged(f)
-			out.Truth[f], out.Detected[f] = truth, detected
 			s := rep.Scores[f]
 			switch {
-			case truth && detected:
+			case out.Truth[f] && out.Detected[f]:
 				s.TP++
-			case truth && !detected:
+			case out.Truth[f] && !out.Detected[f]:
 				s.FN++
-			case !truth && detected:
+			case !out.Truth[f] && out.Detected[f]:
 				s.FP++
 			default:
 				s.TN++
 			}
 			rep.Scores[f] = s
 		}
-		rep.Outcomes = append(rep.Outcomes, out)
-	}
-	if len(rep.Outcomes) == 0 {
-		return nil, fmt.Errorf("core: no scenarios matched %v", opts.Scenarios)
 	}
 	return rep, nil
+}
+
+// runScenario builds one isolated scenario world, crawls it, and judges
+// the detector against the retailer's compiled ground truth. It is the
+// unit of work the matrix pool executes.
+func runScenario(opts MatrixOptions, cfg shop.Config) (ScenarioOutcome, error) {
+	w := NewWorld(WorldOptions{
+		Seed:             opts.Seed,
+		Configs:          []shop.Config{cfg},
+		FetchFailureRate: -1,
+	})
+	if err := w.EnsureAnchors(w.Crawled); err != nil {
+		return ScenarioOutcome{}, fmt.Errorf("core: scenario %s: %w", cfg.Label, err)
+	}
+	crawlRep, err := w.RunCrawl(CrawlOptions{
+		MaxProducts: opts.Products,
+		Rounds:      opts.Rounds,
+	})
+	if err != nil {
+		return ScenarioOutcome{}, fmt.Errorf("core: scenario %s crawl: %w", cfg.Label, err)
+	}
+
+	r := w.Retailers[cfg.Domain]
+	truthAll := r.Families()
+	det := analysis.DetectStrategies(w.Store, w.Market, cfg.Domain, opts.Detect)
+
+	out := ScenarioOutcome{
+		Scenario: cfg.Label, Domain: cfg.Domain,
+		Truth:     map[shop.StrategyFamily]bool{},
+		Detected:  map[shop.StrategyFamily]bool{},
+		Extracted: crawlRep.Extracted, Failed: crawlRep.Failed,
+	}
+	for _, rule := range r.Rules() {
+		out.Rules = append(out.Rules, rule.Name)
+	}
+	for _, f := range analysis.DetectableFamilies {
+		out.Truth[f], out.Detected[f] = truthAll[f], det.Flagged(f)
+	}
+	return out, nil
 }

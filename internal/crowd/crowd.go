@@ -123,15 +123,21 @@ var browserPool = []geo.BrowserProfile{
 // makeUsers spreads the crowd over all 18 countries, denser in the first
 // few (US and Western Europe dominated the real beta).
 func (s *Simulator) makeUsers() []User {
+	return makeUsers(s.rng, s.opts.Users)
+}
+
+// makeUsers generates n crowd users off the given rng; the campaign
+// simulator and the load harness share one user model.
+func makeUsers(rng *rand.Rand, n int) []User {
 	var users []User
 	hostByBlock := map[string]int{}
 	countries := geo.AllCountries
-	for i := 0; i < s.opts.Users; i++ {
+	for i := 0; i < n; i++ {
 		// Rank-weighted country pick: country k gets weight 1/(k+1).
-		k := s.weightedIndex(len(countries))
+		k := zipfIndex(rng, len(countries))
 		c := countries[k]
 		cities := geo.Cities(c)
-		city := cities[s.rng.Intn(len(cities))]
+		city := cities[rng.Intn(len(cities))]
 		loc := geo.Location{Country: c, City: city}
 		blockKey := c.Code + "/" + city
 		hostByBlock[blockKey]++
@@ -144,7 +150,7 @@ func (s *Simulator) makeUsers() []User {
 			ID:       fmt.Sprintf("u%03d", i+1),
 			Location: loc,
 			Addr:     addr,
-			Browser:  browserPool[s.rng.Intn(len(browserPool))],
+			Browser:  browserPool[rng.Intn(len(browserPool))],
 		})
 	}
 	return users
@@ -152,11 +158,16 @@ func (s *Simulator) makeUsers() []User {
 
 // weightedIndex samples 0..n-1 with weight 1/(i+1) — a discrete Zipf.
 func (s *Simulator) weightedIndex(n int) int {
+	return zipfIndex(s.rng, n)
+}
+
+// zipfIndex samples 0..n-1 with weight 1/(i+1) off the given rng.
+func zipfIndex(rng *rand.Rand, n int) int {
 	total := 0.0
 	for i := 0; i < n; i++ {
 		total += 1 / float64(i+1)
 	}
-	x := s.rng.Float64() * total
+	x := rng.Float64() * total
 	for i := 0; i < n; i++ {
 		x -= 1 / float64(i+1)
 		if x <= 0 {

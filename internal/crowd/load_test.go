@@ -1,0 +1,151 @@
+package crowd
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sheriff/internal/backend"
+)
+
+// TestRunLoadThroughput drives a concurrent load run against the
+// in-process backend and checks the accounting: request totals, latency
+// percentiles, throughput, and that the store absorbed every successful
+// check's fan-out.
+func TestRunLoadThroughput(t *testing.T) {
+	w := newCrowdWorld(t, Options{Seed: 5, Users: 10, Requests: 10, Span: time.Hour})
+	s := w.sim
+
+	rep, err := RunLoad(s.backend.Check, w.clk, s.retailers, s.interesting, s.tail, LoadOptions{
+		Seed: 5, Users: 8, Requests: 48, Rounds: 3, RoundStep: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 48 || rep.Users != 8 || rep.Rounds != 3 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	if rep.Succeeded+rep.Failed != rep.Requests {
+		t.Fatalf("succeeded %d + failed %d != %d", rep.Succeeded, rep.Failed, rep.Requests)
+	}
+	if rep.Succeeded == 0 {
+		t.Fatal("no check succeeded under load")
+	}
+	if rep.ChecksPerSec <= 0 || rep.Elapsed <= 0 {
+		t.Fatalf("throughput not measured: %+v", rep)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 || rep.Max < rep.P99 {
+		t.Fatalf("latency percentiles inconsistent: p50=%v p99=%v max=%v", rep.P50, rep.P99, rep.Max)
+	}
+	if rep.DistinctDomains == 0 {
+		t.Fatal("no domains touched")
+	}
+	vps := len(s.backend.VantagePoints())
+	if got, want := w.st.Len(), rep.Succeeded*vps; got != want {
+		t.Fatalf("store rows = %d, want %d (%d checks × %d VPs)", got, want, rep.Succeeded, vps)
+	}
+}
+
+// TestRunLoadAdvancesClockAtBarriers checks simulated time moves exactly
+// (rounds-1) × RoundStep — only between rounds, never inside one.
+func TestRunLoadAdvancesClockAtBarriers(t *testing.T) {
+	w := newCrowdWorld(t, Options{Seed: 3, Users: 5, Requests: 5, Span: time.Hour})
+	s := w.sim
+	origin := w.clk.Now()
+
+	step := 6 * time.Hour
+	if _, err := RunLoad(s.backend.Check, w.clk, s.retailers, s.interesting, s.tail, LoadOptions{
+		Seed: 3, Users: 4, Requests: 16, Rounds: 4, RoundStep: step,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.clk.Now().Sub(origin), 3*step; got != want {
+		t.Fatalf("clock advanced %v, want %v", got, want)
+	}
+
+	// Frozen mode (remote targets): the clock must not move at all.
+	before := w.clk.Now()
+	if _, err := RunLoad(s.backend.Check, w.clk, s.retailers, s.interesting, s.tail, LoadOptions{
+		Seed: 3, Users: 2, Requests: 4, Rounds: 2, Freeze: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !w.clk.Now().Equal(before) {
+		t.Fatalf("frozen run moved the clock: %v -> %v", before, w.clk.Now())
+	}
+}
+
+// TestRunLoadDeterministicWorkload checks the generated workload (which
+// domains get checked, by which users) is a pure function of the seed:
+// two runs against fresh same-seed worlds agree on everything but wall
+// time.
+func TestRunLoadDeterministicWorkload(t *testing.T) {
+	run := func() *LoadReport {
+		w := newCrowdWorld(t, Options{Seed: 9, Users: 5, Requests: 5, Span: time.Hour})
+		s := w.sim
+		rep, err := RunLoad(s.backend.Check, w.clk, s.retailers, s.interesting, s.tail, LoadOptions{
+			Seed: 9, Users: 6, Requests: 30, Rounds: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Succeeded != b.Succeeded || a.Failed != b.Failed ||
+		a.Variations != b.Variations || a.DistinctDomains != b.DistinctDomains {
+		t.Fatalf("same-seed load runs disagree:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestRunLoadValidation checks the constructor-style errors.
+func TestRunLoadValidation(t *testing.T) {
+	w := newCrowdWorld(t, Options{Seed: 1, Users: 2, Requests: 2, Span: time.Hour})
+	s := w.sim
+
+	if _, err := RunLoad(nil, w.clk, s.retailers, s.interesting, s.tail, LoadOptions{}); err == nil {
+		t.Error("nil CheckFunc accepted")
+	}
+	if _, err := RunLoad(s.backend.Check, nil, s.retailers, s.interesting, s.tail, LoadOptions{}); err == nil {
+		t.Error("nil clock accepted")
+	}
+	if _, err := RunLoad(s.backend.Check, w.clk, s.retailers, nil, nil, LoadOptions{}); err == nil {
+		t.Error("empty domain set accepted")
+	}
+	if _, err := RunLoad(s.backend.Check, w.clk, s.retailers,
+		[]string{"missing.example.com"}, nil, LoadOptions{}); err == nil {
+		t.Error("domain without ground truth accepted")
+	}
+}
+
+// TestRunLoadConcurrencyIsBounded checks no more than Users checks are
+// ever in flight at once — the harness's own concurrency contract.
+func TestRunLoadConcurrencyIsBounded(t *testing.T) {
+	w := newCrowdWorld(t, Options{Seed: 2, Users: 2, Requests: 2, Span: time.Hour})
+	s := w.sim
+
+	const users = 3
+	var mu sync.Mutex
+	inflight, peak := 0, 0
+	check := func(req backend.CheckRequest) (backend.CheckResult, error) {
+		mu.Lock()
+		inflight++
+		if inflight > peak {
+			peak = inflight
+		}
+		mu.Unlock()
+		res, err := s.backend.Check(req)
+		mu.Lock()
+		inflight--
+		mu.Unlock()
+		return res, err
+	}
+	if _, err := RunLoad(check, w.clk, s.retailers, s.interesting, s.tail, LoadOptions{
+		Seed: 2, Users: users, Requests: 24, Rounds: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if peak > users {
+		t.Fatalf("peak in-flight checks %d exceeds %d users", peak, users)
+	}
+}

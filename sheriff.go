@@ -59,6 +59,23 @@ type CrawlOptions = core.CrawlOptions
 // CrowdReport summarizes a crowd campaign.
 type CrowdReport = crowd.Report
 
+// LoadOptions configures the crowd-load harness (World.RunLoad /
+// crowd.RunLoad): N concurrent simulated users issuing checks in
+// synchronized rounds against the backend.
+type LoadOptions = crowd.LoadOptions
+
+// LoadReport is the harness result: checks/sec plus p50/p90/p99 latency.
+type LoadReport = crowd.LoadReport
+
+// CheckFunc issues one check; crowd.RunLoad drives any implementation —
+// Backend.Check in-process, or an HTTP client POSTing a live sheriffd
+// (examples/loadgen).
+type CheckFunc = crowd.CheckFunc
+
+// RunLoad drives the crowd-load harness against an arbitrary CheckFunc;
+// for the common in-process case use World.RunLoad.
+var RunLoad = crowd.RunLoad
+
 // CrawlReport summarizes a crawl campaign.
 type CrawlReport = crawler.Report
 
