@@ -640,6 +640,98 @@ func BenchmarkStoreAppendAndQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkDurableAddAll measures the durable write path in the backend's
+// fan-out shape (14-observation single-domain batches): WAL framing, the
+// shard log append, and — under fsync=always — the per-batch fsync that
+// bounds crash loss to zero. Sub-benchmark names are stable strings with
+// no numeric tail, so the CI allocs/op gate pairs them across machines
+// (see cmd/benchjson: a GOMAXPROCS suffix is stripped only when uniform).
+func BenchmarkDurableAddAll(b *testing.B) {
+	batch := benchObservations(100_000)[:14]
+	for i := range batch {
+		batch[i].Domain = "durable.example.com"
+	}
+	for _, policy := range []store.FsyncPolicy{store.FsyncNever, store.FsyncAlways} {
+		b.Run("fsync="+policy.String(), func(b *testing.B) {
+			d, _, err := store.OpenDurable(b.TempDir(), store.DurableOptions{
+				Fsync: policy, CompactWALBytes: -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				if err := d.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.AddAll(batch)
+			}
+			b.StopTimer()
+			if d.Len() != 14*b.N {
+				b.Fatalf("Len = %d, want %d", d.Len(), 14*b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkRecovery measures opening a 50K-observation data directory in
+// its two extreme states: the whole dataset in the WAL tail (a kill -9
+// right after heavy writes) and the whole dataset compacted into
+// snapshot segments (a clean lifecycle). Sub-benchmark names are stable;
+// the size lives here in the comment, not in the name.
+func BenchmarkRecovery(b *testing.B) {
+	const rows = 50_000
+	prep := func(b *testing.B, compact bool) string {
+		b.Helper()
+		dir := b.TempDir()
+		d, _, err := store.OpenDurable(dir, store.DurableOptions{
+			Fsync: store.FsyncNever, CompactWALBytes: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		obs := benchObservations(rows)
+		for j := 0; j < len(obs); j += 14 {
+			end := j + 14
+			if end > len(obs) {
+				end = len(obs)
+			}
+			d.AddAll(obs[j:end])
+		}
+		if compact {
+			if err := d.Compact(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := d.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return dir
+	}
+	for _, mode := range []struct {
+		name    string
+		compact bool
+	}{{"wal-replay", false}, {"snapshot-load", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			dir := prep(b, mode.compact)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, rep, err := store.OpenReadOnly(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Len() != rows || rep.Rows() != rows {
+					b.Fatalf("recovered %d rows, want %d", st.Len(), rows)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStrategyFit measures the Fig. 6 model-fitting kernel.
 func BenchmarkStrategyFit(b *testing.B) {
 	pts := make([]analysis.RatioPoint, 100)

@@ -6,6 +6,11 @@
 //	analyze -data dataset.jsonl -fig 6 -domain www.digitalrev.com
 //	analyze -data dataset.jsonl -fig 8 -domain www.homedepot.com -level city
 //	analyze -data dataset.jsonl -fig repeat    # crowd-vs-crawl agreement
+//	analyze -data-dir ./sheriff-data -fig all  # a durable sheriffd's data dir
+//
+// -data-dir opens a durable data directory read-only (snapshot segments
+// plus WAL tail replay, torn tails tolerated) — the dataset a killed or
+// still-running sheriffd accumulated analyzes without touching its files.
 //
 // The -seed flag must match the seed the dataset was collected under so
 // that currency conversions use the same exchange-rate fixings.
@@ -25,6 +30,7 @@ import (
 
 func main() {
 	data := flag.String("data", "dataset.jsonl", "dataset path (JSONL)")
+	dataDir := flag.String("data-dir", "", "durable data directory to open read-only (overrides -data)")
 	fig := flag.String("fig", "all", "figure: 1,2,3,4,5,6,7,8,9,10 or all")
 	domain := flag.String("domain", "", "domain for figures 6 and 8")
 	level := flag.String("level", "city", "granularity for figure 8: city or country")
@@ -32,14 +38,25 @@ func main() {
 	plot := flag.Bool("plot", false, "render figures as ASCII plots where available")
 	flag.Parse()
 
-	f, err := os.Open(*data)
-	if err != nil {
-		log.Fatalf("open dataset: %v", err)
-	}
-	st, err := store.ReadJSONL(f)
-	f.Close()
-	if err != nil {
-		log.Fatalf("read dataset: %v", err)
+	var st *store.Store
+	if *dataDir != "" {
+		var rep store.RecoveryReport
+		var err error
+		st, rep, err = store.OpenReadOnly(*dataDir)
+		if err != nil {
+			log.Fatalf("open data dir: %v", err)
+		}
+		fmt.Printf("data dir %s: %s\n", *dataDir, rep)
+	} else {
+		f, err := os.Open(*data)
+		if err != nil {
+			log.Fatalf("open dataset: %v", err)
+		}
+		st, err = store.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("read dataset: %v", err)
+		}
 	}
 	market := fx.NewMarket(*seed)
 	fmt.Printf("dataset: %d observations, %d prices, %d domains\n",

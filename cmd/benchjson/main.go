@@ -15,7 +15,12 @@
 //
 //	benchjson -compare [-metric ns/op] [-threshold 25] old.json new.json
 //
-// Duplicate entries (from -count>1) are averaged before comparing.
+// Duplicate entries (from -count>1) are averaged per benchmark name
+// before any pairing, so the gate compares one mean per side. Pairing is
+// by (pkg, name) with the GOMAXPROCS suffix stripped — and the suffix is
+// only stripped when it is uniform across the whole document, so a
+// sub-benchmark whose name happens to end in "-<number>" survives intact
+// on single-proc machines instead of silently failing to pair.
 // Benchmarks that exist on only one side are reported but never fail the
 // gate — adding and retiring benchmarks must not require touching the
 // baseline in the same PR. Typical gating: allocs/op with a tight
@@ -147,21 +152,19 @@ func parse(r io.Reader) (*Doc, error) {
 	if len(doc.Benchmarks) == 0 {
 		return nil, fmt.Errorf("no benchmark lines on stdin")
 	}
+	stripProcsSuffix(doc)
 	return doc, nil
 }
 
 // parseBenchLine parses "BenchmarkName-8  100  123 ns/op  45 B/op ...".
+// The name is kept verbatim; the GOMAXPROCS suffix is handled by
+// stripProcsSuffix once the whole document is in hand.
 func parseBenchLine(line string) (Result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || len(fields)%2 != 0 {
 		return Result{}, false
 	}
 	res := Result{Name: fields[0], Procs: 1, Metrics: map[string]float64{}}
-	if i := strings.LastIndexByte(res.Name, '-'); i > 0 {
-		if n, err := strconv.Atoi(res.Name[i+1:]); err == nil {
-			res.Name, res.Procs = res.Name[:i], n
-		}
-	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Result{}, false
@@ -177,6 +180,54 @@ func parseBenchLine(line string) (Result, bool) {
 	return res, true
 }
 
+// trailingNumber extracts a name's final "-<int>" component.
+func trailingNumber(name string) (base string, n int, ok bool) {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name, 0, false
+	}
+	v, err := strconv.Atoi(name[i+1:])
+	if err != nil || v <= 0 {
+		return name, 0, false
+	}
+	return name[:i], v, true
+}
+
+// stripProcsSuffix removes the GOMAXPROCS suffix go test appends to every
+// benchmark name — but only when it is provably that suffix. Within one
+// run GOMAXPROCS is a constant, so the suffix is uniform across every
+// line; a per-line strip instead corrupts names whose last sub-benchmark
+// component is a numeric parameter ("BenchmarkRecovery/shards-16") on
+// machines where go test appends no suffix at all (GOMAXPROCS=1), and a
+// corrupted name pairs with nothing — the -compare gate then averages and
+// pairs the wrong (or no) entries and silently passes. When the trailing
+// numbers are absent or disagree (a -cpu=1,2,4 run, or a 1-proc document
+// with parameter tails), names stay verbatim.
+// A uniform tail is only treated as proof on documents with at least two
+// distinct names: with a single benchmark (a filtered -bench run), a
+// numeric parameter tail is indistinguishable from a procs suffix, and
+// keeping the name verbatim is the conservative choice.
+func stripProcsSuffix(doc *Doc) {
+	procs := 0
+	names := map[string]bool{}
+	for _, res := range doc.Benchmarks {
+		names[res.Name] = true
+		_, n, ok := trailingNumber(res.Name)
+		if !ok || (procs != 0 && n != procs) {
+			return
+		}
+		procs = n
+	}
+	if len(names) < 2 {
+		return
+	}
+	for i := range doc.Benchmarks {
+		base, _, _ := trailingNumber(doc.Benchmarks[i].Name)
+		doc.Benchmarks[i].Name = base
+		doc.Benchmarks[i].Procs = procs
+	}
+}
+
 // benchID identifies one benchmark across documents. Pkg is part of the
 // identity but may be empty on both sides (root-only runs). Procs is
 // deliberately NOT part of the identity: the -N suffix is GOMAXPROCS of
@@ -184,7 +235,11 @@ func parseBenchLine(line string) (Result, bool) {
 // pairing a committed baseline from one box with a CI run from another —
 // keying on procs would pair nothing and silently pass every gate.
 // Same-name entries within one document (repeats from -count>1, or in
-// principle differing procs) are averaged by average().
+// principle differing procs) are averaged by average() before any pairing
+// happens, so the gate compares one mean per benchmark. This makes the
+// name the entire pairing key: benchmarks should use stable sub-benchmark
+// names — in particular no machine-dependent or trailing-numeric
+// components (see stripProcsSuffix).
 type benchID struct {
 	Pkg  string
 	Name string

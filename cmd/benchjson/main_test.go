@@ -188,6 +188,113 @@ func TestCompareZeroBaseline(t *testing.T) {
 	}
 }
 
+func TestParsePreservesParamSuffixOnSingleProc(t *testing.T) {
+	// GOMAXPROCS=1: go test appends no -N suffix, so trailing numbers are
+	// benchmark parameters, not procs. They must survive verbatim — the
+	// historical per-line strip turned "BenchmarkRecovery/shards-16" into
+	// ".../shards" here but not on multi-proc machines, so the -compare
+	// gate paired nothing and silently passed.
+	oneProc := `pkg: sheriff
+BenchmarkRecovery/shards-16   	      10	  1000000 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkStoreAdd             	     100	    50000 ns/op	    1024 B/op	       6 allocs/op
+`
+	doc, err := parse(strings.NewReader(oneProc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Benchmarks[0].Name != "BenchmarkRecovery/shards-16" || doc.Benchmarks[0].Procs != 1 {
+		t.Fatalf("param suffix mangled: %+v", doc.Benchmarks[0])
+	}
+
+	// The same benchmarks on an 8-proc machine carry a uniform -8 suffix;
+	// stripping it must land on identical names so the two runs pair.
+	eightProc := `pkg: sheriff
+BenchmarkRecovery/shards-16-8 	      10	  2000000 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkStoreAdd-8           	     100	    60000 ns/op	    1024 B/op	       6 allocs/op
+`
+	doc8, err := parse(strings.NewReader(eightProc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc8.Benchmarks[0].Name != "BenchmarkRecovery/shards-16" || doc8.Benchmarks[0].Procs != 8 {
+		t.Fatalf("uniform procs suffix not stripped: %+v", doc8.Benchmarks[0])
+	}
+	rep := compare(doc, doc8, "allocs/op", 25)
+	if len(rep.Deltas) != 2 || len(rep.OnlyOld) != 0 || len(rep.OnlyNew) != 0 {
+		t.Fatalf("1-proc vs 8-proc runs did not pair: %+v", rep)
+	}
+}
+
+func TestCompareAveragesBeforePairingWithCount(t *testing.T) {
+	// -count=3 on the CI side: repeats average per name BEFORE pairing
+	// against the single-entry baseline, sub-benchmark names included.
+	oldText := `pkg: sheriff
+BenchmarkDurableAddAll/fsync=always-4 	     100	    200000 ns/op	      20 allocs/op
+BenchmarkRecovery/wal-replay-4        	      10	   9000000 ns/op	     900 allocs/op
+`
+	newText := `pkg: sheriff
+BenchmarkDurableAddAll/fsync=always-8 	     100	    190000 ns/op	      20 allocs/op
+BenchmarkDurableAddAll/fsync=always-8 	     100	    200000 ns/op	      26 allocs/op
+BenchmarkDurableAddAll/fsync=always-8 	     100	    210000 ns/op	      20 allocs/op
+BenchmarkRecovery/wal-replay-8        	      10	   9000000 ns/op	     900 allocs/op
+`
+	oldDoc, err := parse(strings.NewReader(oldText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDoc, err := parse(strings.NewReader(newText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := compare(oldDoc, newDoc, "ns/op", 4)
+	if len(rep.Deltas) != 2 || rep.Deltas[0].New != 200000 {
+		t.Fatalf("count>1 mean not paired: %+v", rep.Deltas)
+	}
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("flat mean flagged: %+v", rep.Regressions)
+	}
+	// The alloc outlier pushes the mean to 22 (+10%): past a 5% gate.
+	if rep := compare(oldDoc, newDoc, "allocs/op", 5); len(rep.Regressions) != 1 {
+		t.Fatalf("averaged alloc regression missed: %+v", rep.Regressions)
+	}
+}
+
+func TestParseSingleNameDocLeftVerbatim(t *testing.T) {
+	// One distinct name (a filtered -bench run, possibly -count>1): a
+	// uniform trailing number could equally be a parameter, so nothing
+	// is stripped — unpaired names show up visibly as OnlyOld/OnlyNew
+	// instead of being silently rewritten.
+	text := `pkg: sheriff
+BenchmarkRecovery/shards-16 	      10	   1000000 ns/op
+BenchmarkRecovery/shards-16 	      10	   1100000 ns/op
+`
+	doc, err := parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range doc.Benchmarks {
+		if b.Name != "BenchmarkRecovery/shards-16" {
+			t.Fatalf("single-name doc rewritten: %+v", b)
+		}
+	}
+}
+
+func TestParseMixedSuffixesLeftVerbatim(t *testing.T) {
+	// A -cpu=1,2 run: suffixes disagree, so nothing is provably a procs
+	// suffix and names stay untouched.
+	text := `pkg: sheriff
+BenchmarkStoreAdd   	     100	    50000 ns/op
+BenchmarkStoreAdd-2 	     100	    30000 ns/op
+`
+	doc, err := parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Benchmarks[0].Name != "BenchmarkStoreAdd" || doc.Benchmarks[1].Name != "BenchmarkStoreAdd-2" {
+		t.Fatalf("mixed suffixes rewritten: %+v", doc.Benchmarks)
+	}
+}
+
 func TestComparePairsAcrossProcs(t *testing.T) {
 	// The committed baseline comes from a different machine than the CI
 	// runner, so GOMAXPROCS suffixes differ (-1 vs -4). Benchmarks must

@@ -7,6 +7,12 @@
 // The defaults reproduce the paper's scale: 21 retailers × ≤100 products
 // × 14 vantage points × 7 daily rounds ≈ 206K fetches ≈ 188K extracted
 // prices. Analyze the output with cmd/analyze.
+//
+// With -data-dir the campaign records straight into a durable store
+// (WAL + snapshots): a crawl killed mid-round keeps every completed
+// batch, and the directory opens with cmd/analyze -data-dir or as a
+// sheriffd data dir. -o "" skips the JSONL dump when the directory is
+// the only output wanted.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"time"
 
 	"sheriff"
+	"sheriff/internal/store"
 )
 
 func main() {
@@ -26,12 +33,28 @@ func main() {
 	products := flag.Int("products", 100, "max products per retailer")
 	rounds := flag.Int("rounds", 7, "daily crawl rounds")
 	longtail := flag.Int("longtail", 580, "long-tail domains")
-	out := flag.String("o", "dataset.jsonl", "output dataset path")
+	out := flag.String("o", "dataset.jsonl", "output dataset path (empty: skip the JSONL dump)")
 	anchorsOut := flag.String("anchors", "", "optionally save learned anchors (JSON) here")
+	dataDir := flag.String("data-dir", "", "record into a durable data directory (crash-safe collection)")
+	fsyncMode := flag.String("fsync", "interval", "durable WAL flush policy: always, interval or never")
 	flag.Parse()
 
 	start := time.Now()
-	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: *seed, LongTail: *longtail})
+	var backing sheriff.StoreBackend
+	var durable *sheriff.DurableStore
+	if *dataDir != "" {
+		policy, err := store.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			log.Fatalf("crawl: %v", err)
+		}
+		d, rep, err := sheriff.OpenDataDir(*dataDir, sheriff.DurableOptions{Fsync: policy})
+		if err != nil {
+			log.Fatalf("open %s: %v", *dataDir, err)
+		}
+		log.Printf("data dir %s: %s", *dataDir, rep)
+		durable, backing = d, d
+	}
+	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: *seed, LongTail: *longtail, Store: backing})
 	log.Printf("world: %d domains, %d crawl targets", w.DomainCount(), len(w.Crawled))
 
 	crowdRep, err := w.RunCrowd(sheriff.CrowdOptions{Users: *users, Requests: *requests})
@@ -53,13 +76,15 @@ func main() {
 	log.Printf("crawl: %d products, %d extracted prices, %d failures, %d rounds",
 		sum(crawlRep.ProductsPerDomain), crawlRep.Extracted, crawlRep.Failed, crawlRep.Rounds)
 
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatalf("create %s: %v", *out, err)
-	}
-	defer f.Close()
-	if err := w.Store.WriteJSONL(f); err != nil {
-		log.Fatalf("write dataset: %v", err)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("create %s: %v", *out, err)
+		}
+		defer f.Close()
+		if err := w.Store.WriteJSONL(f); err != nil {
+			log.Fatalf("write dataset: %v", err)
+		}
 	}
 	if *anchorsOut != "" {
 		af, err := os.Create(*anchorsOut)
@@ -72,8 +97,14 @@ func main() {
 		af.Close()
 		log.Printf("anchors written to %s", *anchorsOut)
 	}
-	fmt.Printf("wrote %d observations (%d prices) to %s in %v\n",
-		w.Store.Len(), w.Store.LenOK(), *out, time.Since(start).Round(time.Millisecond))
+	if durable != nil {
+		if err := durable.Close(); err != nil {
+			log.Fatalf("close data dir: %v", err)
+		}
+		log.Printf("data dir %s flushed", *dataDir)
+	}
+	fmt.Printf("wrote %d observations (%d prices) in %v\n",
+		w.Store.Len(), w.Store.LenOK(), time.Since(start).Round(time.Millisecond))
 }
 
 func sum(m map[string]int) int {

@@ -4,6 +4,14 @@
 //
 //	sheriffd -addr :8080 -seed 1 -longtail 100
 //
+// With -data-dir the observation store is durable: every check's
+// observations are written through a per-shard WAL (flushed per -fsync)
+// and the dataset survives restarts and kill -9 — on boot the directory
+// is recovered (snapshot + WAL tail replay) and the service continues
+// where the previous process stopped:
+//
+//	sheriffd -addr :8080 -data-dir ./sheriff-data -fsync always
+//
 // Endpoints:
 //
 //	POST /api/check    {"url", "highlight", "user_addr", "user_id"}
@@ -41,6 +49,7 @@ import (
 	"sheriff"
 	"sheriff/internal/geo"
 	"sheriff/internal/netsim"
+	"sheriff/internal/store"
 )
 
 func main() {
@@ -48,9 +57,29 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed (deterministic)")
 	longtail := flag.Int("longtail", 100, "number of long-tail domains to simulate")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	dataDir := flag.String("data-dir", "", "durable data directory (empty: in-memory, lost on exit)")
+	fsyncMode := flag.String("fsync", "always", "durable WAL flush policy: always, interval or never")
 	flag.Parse()
 
-	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: *seed, LongTail: *longtail})
+	// With -data-dir the store outlives the process: recover whatever the
+	// previous run left (a clean stop and a kill -9 recover the same way),
+	// then record every new observation through the WAL.
+	var durable *sheriff.DurableStore
+	var backingStore sheriff.StoreBackend
+	if *dataDir != "" {
+		policy, err := store.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			log.Fatalf("sheriffd: %v", err)
+		}
+		d, rep, err := sheriff.OpenDataDir(*dataDir, sheriff.DurableOptions{Fsync: policy})
+		if err != nil {
+			log.Fatalf("sheriffd: open %s: %v", *dataDir, err)
+		}
+		log.Printf("sheriffd: %s: %s", *dataDir, rep)
+		durable, backingStore = d, d
+	}
+
+	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: *seed, LongTail: *longtail, Store: backingStore})
 	api := sheriff.NewAPI(w)
 
 	mux := http.NewServeMux()
@@ -112,6 +141,15 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("sheriffd: serve: %v", err)
+		}
+		// The drain finished: every in-flight check has stored its
+		// observations, so this flush makes the full dataset durable
+		// regardless of fsync policy.
+		if durable != nil {
+			if err := durable.Close(); err != nil {
+				log.Fatalf("sheriffd: close data dir: %v", err)
+			}
+			log.Printf("sheriffd: data dir flushed (%d observations durable)", w.Store.Len())
 		}
 		log.Printf("sheriffd: stopped cleanly")
 	}

@@ -50,11 +50,28 @@ func main() {
 	users := flag.Int("users", 16, "concurrent simulated users")
 	requests := flag.Int("requests", 0, "total checks (0 = 20 per user)")
 	rounds := flag.Int("rounds", 4, "synchronized rounds")
+	dataDir := flag.String("data-dir", "", "run the in-process server on a durable data dir (ignored with -addr)")
 	flag.Parse()
 
 	// The local twin: against a live server it provides the users' eyes
-	// (ground-truth display prices); in-process it IS the server world.
-	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: *seed, LongTail: *longtail})
+	// (ground-truth display prices); in-process it IS the server world —
+	// optionally on a durable store, so concurrent crowd load exercises
+	// the WAL write path end to end.
+	var backing sheriff.StoreBackend
+	if *dataDir != "" && *addr == "" {
+		d, rep, err := sheriff.OpenDataDir(*dataDir, sheriff.DurableOptions{})
+		if err != nil {
+			log.Fatalf("open %s: %v", *dataDir, err)
+		}
+		defer func() {
+			if err := d.Close(); err != nil {
+				log.Fatalf("close %s: %v", *dataDir, err)
+			}
+		}()
+		fmt.Printf("data dir %s: %s\n", *dataDir, rep)
+		backing = d
+	}
+	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: *seed, LongTail: *longtail, Store: backing})
 
 	base := *addr
 	remote := base != ""
@@ -116,6 +133,11 @@ func main() {
 			Checks      int    `json:"checks"`
 			CacheHits   uint64 `json:"cache_hits"`
 			CacheMisses uint64 `json:"cache_misses"`
+			Durable     *struct {
+				Fsync     string `json:"fsync"`
+				WALBytes  int64  `json:"wal_bytes"`
+				SyncedSeq uint64 `json:"synced_seq"`
+			} `json:"durable"`
 		}
 		if json.NewDecoder(resp.Body).Decode(&stats) == nil {
 			total := stats.CacheHits + stats.CacheMisses
@@ -123,6 +145,9 @@ func main() {
 			if total > 0 {
 				fmt.Printf(", page cache deduped %.0f%% of %d fetches",
 					100*float64(stats.CacheHits)/float64(total), total)
+			}
+			if d := stats.Durable; d != nil {
+				fmt.Printf(", durable fsync=%s wal=%dB synced_seq=%d", d.Fsync, d.WALBytes, d.SyncedSeq)
 			}
 			fmt.Println()
 		}

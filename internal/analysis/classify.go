@@ -58,7 +58,7 @@ type StrategyFit struct {
 // Fig6 builds per-vantage-point ratio series and strategy fits for one
 // crawled domain. Only vantage points with at least minPoints points are
 // returned.
-func Fig6(st *store.Store, market *fx.Market, domain string, minPoints int) []VPSeries {
+func Fig6(st store.Reader, market *fx.Market, domain string, minPoints int) []VPSeries {
 	pointsByVP := map[string][]RatioPoint{}
 	labels := map[string]string{}
 	for _, obs := range st.DomainGroups(domain, store.SourceCrawl) {
@@ -194,7 +194,7 @@ type Fig8Grid struct {
 // paper's two granularities: "city" compares the six US cities
 // (homedepot), "country" compares one representative VP per country
 // (amazon, killah).
-func Fig8(st *store.Store, market *fx.Market, domain, level string) Fig8Grid {
+func Fig8(st store.Reader, market *fx.Market, domain, level string) Fig8Grid {
 	// Collect per-(product, round) USD prices by location name.
 	type groupPrices map[string]float64
 	var groups []groupPrices

@@ -34,7 +34,7 @@ type CampaignAgreement struct {
 
 // CompareCampaigns computes the agreement between the crowdsourced and
 // crawled findings in one dataset.
-func CompareCampaigns(st *store.Store, market *fx.Market) CampaignAgreement {
+func CompareCampaigns(st store.Reader, market *fx.Market) CampaignAgreement {
 	agg := CampaignAgreement{}
 
 	crowdRatios := map[string]float64{}

@@ -23,7 +23,7 @@ type DomainCount struct {
 // Fig1 ranks domains by the number of crowd requests with price
 // differences, descending — "Domains with the highest number of requests
 // where price differences occurred".
-func Fig1(st *store.Store, market *fx.Market) []DomainCount {
+func Fig1(st store.Reader, market *fx.Market) []DomainCount {
 	perDomain := map[string]*DomainCount{}
 	for key, obs := range st.Groups(store.SourceCrowd) {
 		for _, check := range byCheck(obs) {
@@ -62,7 +62,7 @@ type DomainBox struct {
 // Fig2 computes, per domain in the crowdsourced dataset, the distribution
 // of conservative max/min ratios over checks that showed variation —
 // "Magnitude of price differences per domain".
-func Fig2(st *store.Store, market *fx.Market) []DomainBox {
+func Fig2(st store.Reader, market *fx.Market) []DomainBox {
 	ratios := map[string][]float64{}
 	for key, obs := range st.Groups(store.SourceCrowd) {
 		for _, check := range byCheck(obs) {
@@ -105,7 +105,7 @@ type DomainExtent struct {
 // Fig3 measures the extent of price variation per crawled domain —
 // "Measured extent of price variations for different domains". Persistence
 // across rounds is required, which is what rejects A/B noise.
-func Fig3(st *store.Store, market *fx.Market) []DomainExtent {
+func Fig3(st store.Reader, market *fx.Market) []DomainExtent {
 	perDomain := map[string]*DomainExtent{}
 	for key, obs := range st.Groups(store.SourceCrawl) {
 		de := perDomain[key.Domain]
@@ -141,7 +141,7 @@ func Fig3(st *store.Store, market *fx.Market) []DomainExtent {
 // Fig4 computes per crawled domain the distribution of median
 // (across rounds) conservative ratios over persistently varying products —
 // "Magnitude of price variability per domain".
-func Fig4(st *store.Store, market *fx.Market) []DomainBox {
+func Fig4(st store.Reader, market *fx.Market) []DomainBox {
 	ratios := map[string][]float64{}
 	for key, obs := range st.Groups(store.SourceCrawl) {
 		pr := summarizeProduct(market, obs)
@@ -164,7 +164,7 @@ type PricePoint struct {
 
 // Fig5 computes the maximal ratio of price difference against the minimal
 // product price, across all crawled stores.
-func Fig5(st *store.Store, market *fx.Market) []PricePoint {
+func Fig5(st store.Reader, market *fx.Market) []PricePoint {
 	var out []PricePoint
 	for key, obs := range st.Groups(store.SourceCrawl) {
 		pr := summarizeProduct(market, obs)
@@ -232,7 +232,7 @@ type LocationBox struct {
 // (product, round) of the VP's USD price divided by the minimum USD price
 // across all vantage points — "Magnitude of price differences per
 // location".
-func Fig7(st *store.Store, market *fx.Market) []LocationBox {
+func Fig7(st store.Reader, market *fx.Market) []LocationBox {
 	ratiosByVP := map[string][]float64{}
 	for _, obs := range st.Groups(store.SourceCrawl) {
 		for _, group := range byRound(obs) {
@@ -282,7 +282,7 @@ func addLocationRatios(market *fx.Market, group []store.Observation, acc map[str
 // price(Finland)/min-price ratios — "Magnitude of price differences per
 // domain in Tampere, Finland". A median near 1.0 with Min == 1.0 means
 // Finland is (sometimes) the cheapest location.
-func Fig9(st *store.Store, market *fx.Market) []DomainBox {
+func Fig9(st store.Reader, market *fx.Market) []DomainBox {
 	ratios := map[string][]float64{}
 	for key, obs := range st.Groups(store.SourceCrawl) {
 		for _, group := range byRound(obs) {
@@ -309,7 +309,7 @@ type LoginSeries struct {
 
 // Fig10 reconstructs the login experiment series from SourceLogin
 // observations.
-func Fig10(st *store.Store, market *fx.Market) LoginSeries {
+func Fig10(st store.Reader, market *fx.Market) LoginSeries {
 	skuSet := map[string]bool{}
 	accSet := map[string]bool{}
 	prices := map[string]map[string]float64{} // account -> sku -> usd
@@ -383,7 +383,7 @@ type Summary struct {
 // Summarize derives the dataset summary from the store plus the crowd
 // campaign's user statistics (user identities are campaign state, not
 // observations).
-func Summarize(st *store.Store, crowdUsers, crowdCountries, crowdDomains int) Summary {
+func Summarize(st store.Reader, crowdUsers, crowdCountries, crowdDomains int) Summary {
 	s := Summary{
 		CrowdUsers:     crowdUsers,
 		CrowdCountries: crowdCountries,

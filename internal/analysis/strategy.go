@@ -143,7 +143,7 @@ func vantageMeta() map[string]vpMeta {
 
 // DetectStrategies attributes a domain's crawl variation to strategy
 // families. It reads SourceCrawl observations only.
-func DetectStrategies(st *store.Store, market *fx.Market, domain string, opts DetectOptions) StrategyReport {
+func DetectStrategies(st store.Reader, market *fx.Market, domain string, opts DetectOptions) StrategyReport {
 	opts = opts.withDefaults()
 	meta := vantageMeta()
 	// Pair filters for the repetition tallies: geo compares only VPs that

@@ -8,6 +8,7 @@ import (
 	"net/netip"
 
 	"sheriff/internal/netsim"
+	"sheriff/internal/store"
 )
 
 // API exposes the backend over HTTP — the contract the $heriff browser
@@ -103,6 +104,9 @@ type statsPayload struct {
 	// the hit fraction is how much fetch work concurrent load deduped.
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
+	// Durable reports the durability counters when the backend records
+	// into a durable store (sheriffd -data-dir); absent on memory stores.
+	Durable *store.DurableStats `json:"durable,omitempty"`
 }
 
 func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -116,6 +120,10 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		OKPrices:     a.backend.store.LenOK(),
 	}
 	p.CacheHits, p.CacheMisses = a.backend.PageCacheStats()
+	if d, ok := a.backend.store.(*store.Durable); ok {
+		stats := d.Stats()
+		p.Durable = &stats
+	}
 	for _, vp := range a.backend.vps {
 		if n := a.backend.store.LenVP(vp.ID); n > 0 {
 			if p.ByVP == nil {

@@ -35,7 +35,7 @@ type Backend struct {
 	clock    *netsim.Clock
 	market   *fx.Market
 	vps      []geo.VantagePoint
-	store    *store.Store
+	store    store.Backend
 	geodb    *geo.DB
 
 	// pages dedupes identical fabric fetches within one simulated
@@ -52,7 +52,7 @@ type Backend struct {
 
 // New assembles the backend. The store receives one observation per
 // vantage point per check.
-func New(reg *netsim.Registry, clk *netsim.Clock, market *fx.Market, vps []geo.VantagePoint, st *store.Store) *Backend {
+func New(reg *netsim.Registry, clk *netsim.Clock, market *fx.Market, vps []geo.VantagePoint, st store.Backend) *Backend {
 	return &Backend{
 		registry: reg,
 		clock:    clk,

@@ -48,6 +48,12 @@ type WorldOptions struct {
 	// detector (RunSegmentDetector) be validated positively — the
 	// "attribute prices to personal information" future work of Sec. 6.
 	SegmentPricingDomain string
+	// Store, when non-nil, is the observation backend the world records
+	// into — a durable store opened on a data directory (store.OpenDurable)
+	// makes every campaign's dataset survive the process; nil means a
+	// fresh in-memory store. A pre-populated backend (a recovered data
+	// dir) is fine: campaigns append after what is already there.
+	Store store.Backend
 }
 
 // World is a fully wired simulation.
@@ -62,8 +68,9 @@ type World struct {
 	GeoDB *geo.DB
 	// Market is the FX market.
 	Market *fx.Market
-	// Store receives every observation.
-	Store *store.Store
+	// Store receives every observation; it is WorldOptions.Store when one
+	// was supplied (e.g. a durable backend), a fresh memory store otherwise.
+	Store store.Backend
 	// Backend is the $heriff service.
 	Backend *backend.Backend
 	// Retailers maps every domain to its ground-truth retailer.
@@ -88,13 +95,17 @@ func NewWorld(opts WorldOptions) *World {
 		opts.FetchFailureRate = 0.085
 	}
 
+	st := opts.Store
+	if st == nil {
+		st = store.New()
+	}
 	w := &World{
 		Opts:      opts,
 		Clock:     netsim.NewClock(opts.Start),
 		Registry:  netsim.NewRegistry(),
 		GeoDB:     geo.NewDB(),
 		Market:    fx.NewMarket(opts.Seed),
-		Store:     store.New(),
+		Store:     st,
 		Retailers: map[string]*shop.Retailer{},
 	}
 

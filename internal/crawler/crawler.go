@@ -54,7 +54,7 @@ type Crawler struct {
 	registry *netsim.Registry
 	clock    *netsim.Clock
 	vps      []geo.VantagePoint
-	store    *store.Store
+	store    store.Backend
 	anchors  map[string]extract.Anchor
 }
 
@@ -62,7 +62,7 @@ type Crawler struct {
 // $heriff backend's crowd-learned anchors; domains without an anchor fall
 // back to the extraction heuristics and may fail on hard templates, which
 // is faithful to the paper's pipeline ordering.
-func New(reg *netsim.Registry, clk *netsim.Clock, vps []geo.VantagePoint, st *store.Store, anchors map[string]extract.Anchor) *Crawler {
+func New(reg *netsim.Registry, clk *netsim.Clock, vps []geo.VantagePoint, st store.Backend, anchors map[string]extract.Anchor) *Crawler {
 	if anchors == nil {
 		anchors = map[string]extract.Anchor{}
 	}

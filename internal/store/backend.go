@@ -1,0 +1,61 @@
+package store
+
+import (
+	"io"
+	"iter"
+)
+
+// Reader is the query surface of an observation database — everything the
+// analysis pipeline, the figures and the HTTP stats endpoint consume. It
+// is satisfied by both engines (memory and durable); code that only reads
+// should ask for a Reader so it can run over a live store or a dataset
+// recovered read-only from disk.
+type Reader interface {
+	// Len counts all observations; LenOK only successful extractions.
+	Len() int
+	LenOK() int
+	// LenSource counts one campaign source's observations and how many of
+	// them carry a successfully extracted price.
+	LenSource(source string) (total, ok int)
+	// LenVP counts observations recorded from one vantage point.
+	LenVP(vp string) int
+	// Scan streams matching observations in insertion order.
+	Scan(q Query) iter.Seq[Observation]
+	// Filter returns matching observations in insertion order.
+	Filter(q Query) []Observation
+	// All returns every observation in insertion order.
+	All() []Observation
+	// Domains returns the distinct domains observed, sorted.
+	Domains() []string
+	// Products returns a domain's distinct product keys, sorted by SKU.
+	Products(domain string) []Key
+	// Groups streams one product group at a time (restricted to one
+	// source when source != ""); yielded slices are read-only views.
+	Groups(source string) iter.Seq2[Key, []Observation]
+	// DomainGroups streams one domain's product groups.
+	DomainGroups(domain, source string) iter.Seq2[Key, []Observation]
+	// GroupByProduct materializes Groups into a map.
+	GroupByProduct(source string) map[Key][]Observation
+	// WriteJSONL serializes the dataset as JSON Lines in insertion order.
+	WriteJSONL(w io.Writer) error
+}
+
+// Backend is the pluggable observation database: the Reader query surface
+// plus the write path every campaign feeds. Two implementations exist —
+// the in-memory sharded engine (*Store) and the durable engine (*Durable)
+// that layers a per-shard write-ahead log and segmented snapshots under
+// the same semantics. Both yield identical query results and identical
+// JSONL bytes for the same sequence of adds.
+type Backend interface {
+	Reader
+	// Add appends one observation.
+	Add(o Observation)
+	// AddAll appends a batch, preserving batch order.
+	AddAll(os []Observation)
+}
+
+// Both engines implement the full Backend contract.
+var (
+	_ Backend = (*Store)(nil)
+	_ Backend = (*Durable)(nil)
+)

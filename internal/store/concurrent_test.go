@@ -16,7 +16,11 @@ import (
 // `go test -race`; the assertions also pin that no observation is lost
 // or duplicated.
 func TestConcurrentAddAndQuery(t *testing.T) {
-	st := New()
+	runBackends(t, testConcurrentAddAndQuery)
+}
+
+func testConcurrentAddAndQuery(t *testing.T, newBackend newBackendFunc) {
+	st := newBackend(t)
 	const (
 		writers   = 8
 		batches   = 40
@@ -146,7 +150,12 @@ func TestConcurrentAddAndQuery(t *testing.T) {
 
 // TestScanEarlyStop asserts the iterator honors yield's stop signal.
 func TestScanEarlyStop(t *testing.T) {
-	st := New()
+	runBackends(t, func(t *testing.T, newBackend newBackendFunc) {
+		testScanEarlyStop(t, newBackend(t))
+	})
+}
+
+func testScanEarlyStop(t *testing.T, st Backend) {
 	for i := 0; i < 100; i++ {
 		st.Add(Observation{Domain: "a.com", SKU: fmt.Sprintf("S-%d", i), Round: -1, Source: SourceCrawl, OK: true})
 	}
@@ -176,7 +185,12 @@ func TestScanEarlyStop(t *testing.T) {
 // TestSnapshotIsolation pins Scan's snapshot semantics: observations
 // admitted after the iterator is created do not appear mid-iteration.
 func TestSnapshotIsolation(t *testing.T) {
-	st := New()
+	runBackends(t, func(t *testing.T, newBackend newBackendFunc) {
+		testSnapshotIsolation(t, newBackend(t))
+	})
+}
+
+func testSnapshotIsolation(t *testing.T, st Backend) {
 	for i := 0; i < 10; i++ {
 		st.Add(Observation{Domain: "a.com", SKU: "S", Round: -1, Source: SourceCrawl, OK: true})
 	}

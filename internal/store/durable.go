@@ -1,0 +1,777 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"iter"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Durable is the crash-safe observation backend: the in-memory sharded
+// engine for every query, fronted on the write path by a per-shard
+// write-ahead log and compacted periodically into segmented JSONL
+// snapshots. A Durable answers every Reader query exactly as the memory
+// engine does (the memory engine IS its read path), and a process that
+// dies — kill -9 included — loses at most the log tail that was not yet
+// fsynced under the configured policy.
+//
+// On-disk layout of a data directory:
+//
+//	MANIFEST.json             commit record: generation, rows, segments
+//	seg-<gen>-<idx>.jsonl     snapshot segments, plain JSONL in order
+//	wal-<gen>-<shard>.log     per-shard logs of post-snapshot batches
+//
+// Opening a directory recovers it: the manifest's segments load first,
+// then the logs' complete records replay in admission order. If replay
+// folded anything in (or anything was torn or lost), the recovered state
+// is committed as a fresh generation, so the process starts from a clean
+// snapshot, empty logs and a contiguous sequence space; a clean restart
+// — empty logs, intact segments — reuses the committed generation and
+// skips the O(dataset) rewrite. Torn log tails and truncated segments
+// are tolerated and reported, never fatal.
+type Durable struct {
+	mem  *Store
+	dir  string
+	opts DurableOptions
+
+	// writeGate serializes structural transitions against writers:
+	// AddAll holds it shared, Sync/Compact/Close hold it exclusively, so
+	// an exclusive holder sees every reserved sequence number applied to
+	// both the log and the memory engine.
+	writeGate sync.RWMutex
+	closed    bool
+	gen       uint64
+	snapRows  uint64
+	wals      [numShards]walShardFile
+
+	walBytes atomic.Int64
+	synced   atomic.Uint64
+
+	compacting atomic.Bool
+
+	errMu    sync.Mutex
+	firstErr error
+	// failed mirrors firstErr != nil for lock-free reads: once any
+	// record was dropped, the watermark freezes (see advanceSynced)
+	// until a checkpoint makes the whole in-memory state durable again.
+	failed atomic.Bool
+
+	// lock is the data directory's single-writer flock.
+	lock *os.File
+
+	stopOnce sync.Once
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+// walShardFile is one shard's open log.
+type walShardFile struct {
+	mu sync.Mutex
+	f  *os.File
+	// poisoned marks a log whose tail may be torn by a failed append:
+	// recovery stops at the first bad frame, so anything appended after
+	// it would be unreadable — no further records (or durability claims)
+	// until the next checkpoint swaps in a fresh file.
+	poisoned bool
+}
+
+// errClosed marks operations on a closed durable store.
+var errClosed = errors.New("store: durable store is closed")
+
+// FsyncPolicy controls when the write-ahead log reaches stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways fsyncs every batch before AddAll returns: a completed
+	// write survives any crash. The zero value, because the safest mode
+	// should be the default one.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval fsyncs on a background tick (DurableOptions.SyncInterval);
+	// a crash loses at most one interval of writes.
+	FsyncInterval
+	// FsyncNever leaves flushing to the OS page cache; only Sync, Compact
+	// and Close force stability. Fastest, weakest.
+	FsyncNever
+)
+
+// String names the policy for logs and stats.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// ParseFsyncPolicy maps the CLI spelling to a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// DurableOptions tunes the durable engine; zero values take the defaults
+// noted on each field.
+type DurableOptions struct {
+	// Fsync is the log flush policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// SyncInterval is the FsyncInterval tick (default 200ms).
+	SyncInterval time.Duration
+	// SegmentBytes bounds one snapshot segment (default 8 MiB).
+	SegmentBytes int64
+	// CompactWALBytes triggers compaction once the generation's logs
+	// exceed this many bytes (default 32 MiB; negative disables automatic
+	// compaction — Compact can still be called).
+	CompactWALBytes int64
+}
+
+// withDefaults fills unset options.
+func (o DurableOptions) withDefaults() DurableOptions {
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 200 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.CompactWALBytes == 0 {
+		o.CompactWALBytes = 32 << 20
+	}
+	return o
+}
+
+// RecoveryReport describes what opening a data directory found: how much
+// of the dataset came from the snapshot, how much replayed from the log
+// tail, and what a crash had torn away.
+type RecoveryReport struct {
+	// Generation is the snapshot generation recovered from.
+	Generation uint64 `json:"generation"`
+	// SnapshotRows is the observation count loaded from segments.
+	SnapshotRows int `json:"snapshot_rows"`
+	// SegmentRowsLost counts snapshot rows unrecoverable from truncated
+	// or missing segments.
+	SegmentRowsLost int `json:"segment_rows_lost,omitempty"`
+	// WALRecords and WALRows are the complete log records replayed and
+	// the observations they carried.
+	WALRecords int `json:"wal_records"`
+	WALRows    int `json:"wal_rows"`
+	// WALBytesDiscarded counts torn-tail bytes dropped during replay.
+	WALBytesDiscarded int64 `json:"wal_bytes_discarded,omitempty"`
+	// LiveOwner reports that a writer held the directory's lock during a
+	// read-only open: a torn-looking log tail is then most likely the
+	// owner's in-flight append, not crash damage.
+	LiveOwner bool `json:"live_owner,omitempty"`
+}
+
+// Rows is the total recovered observation count.
+func (r RecoveryReport) Rows() int { return r.SnapshotRows + r.WALRows }
+
+// String is the one-line boot log form.
+func (r RecoveryReport) String() string {
+	s := fmt.Sprintf("recovered %d observations (snapshot %d + wal %d, generation %d)",
+		r.Rows(), r.SnapshotRows, r.WALRows, r.Generation)
+	if r.SegmentRowsLost > 0 {
+		s += fmt.Sprintf(", %d snapshot rows lost to truncation", r.SegmentRowsLost)
+	}
+	if r.WALBytesDiscarded > 0 {
+		s += fmt.Sprintf(", %d torn wal bytes discarded", r.WALBytesDiscarded)
+		if r.LiveOwner {
+			s += " (live writer present: likely its in-flight append, not damage)"
+		}
+	}
+	return s
+}
+
+// OpenDurable opens (creating if needed) a data directory as a writable
+// durable backend: recover, then commit the recovered state as a fresh
+// generation so the engine starts on a clean snapshot and empty logs.
+func OpenDurable(dir string, opts DurableOptions) (*Durable, RecoveryReport, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, RecoveryReport{}, fmt.Errorf("store: create data dir: %w", err)
+	}
+	// Single writer per directory: a second writable open (a supervisor
+	// double-start, a crawl pointed at a live sheriffd's dir) must fail
+	// at startup, not checkpoint over the owner's live generation.
+	lock, err := lockDataDir(dir)
+	if err != nil {
+		return nil, RecoveryReport{}, err
+	}
+	mem, man, rep, err := recoverDir(dir)
+	if err != nil {
+		lock.Close()
+		return nil, rep, err
+	}
+	d := &Durable{mem: mem, dir: dir, opts: opts, gen: man.Generation, lock: lock}
+	// When recovery folded nothing in — no log records, no torn bytes,
+	// no lost rows — the committed snapshot already IS the recovered
+	// state, and rewriting it would put an O(dataset) segment dump on
+	// every clean restart's boot path. Reuse the generation instead; a
+	// recovery that replayed or lost anything checkpoints as usual.
+	clean := rep.WALRecords == 0 && rep.WALBytesDiscarded == 0 && rep.SegmentRowsLost == 0
+	if clean {
+		err = d.reuseGenerationLocked(man)
+	} else {
+		err = d.checkpointLocked()
+	}
+	if err != nil {
+		lock.Close()
+		return nil, rep, err
+	}
+	if opts.Fsync == FsyncInterval {
+		d.stopSync = make(chan struct{})
+		d.syncDone = make(chan struct{})
+		go d.syncLoop()
+	}
+	return d, rep, nil
+}
+
+// OpenReadOnly recovers a data directory into a plain in-memory store
+// without writing anything — the analysis-side open: a dataset directory
+// can be inspected while (or after) a live process owns it. A live
+// owner's compaction can sweep the very generation being loaded
+// mid-read; that race is detected (the manifest's generation moved) and
+// the load retries on the new generation, so apparent damage is only
+// reported when the generation was stable.
+func OpenReadOnly(dir string) (*Store, RecoveryReport, error) {
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return nil, RecoveryReport{}, fmt.Errorf("store: data dir %s: not a directory", dir)
+	}
+	for attempt := 0; ; attempt++ {
+		mem, _, rep, err := recoverDir(dir)
+		rep.LiveOwner = dataDirBusy(dir)
+		if cur, merr := readManifest(dir); merr == nil && cur.Generation != rep.Generation {
+			if attempt < 5 {
+				continue // raced a compaction; load the new generation
+			}
+			// Still racing after every retry: what recoverDir loaded is
+			// some mix of swept generations, and returning it as data
+			// would report phantom damage (or silent loss) on a healthy
+			// directory.
+			return nil, rep, fmt.Errorf("store: data dir %s kept compacting during read-only open; retry when the owner is quieter", dir)
+		}
+		return mem, rep, err
+	}
+}
+
+// recoverDir rebuilds the dataset a directory holds: manifest segments
+// first, then the log tail's complete records merged back into admission
+// order by their recorded sequence numbers. The rebuilt store renumbers
+// sequences contiguously — order is what recovery preserves, and order
+// is all any read path consumes.
+func recoverDir(dir string) (*Store, *manifest, RecoveryReport, error) {
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, nil, RecoveryReport{}, err
+	}
+	rep := RecoveryReport{Generation: man.Generation}
+	mem := New()
+	for _, info := range man.Segments {
+		lost, err := loadSegment(dir, info, mem)
+		if err != nil {
+			return nil, nil, rep, err
+		}
+		rep.SegmentRowsLost += lost
+		rep.SnapshotRows += info.Rows - lost
+	}
+
+	// Replay: gather every complete record across the per-shard logs,
+	// re-merge individual observations by the sequence numbers the
+	// records carry (concurrent batches interleave across shards), and
+	// apply in that order. Only rows logged after the snapshot qualify;
+	// the snapshot cut renumbered to 1..Rows, so logged rows are > Rows.
+	var pending []seqObs
+	for shard := 0; shard < numShards; shard++ {
+		f, err := os.Open(filepath.Join(dir, walFile(man.Generation, shard)))
+		if errors.Is(err, fs.ErrNotExist) {
+			continue // no log for this shard: nothing was written there
+		}
+		if err != nil {
+			// A log that exists but cannot be opened is NOT an empty log:
+			// skipping it would recover a silently truncated dataset and
+			// a writable open would then commit (and sweep) the loss.
+			return nil, nil, rep, fmt.Errorf("store: open wal: %w", err)
+		}
+		recs, discarded, err := readWAL(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, rep, err
+		}
+		rep.WALBytesDiscarded += discarded
+		for _, rec := range recs {
+			rep.WALRecords++
+			for i := range rec.Obs {
+				if rec.Seqs[i] > man.Rows {
+					pending = append(pending, seqObs{seq: rec.Seqs[i], obs: rec.Obs[i]})
+				}
+			}
+		}
+	}
+	sort.Slice(pending, func(a, b int) bool { return pending[a].seq < pending[b].seq })
+	batch := make([]Observation, 0, readBatch)
+	for i := range pending {
+		batch = append(batch, pending[i].obs)
+		if len(batch) == readBatch {
+			mem.AddAll(batch)
+			batch = batch[:0]
+		}
+	}
+	mem.AddAll(batch)
+	rep.WALRows = len(pending)
+	return mem, man, rep, nil
+}
+
+// checkpointLocked commits the memory engine's current state as a new
+// generation — segments, manifest, fresh empty logs — and removes every
+// file of older generations (crashed-compaction orphans included). The
+// caller holds writeGate exclusively, or is still single-threaded in
+// OpenDurable.
+//
+// The manifest rename is the commit point, and the in-memory generation
+// state must never desync from it: every fallible step is staged BEFORE
+// the commit (a failure aborts with the old generation fully intact and
+// only orphan files on disk), and everything after the commit is either
+// infallible (handle swaps, counter resets) or best-effort cleanup whose
+// failure is recorded, not allowed to leave d.gen behind the committed
+// manifest — a desync would make later batches log into files recovery
+// never reads, and a re-used generation number would truncate committed
+// segments.
+func (d *Durable) checkpointLocked() error {
+	newGen := d.gen + 1
+
+	// Stage the new generation's logs and segments. commitManifest's
+	// directory fsync below makes these creates durable together with
+	// the rename.
+	var fresh [numShards]*os.File
+	abort := func(err error) error {
+		for _, f := range fresh {
+			if f != nil {
+				f.Close()
+			}
+		}
+		return err
+	}
+	for shard := range fresh {
+		f, err := os.OpenFile(filepath.Join(d.dir, walFile(newGen, shard)),
+			os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return abort(fmt.Errorf("store: create wal: %w", err))
+		}
+		fresh[shard] = f
+	}
+	infos, rows, err := writeSegments(d.dir, newGen, d.mem, d.opts.SegmentBytes)
+	if err != nil {
+		return abort(err)
+	}
+	if err := commitManifest(d.dir, &manifest{
+		Version:    manifestVersion,
+		Generation: newGen,
+		Rows:       rows,
+		Segments:   infos,
+	}); err != nil {
+		return abort(err)
+	}
+
+	// Committed. Swap in the staged logs and bring memory in line with
+	// the manifest before anything that can still fail. Fresh files also
+	// clear any append-failure poisoning (writers are excluded by the
+	// gate, so the flag flips race-free).
+	var old [numShards]*os.File
+	for shard := range d.wals {
+		old[shard] = d.wals[shard].f
+		d.wals[shard].f = fresh[shard]
+		d.wals[shard].poisoned = false
+	}
+	d.gen = newGen
+	d.snapRows = rows
+	d.walBytes.Store(0)
+	// The committed snapshot holds the entire in-memory state — rows a
+	// failed append had dropped from the log included — so the watermark
+	// is truthful again and may resume advancing (the sticky Err stays
+	// for reporting).
+	d.synced.Store(d.mem.seq.Load())
+	d.failed.Store(false)
+
+	// Cleanup is best-effort: stale files of other generations are inert
+	// (recovery trusts only the manifest) and the next checkpoint sweeps
+	// whatever this one could not.
+	for _, f := range old {
+		if f != nil {
+			f.Close()
+		}
+	}
+	if err := d.sweepExcept(newGen); err != nil {
+		d.fail(err)
+	}
+	return nil
+}
+
+// reuseGenerationLocked adopts the committed generation as-is: recovery
+// loaded exactly the snapshot (every log was empty or absent), so the
+// only work is opening the generation's logs for appending and sweeping
+// other generations' orphans. Only called from OpenDurable, still
+// single-threaded.
+func (d *Durable) reuseGenerationLocked(man *manifest) error {
+	for shard := range d.wals {
+		f, err := os.OpenFile(filepath.Join(d.dir, walFile(man.Generation, shard)),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			for si := 0; si < shard; si++ {
+				d.wals[si].f.Close()
+			}
+			return fmt.Errorf("store: create wal: %w", err)
+		}
+		d.wals[shard].f = f
+	}
+	// Make the directory entries durable: on a first-ever open this is
+	// the only point that fsyncs the directory (no manifest commit runs),
+	// and fsync=always is hollow if power loss can drop the log files
+	// themselves.
+	if err := syncDir(d.dir); err != nil {
+		for si := range d.wals {
+			d.wals[si].f.Close()
+		}
+		return err
+	}
+	d.gen = man.Generation
+	d.snapRows = man.Rows
+	d.synced.Store(d.mem.seq.Load())
+	if err := d.sweepExcept(man.Generation); err != nil {
+		d.fail(err)
+	}
+	return nil
+}
+
+// sweepExcept removes segment and log files of any generation other than
+// keep, plus a stale manifest temp file.
+func (d *Durable) sweepExcept(keep uint64) error {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("store: sweep data dir: %w", err)
+	}
+	segKeep := fmt.Sprintf("seg-%08d-", keep)
+	walKeep := fmt.Sprintf("wal-%08d-", keep)
+	for _, e := range entries {
+		name := e.Name()
+		stale := name == manifestName+".tmp" ||
+			(strings.HasPrefix(name, "seg-") && !strings.HasPrefix(name, segKeep)) ||
+			(strings.HasPrefix(name, "wal-") && !strings.HasPrefix(name, walKeep))
+		if stale {
+			if err := os.Remove(filepath.Join(d.dir, name)); err != nil {
+				return fmt.Errorf("store: sweep %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Add appends one observation durably.
+func (d *Durable) Add(o Observation) { d.AddAll([]Observation{o}) }
+
+// AddAll logs the batch shard by shard, then applies it to the memory
+// engine — identical sequence numbers on both sides, so recovery replays
+// the log into exactly the order live readers saw. Under FsyncAlways the
+// involved logs are fsynced before AddAll returns. Write errors (disk
+// full, closed store) do not panic mid-campaign: the batch stays visible
+// in memory, the failure is sticky and surfaces on Sync and Close.
+func (d *Durable) AddAll(os_ []Observation) {
+	if len(os_) == 0 {
+		return
+	}
+	d.writeGate.RLock()
+	defer d.writeGate.RUnlock()
+	if d.closed {
+		d.fail(fmt.Errorf("store: AddAll: %w", errClosed))
+		return
+	}
+	base := d.mem.reserve(len(os_))
+
+	var touched [numShards]bool
+	groups, single := groupByShard(os_)
+	logged := true
+	if single >= 0 {
+		seqs := make([]uint64, len(os_))
+		for i := range seqs {
+			seqs[i] = base + uint64(i) + 1
+		}
+		logged = d.logRecord(single, seqs, os_)
+		touched[single] = true
+	} else {
+		for si := range groups {
+			if len(groups[si]) == 0 {
+				continue
+			}
+			seqs := make([]uint64, len(groups[si]))
+			obs := make([]Observation, len(groups[si]))
+			for j, i := range groups[si] {
+				seqs[j] = base + uint64(i) + 1
+				obs[j] = os_[i]
+			}
+			logged = d.logRecord(si, seqs, obs) && logged
+			touched[si] = true
+		}
+	}
+
+	if d.opts.Fsync == FsyncAlways {
+		for si := range touched {
+			if !touched[si] {
+				continue
+			}
+			if err := d.wals[si].f.Sync(); err != nil {
+				d.fail(fmt.Errorf("store: fsync wal: %w", err))
+				logged = false
+			}
+		}
+		// The watermark only moves for batches that provably reached
+		// disk: a failed append or fsync must not let /api/stats claim
+		// durability the next crash would disprove.
+		if logged {
+			d.advanceSynced(base + uint64(len(os_)))
+		}
+	}
+
+	d.mem.addAllAt(os_, base)
+
+	if t := d.opts.CompactWALBytes; t > 0 && d.walBytes.Load() >= t {
+		// The trigger upgrades to the exclusive gate on its own
+		// goroutine, outside this AddAll's shared hold — but the pass
+		// itself pauses every writer for the O(dataset) segment rewrite
+		// (see Compact). Size CompactWALBytes accordingly.
+		go d.tryCompact()
+	}
+}
+
+// logRecord frames and appends one record to a shard's log, reporting
+// whether the append reached the file. A failed append may have written
+// a partial frame, after which recovery would discard everything later
+// in that log as the torn tail — so the first failure poisons the shard
+// and every subsequent record is refused (kept in memory only, never
+// counted durable) until a checkpoint swaps in a fresh file.
+func (d *Durable) logRecord(shard int, seqs []uint64, obs []Observation) bool {
+	buf, err := appendWALRecord(nil, seqs, obs)
+	if err != nil {
+		d.fail(err)
+		return false
+	}
+	ws := &d.wals[shard]
+	ws.mu.Lock()
+	if ws.poisoned {
+		ws.mu.Unlock()
+		return false
+	}
+	_, werr := ws.f.Write(buf)
+	if werr != nil {
+		ws.poisoned = true
+	}
+	ws.mu.Unlock()
+	if werr != nil {
+		d.fail(fmt.Errorf("store: append wal: %w", werr))
+		return false
+	}
+	d.walBytes.Add(int64(len(buf)))
+	return true
+}
+
+// tryCompact runs at most one compaction at a time; extra triggers while
+// one is running are dropped (the running pass absorbs their bytes).
+func (d *Durable) tryCompact() {
+	if !d.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	defer d.compacting.Store(false)
+	// A trigger that lost the race against Close is not a failure; the
+	// un-compacted log replays on the next open.
+	if err := d.Compact(); err != nil && !errors.Is(err, errClosed) {
+		d.fail(err)
+	}
+}
+
+// advanceSynced lifts the durable watermark to seq, never lowering it.
+// Once any record has been dropped (a failed append keeps its rows in
+// memory only), a sequence watermark cannot truthfully advance — a
+// concurrent healthy batch with higher sequences would sweep the dropped
+// rows under its claim — so the watermark freezes until a checkpoint
+// re-establishes durability for the whole in-memory state.
+func (d *Durable) advanceSynced(seq uint64) {
+	if d.failed.Load() {
+		return
+	}
+	for {
+		cur := d.synced.Load()
+		if cur >= seq || d.synced.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// Sync flushes every shard log to stable storage and returns the first
+// write error the store has seen (nil when healthy). After Sync returns,
+// every AddAll that completed before the call survives a crash.
+func (d *Durable) Sync() error {
+	d.writeGate.Lock()
+	defer d.writeGate.Unlock()
+	if !d.closed {
+		d.syncAllLocked()
+	}
+	return d.Err()
+}
+
+// syncAllLocked fsyncs every log under the exclusive gate (so every
+// reserved sequence has been written) and lifts the watermark.
+func (d *Durable) syncAllLocked() {
+	for si := range d.wals {
+		if err := d.wals[si].f.Sync(); err != nil {
+			d.fail(fmt.Errorf("store: fsync wal: %w", err))
+			return
+		}
+	}
+	d.advanceSynced(d.mem.seq.Load())
+}
+
+// Compact commits the current state as a fresh snapshot generation and
+// empties the logs. Writers pause for the duration.
+func (d *Durable) Compact() error {
+	d.writeGate.Lock()
+	defer d.writeGate.Unlock()
+	if d.closed {
+		return fmt.Errorf("store: Compact: %w", errClosed)
+	}
+	return d.checkpointLocked()
+}
+
+// Close flushes, fsyncs and closes the logs. The directory is left in the
+// same state a crash after a Sync would leave — the next open recovers it
+// identically — so Close is a flush point, not a format transition.
+func (d *Durable) Close() error {
+	if d.stopSync != nil {
+		d.stopOnce.Do(func() {
+			close(d.stopSync)
+			<-d.syncDone
+		})
+	}
+	d.writeGate.Lock()
+	defer d.writeGate.Unlock()
+	if d.closed {
+		return d.Err()
+	}
+	d.syncAllLocked()
+	d.closed = true
+	for si := range d.wals {
+		if err := d.wals[si].f.Close(); err != nil {
+			d.fail(fmt.Errorf("store: close wal: %w", err))
+		}
+	}
+	if d.lock != nil {
+		d.lock.Close() // releases the directory's single-writer flock
+	}
+	return d.Err()
+}
+
+// syncLoop is the FsyncInterval background flusher.
+func (d *Durable) syncLoop() {
+	defer close(d.syncDone)
+	t := time.NewTicker(d.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			d.Sync()
+		case <-d.stopSync:
+			return
+		}
+	}
+}
+
+// fail records the store's first error; later ones are dropped (the first
+// is almost always the cause, the rest fallout).
+func (d *Durable) fail(err error) {
+	d.failed.Store(true)
+	d.errMu.Lock()
+	if d.firstErr == nil {
+		d.firstErr = err
+	}
+	d.errMu.Unlock()
+}
+
+// Err returns the sticky first write error, nil while healthy.
+func (d *Durable) Err() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	return d.firstErr
+}
+
+// DurableStats is the monitoring view of the durable engine.
+type DurableStats struct {
+	// Dir is the data directory.
+	Dir string `json:"dir"`
+	// Fsync names the flush policy.
+	Fsync string `json:"fsync"`
+	// Generation is the committed snapshot generation.
+	Generation uint64 `json:"generation"`
+	// SnapshotRows is the committed snapshot's observation count.
+	SnapshotRows uint64 `json:"snapshot_rows"`
+	// WALBytes is the current generation's total log size.
+	WALBytes int64 `json:"wal_bytes"`
+	// SyncedSeq is the durable watermark. It is exact whenever no AddAll
+	// is in flight (after Sync, after quiesce, and — since always-mode
+	// batches fsync before returning — at any point a caller observes
+	// its own write completed); while concurrent always-mode batches are
+	// mid-fsync it may briefly run ahead of a slower sibling's batch.
+	SyncedSeq uint64 `json:"synced_seq"`
+}
+
+// Stats snapshots the durability counters.
+func (d *Durable) Stats() DurableStats {
+	d.writeGate.RLock()
+	gen, rows := d.gen, d.snapRows
+	d.writeGate.RUnlock()
+	return DurableStats{
+		Dir:          d.dir,
+		Fsync:        d.opts.Fsync.String(),
+		Generation:   gen,
+		SnapshotRows: rows,
+		WALBytes:     d.walBytes.Load(),
+		SyncedSeq:    d.synced.Load(),
+	}
+}
+
+// The Reader surface delegates to the memory engine — the durable store's
+// read path IS the sharded in-memory engine, so queries cost exactly what
+// they cost before durability existed.
+
+func (d *Durable) Len() int                           { return d.mem.Len() }
+func (d *Durable) LenOK() int                         { return d.mem.LenOK() }
+func (d *Durable) LenSource(source string) (int, int) { return d.mem.LenSource(source) }
+func (d *Durable) LenVP(vp string) int                { return d.mem.LenVP(vp) }
+func (d *Durable) Scan(q Query) iter.Seq[Observation] { return d.mem.Scan(q) }
+func (d *Durable) Filter(q Query) []Observation       { return d.mem.Filter(q) }
+func (d *Durable) All() []Observation                 { return d.mem.All() }
+func (d *Durable) Domains() []string                  { return d.mem.Domains() }
+func (d *Durable) Products(domain string) []Key       { return d.mem.Products(domain) }
+func (d *Durable) GroupByProduct(source string) map[Key][]Observation {
+	return d.mem.GroupByProduct(source)
+}
+func (d *Durable) Groups(source string) iter.Seq2[Key, []Observation] {
+	return d.mem.Groups(source)
+}
+func (d *Durable) DomainGroups(domain, source string) iter.Seq2[Key, []Observation] {
+	return d.mem.DomainGroups(domain, source)
+}
+func (d *Durable) WriteJSONL(w io.Writer) error { return d.mem.WriteJSONL(w) }

@@ -54,11 +54,11 @@ func seedObservations(seed int64, n int) []Observation {
 	return out
 }
 
-// fillBoth feeds the same observation sequence to the sharded engine and
-// the linear oracle, mixing Add and AddAll call shapes.
-func fillBoth(t *testing.T, obs []Observation) (*Store, *linearRef) {
+// fillBoth feeds the same observation sequence to the engine under test
+// and the linear oracle, mixing Add and AddAll call shapes.
+func fillBoth(t *testing.T, st Backend, obs []Observation) *linearRef {
 	t.Helper()
-	st, ref := New(), &linearRef{}
+	ref := &linearRef{}
 	i := 0
 	for i < len(obs) {
 		if i%3 == 0 {
@@ -75,7 +75,7 @@ func fillBoth(t *testing.T, obs []Observation) (*Store, *linearRef) {
 			i++
 		}
 	}
-	return st, ref
+	return ref
 }
 
 // equivQueries is the query matrix the engines are compared under.
@@ -99,12 +99,20 @@ func equivQueries() []Query {
 	return qs
 }
 
-// TestEquivalenceWithLinearScan asserts the indexed engine answers every
-// query exactly as the seed's linear scan did on the same data.
+// TestEquivalenceWithLinearScan asserts both engines answer every query
+// exactly as the seed's linear scan did on the same data.
 func TestEquivalenceWithLinearScan(t *testing.T) {
-	obs := seedObservations(42, 5000)
-	st, ref := fillBoth(t, obs)
+	runBackends(t, func(t *testing.T, newBackend newBackendFunc) {
+		st := newBackend(t)
+		ref := fillBoth(t, st, seedObservations(42, 5000))
+		assertMatchesOracle(t, st, ref)
+	})
+}
 
+// assertMatchesOracle runs the full query matrix of an engine against the
+// linear oracle.
+func assertMatchesOracle(t *testing.T, st Reader, ref *linearRef) {
+	t.Helper()
 	if st.Len() != len(ref.obs) {
 		t.Fatalf("Len = %d, want %d", st.Len(), len(ref.obs))
 	}
@@ -187,37 +195,39 @@ func TestEquivalenceWithLinearScan(t *testing.T) {
 	}
 }
 
-// TestJSONLByteIdentical asserts the sharded engine serializes to exactly
-// the bytes the seed's single-slice engine produced for the same sequence
-// of adds — the dataset format is unchanged.
+// TestJSONLByteIdentical asserts both engines serialize to exactly the
+// bytes the seed's single-slice engine produced for the same sequence of
+// adds — the dataset format is unchanged, memory or durable.
 func TestJSONLByteIdentical(t *testing.T) {
-	obs := seedObservations(7, 3000)
-	st, ref := fillBoth(t, obs)
+	runBackends(t, func(t *testing.T, newBackend newBackendFunc) {
+		st := newBackend(t)
+		ref := fillBoth(t, st, seedObservations(7, 3000))
 
-	var got, want bytes.Buffer
-	if err := st.WriteJSONL(&got); err != nil {
-		t.Fatal(err)
-	}
-	if err := ref.writeJSONL(&want); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(got.Bytes(), want.Bytes()) {
-		t.Fatalf("JSONL bytes diverged: %d vs %d bytes", got.Len(), want.Len())
-	}
+		var got, want bytes.Buffer
+		if err := st.WriteJSONL(&got); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.writeJSONL(&want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("JSONL bytes diverged: %d vs %d bytes", got.Len(), want.Len())
+		}
 
-	// Round trip: load the dataset back and re-serialize; the bytes must
-	// survive unchanged (failed extractions and odd currencies included).
-	back, err := ReadJSONL(bytes.NewReader(got.Bytes()))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var again bytes.Buffer
-	if err := back.WriteJSONL(&again); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(again.Bytes(), got.Bytes()) {
-		t.Fatal("JSONL round trip not byte-identical")
-	}
+		// Round trip: load the dataset back and re-serialize; the bytes must
+		// survive unchanged (failed extractions and odd currencies included).
+		back, err := ReadJSONL(bytes.NewReader(got.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var again bytes.Buffer
+		if err := back.WriteJSONL(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again.Bytes(), got.Bytes()) {
+			t.Fatal("JSONL round trip not byte-identical")
+		}
+	})
 }
 
 // TestJSONLPreservesFailuresAndUnknownCurrencies pins the edge cases a
@@ -225,7 +235,11 @@ func TestJSONLByteIdentical(t *testing.T) {
 // text, unknown currencies survive verbatim, and the new user-country
 // field round-trips (and is omitted when empty).
 func TestJSONLPreservesFailuresAndUnknownCurrencies(t *testing.T) {
-	st := New()
+	runBackends(t, testJSONLPreservesEdgeRows)
+}
+
+func testJSONLPreservesEdgeRows(t *testing.T, newBackend newBackendFunc) {
+	st := newBackend(t)
 	fail := Observation{
 		Domain: "a.com", SKU: "A-1", VP: "us-bos",
 		Time:  time.Date(2013, 2, 1, 0, 0, 0, 0, time.UTC),

@@ -16,6 +16,20 @@ import (
 // holds the store's read locks for the duration of the dump, so the
 // snapshot is globally consistent.
 func (s *Store) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	err := s.dumpOrdered(func(o *Observation) error { return enc.Encode(o) })
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// dumpOrdered holds every shard's read lock and feeds each observation to
+// emit in global sequence order — the shared core of WriteJSONL and the
+// durable engine's snapshot writer. The callback must not call back into
+// the store (every lock is held).
+func (s *Store) dumpOrdered(emit func(*Observation) error) error {
 	for si := range s.shards {
 		s.shards[si].mu.RLock()
 		defer s.shards[si].mu.RUnlock()
@@ -28,11 +42,9 @@ func (s *Store) WriteJSONL(w io.Writer) error {
 	}
 	heap.Init(&h)
 
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
 	for n := 0; h.Len() > 0; n++ {
 		cur := h[0]
-		if err := enc.Encode(cur.order[cur.pos].obs()); err != nil {
+		if err := emit(cur.order[cur.pos].obs()); err != nil {
 			return fmt.Errorf("store: encode observation %d: %w", n, err)
 		}
 		if next := cur.pos + 1; next < len(cur.order) {
@@ -42,7 +54,7 @@ func (s *Store) WriteJSONL(w io.Writer) error {
 			heap.Pop(&h)
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
 // orderedBySeq returns the shard's order list in ascending sequence

@@ -1,0 +1,24 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// lockDataDir on platforms without flock creates the LOCK file but takes
+// no lock: single-writer discipline is the operator's responsibility
+// there. Every supported deployment (CI and production are Linux) gets
+// the real advisory lock from lockfile_unix.go.
+func lockDataDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open lock file: %w", err)
+	}
+	return f, nil
+}
+
+// dataDirBusy cannot be answered without flock; report not-busy.
+func dataDirBusy(string) bool { return false }

@@ -1,0 +1,44 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDataDir takes an exclusive advisory lock on the directory's LOCK
+// file, so two writable opens of the same data directory fail fast
+// instead of checkpointing over (and sweeping) each other's live files.
+// flock dies with the process — kill -9 included — so a crashed owner
+// never blocks recovery with a stale lock. Read-only opens do not lock:
+// one writer plus any number of inspectors is the supported shape.
+func lockDataDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: data dir %s is owned by another live process: %w", dir, err)
+	}
+	return f, nil
+}
+
+// dataDirBusy reports whether a live process holds the directory's
+// writer lock — read-only recovery uses it to label a torn-looking log
+// tail as the owner's in-flight append rather than crash damage.
+func dataDirBusy(dir string) bool {
+	f, err := os.Open(filepath.Join(dir, "LOCK"))
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_SH|syscall.LOCK_NB); err != nil {
+		return true // exclusively held: a writer is alive
+	}
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	return false
+}

@@ -1,0 +1,73 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOpenDurableSingleWriter pins the double-open guard: two live
+// writable owners of one directory would checkpoint over and sweep each
+// other's generations, so the second open must fail at the door — and a
+// closed (or killed: flock dies with the process) owner must not block
+// the next one.
+func TestOpenDurableSingleWriter(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := openDurable(t, dir, DurableOptions{Fsync: FsyncNever})
+	if _, _, err := OpenDurable(dir, DurableOptions{}); err == nil {
+		t.Fatal("second writable open of a live data dir succeeded")
+	}
+	// Read-only inspection of a live dir stays allowed, and the report
+	// flags the live owner (so torn-looking tails read as in-flight
+	// appends, not damage).
+	if _, rep, err := OpenReadOnly(dir); err != nil {
+		t.Fatalf("read-only open blocked by the writer lock: %v", err)
+	} else if !rep.LiveOwner {
+		t.Fatal("live owner not flagged in read-only recovery report")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, rep, err := OpenReadOnly(dir); err != nil {
+		t.Fatal(err)
+	} else if rep.LiveOwner {
+		t.Fatal("closed owner still flagged live")
+	}
+	d2, _ := openDurable(t, dir, DurableOptions{Fsync: FsyncNever})
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverRejectsUnreadableWAL pins that a log which exists but
+// cannot be opened is an error, not an empty log: silently skipping it
+// would recover a truncated dataset with a clean report, and a writable
+// open would then commit the loss for good.
+func TestRecoverRejectsUnreadableWAL(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := openDurable(t, dir, DurableOptions{Fsync: FsyncNever})
+	d.AddAll(seedObservations(2, 200))
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	logs := walPaths(t, dir)
+	if len(logs) == 0 {
+		t.Fatal("no logs to damage")
+	}
+	// Replace one log with a symlink loop: os.Open fails with ELOOP, a
+	// non-ENOENT error recovery must surface.
+	if err := os.Remove(logs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Symlink(filepath.Base(logs[0]), logs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenReadOnly(dir); err == nil {
+		t.Fatal("unreadable wal silently treated as empty")
+	}
+	if _, _, err := OpenDurable(dir, DurableOptions{}); err == nil {
+		t.Fatal("writable open committed past an unreadable wal")
+	}
+}

@@ -1,0 +1,31 @@
+package store
+
+import "testing"
+
+// newBackendFunc builds one fresh, empty backend for a test run.
+type newBackendFunc func(t *testing.T) Backend
+
+// runBackends runs a test body once per Backend implementation: the
+// in-memory engine and the durable engine on a temp data directory. The
+// durable run closes the store at cleanup and fails the test on any
+// sticky write error, so every matrixed test doubles as a durability
+// smoke test.
+func runBackends(t *testing.T, fn func(t *testing.T, newBackend newBackendFunc)) {
+	t.Run("memory", func(t *testing.T) {
+		fn(t, func(t *testing.T) Backend { return New() })
+	})
+	t.Run("durable", func(t *testing.T) {
+		fn(t, func(t *testing.T) Backend {
+			d, _, err := OpenDurable(t.TempDir(), DurableOptions{Fsync: FsyncNever})
+			if err != nil {
+				t.Fatalf("open durable: %v", err)
+			}
+			t.Cleanup(func() {
+				if err := d.Close(); err != nil {
+					t.Errorf("close durable: %v", err)
+				}
+			})
+			return d
+		})
+	})
+}

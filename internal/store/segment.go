@@ -1,0 +1,248 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// A snapshot is the dataset at one instant, compacted out of the WAL into
+// plain JSON Lines — the exact bytes WriteJSONL emits, split into bounded
+// segments so no single file grows without limit and a truncated tail
+// costs at most one segment's worth of rows. The manifest is the commit
+// record: a snapshot exists only once MANIFEST.json names its segments,
+// and the manifest is replaced atomically (write temp, fsync, rename,
+// fsync directory), so a crash mid-compaction leaves the previous
+// generation fully intact and the half-written files orphaned.
+
+// manifestName is the data directory's commit record.
+const manifestName = "MANIFEST.json"
+
+// manifest describes one committed snapshot generation.
+type manifest struct {
+	// Version guards the on-disk format.
+	Version int `json:"version"`
+	// Generation increments with every committed snapshot; segment and
+	// WAL file names embed it, so stale files of other generations are
+	// recognizable orphans.
+	Generation uint64 `json:"generation"`
+	// Rows is the snapshot's observation count — rows are stored in
+	// sequence order and renumbered 1..Rows at snapshot time, so every
+	// WAL record of this generation has sequence numbers > Rows.
+	Rows uint64 `json:"rows"`
+	// Segments lists the snapshot files in sequence order.
+	Segments []segmentInfo `json:"segments"`
+}
+
+// segmentInfo pins one segment's expected shape so recovery can tell a
+// complete segment from a truncated one.
+type segmentInfo struct {
+	Name  string `json:"name"`
+	Rows  int    `json:"rows"`
+	Bytes int64  `json:"bytes"`
+}
+
+// manifestVersion is the current on-disk format.
+const manifestVersion = 1
+
+// segmentFile names generation gen's idx-th snapshot segment.
+func segmentFile(gen uint64, idx int) string {
+	return fmt.Sprintf("seg-%08d-%05d.jsonl", gen, idx)
+}
+
+// walFile names generation gen's log for one shard.
+func walFile(gen uint64, shard int) string {
+	return fmt.Sprintf("wal-%08d-%02d.log", gen, shard)
+}
+
+// readManifest loads the directory's commit record. A missing file is the
+// empty dataset (generation 0); an unreadable or undecodable one is a
+// real error — the manifest is written atomically, so damage to it is not
+// a crash artifact recovery should paper over.
+func readManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return &manifest{Version: manifestVersion}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("store: parse manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("store: manifest version %d unsupported (want %d)", m.Version, manifestVersion)
+	}
+	return &m, nil
+}
+
+// commitManifest atomically replaces the directory's manifest: temp file,
+// fsync, rename over MANIFEST.json, fsync the directory so the rename
+// itself is durable.
+func commitManifest(dir string, m *manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode manifest: %w", err)
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: write manifest: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("store: commit manifest: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and creates within it survive a
+// power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	return nil
+}
+
+// writeSegments dumps src as a new generation's snapshot segments, each
+// at most segBytes of JSONL (a row never splits: segments rotate on the
+// boundary after the limit is crossed). Every segment is fsynced before
+// the caller commits the manifest that names it.
+func writeSegments(dir string, gen uint64, src *Store, segBytes int64) ([]segmentInfo, uint64, error) {
+	var (
+		infos []segmentInfo
+		f     *os.File
+		bw    *bufio.Writer
+		enc   *json.Encoder
+		cur   segmentInfo
+		rows  uint64
+	)
+	closeCurrent := func() error {
+		if f == nil {
+			return nil
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return fmt.Errorf("store: flush segment %s: %w", cur.Name, err)
+		}
+		size, err := f.Seek(0, io.SeekCurrent)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("store: size segment %s: %w", cur.Name, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("store: sync segment %s: %w", cur.Name, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("store: close segment %s: %w", cur.Name, err)
+		}
+		cur.Bytes = size
+		infos = append(infos, cur)
+		f, bw, enc = nil, nil, nil
+		return nil
+	}
+	emit := func(o *Observation) error {
+		if f != nil && cur.Bytes >= segBytes {
+			if err := closeCurrent(); err != nil {
+				return err
+			}
+		}
+		if f == nil {
+			cur = segmentInfo{Name: segmentFile(gen, len(infos))}
+			var err error
+			f, err = os.OpenFile(filepath.Join(dir, cur.Name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+			if err != nil {
+				return fmt.Errorf("store: create segment %s: %w", cur.Name, err)
+			}
+			bw = bufio.NewWriter(&countingWriter{w: f, n: &cur.Bytes})
+			enc = json.NewEncoder(bw)
+		}
+		rows++
+		cur.Rows++
+		return enc.Encode(o)
+	}
+	if err := src.dumpOrdered(emit); err != nil {
+		if f != nil {
+			f.Close()
+		}
+		return nil, 0, err
+	}
+	if err := closeCurrent(); err != nil {
+		return nil, 0, err
+	}
+	return infos, rows, nil
+}
+
+// countingWriter tracks bytes written so segment rotation can trigger on
+// size without re-stating the encoder's output.
+type countingWriter struct {
+	w io.Writer
+	n *int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	*cw.n += int64(n)
+	return n, err
+}
+
+// loadSegment streams one snapshot segment into dst, tolerating a
+// truncated tail: complete rows load, the first broken row ends the
+// segment, and the shortfall against the manifest's expectation is
+// returned as lost rows. A missing file loses the whole segment.
+func loadSegment(dir string, info segmentInfo, dst *Store) (lost int, err error) {
+	f, err := os.Open(filepath.Join(dir, info.Name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return info.Rows, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: open segment %s: %w", info.Name, err)
+	}
+	defer f.Close()
+
+	dec := json.NewDecoder(bufio.NewReader(f))
+	batch := make([]Observation, 0, readBatch)
+	rows := 0
+	for {
+		var o Observation
+		if err := dec.Decode(&o); err != nil {
+			// EOF is the clean end; anything else is the torn tail of a
+			// segment that lost its last write — keep what decoded.
+			break
+		}
+		rows++
+		batch = append(batch, o)
+		if len(batch) == readBatch {
+			dst.AddAll(batch)
+			batch = batch[:0]
+		}
+	}
+	dst.AddAll(batch)
+	if rows < info.Rows {
+		return info.Rows - rows, nil
+	}
+	return 0, nil
+}

@@ -132,34 +132,30 @@ func (s *Store) AddAll(os []Observation) {
 	if len(os) == 0 {
 		return
 	}
-	base := s.seq.Add(uint64(len(os))) - uint64(len(os))
+	s.addAllAt(os, s.reserve(len(os)))
+}
 
-	// Fast path: single-domain batches (the common shape — one product
-	// fanned out across vantage points) take one shard lock.
-	first := shardIdx(os[0].Domain)
-	single := true
-	for i := 1; i < len(os); i++ {
-		if shardIdx(os[i].Domain) != first {
-			single = false
-			break
-		}
-	}
-	if single {
-		sh := &s.shards[first]
+// reserve claims n consecutive sequence numbers and returns the base: the
+// i-th observation of the batch gets sequence base+i+1. The durable
+// engine reserves before logging so WAL records carry the same sequence
+// numbers the memory engine assigns.
+func (s *Store) reserve(n int) uint64 {
+	return s.seq.Add(uint64(n)) - uint64(n)
+}
+
+// addAllAt appends a batch under an already-reserved sequence base.
+func (s *Store) addAllAt(os []Observation, base uint64) {
+	groups, single := groupByShard(os)
+	if single >= 0 {
+		// Fast path: single-shard batches (the common shape — one product
+		// fanned out across vantage points) take one shard lock.
+		sh := &s.shards[single]
 		sh.mu.Lock()
 		for i := range os {
 			sh.add(os[i], base+uint64(i)+1)
 		}
 		sh.mu.Unlock()
 		return
-	}
-
-	// Mixed batch (e.g. a JSONL load): group indices by shard, keeping
-	// batch order within each group so per-shard sequences stay ascending.
-	var groups [numShards][]int32
-	for i := range os {
-		si := shardIdx(os[i].Domain)
-		groups[si] = append(groups[si], int32(i))
 	}
 	for si := range groups {
 		if len(groups[si]) == 0 {
@@ -172,6 +168,26 @@ func (s *Store) AddAll(os []Observation) {
 		}
 		sh.mu.Unlock()
 	}
+}
+
+// groupByShard splits a non-empty batch by destination shard: either
+// every observation maps to one shard (single >= 0, no allocation — the
+// fan-out fast path) or groups holds each shard's batch indices in batch
+// order, so per-shard sequences stay ascending. The memory engine's
+// apply path and the durable engine's logging path both partition
+// through here — the WAL record layout must agree with shard placement.
+func groupByShard(os []Observation) (groups [numShards][]int32, single int) {
+	first := shardIdx(os[0].Domain)
+	for i := 1; i < len(os); i++ {
+		if shardIdx(os[i].Domain) != first {
+			for j := range os {
+				si := shardIdx(os[j].Domain)
+				groups[si] = append(groups[si], int32(j))
+			}
+			return groups, -1
+		}
+	}
+	return groups, int(first)
 }
 
 // Len returns the number of observations (successes and failures).

@@ -19,63 +19,69 @@ func obs(domain, sku, vp string, units int64, round int, src string, ok bool) Ob
 }
 
 func TestAddFilterAndLen(t *testing.T) {
-	s := New()
-	s.Add(obs("a.com", "A-1", "us-bos", 100, 0, SourceCrawl, true))
-	s.Add(obs("a.com", "A-1", "fi-tam", 120, 0, SourceCrawl, true))
-	s.Add(obs("a.com", "A-2", "us-bos", 200, 1, SourceCrawl, false))
-	s.Add(obs("b.com", "B-1", "us-bos", 300, -1, SourceCrowd, true))
+	runBackends(t, func(t *testing.T, newBackend newBackendFunc) {
+		s := newBackend(t)
+		s.Add(obs("a.com", "A-1", "us-bos", 100, 0, SourceCrawl, true))
+		s.Add(obs("a.com", "A-1", "fi-tam", 120, 0, SourceCrawl, true))
+		s.Add(obs("a.com", "A-2", "us-bos", 200, 1, SourceCrawl, false))
+		s.Add(obs("b.com", "B-1", "us-bos", 300, -1, SourceCrowd, true))
 
-	if s.Len() != 4 || s.LenOK() != 3 {
-		t.Fatalf("Len=%d LenOK=%d", s.Len(), s.LenOK())
-	}
-	if got := len(s.Filter(Query{Domain: "a.com", Round: -1})); got != 3 {
-		t.Fatalf("domain filter = %d", got)
-	}
-	if got := len(s.Filter(Query{Domain: "a.com", Round: 0})); got != 2 {
-		t.Fatalf("round filter = %d", got)
-	}
-	if got := len(s.Filter(Query{Source: SourceCrowd, Round: -1})); got != 1 {
-		t.Fatalf("source filter = %d", got)
-	}
-	if got := len(s.Filter(Query{OnlyOK: true, Round: -1})); got != 3 {
-		t.Fatalf("ok filter = %d", got)
-	}
-	if got := len(s.Filter(Query{VP: "fi-tam", Round: -1})); got != 1 {
-		t.Fatalf("vp filter = %d", got)
-	}
-	if got := len(s.Filter(Query{SKU: "A-2", Round: -1})); got != 1 {
-		t.Fatalf("sku filter = %d", got)
-	}
+		if s.Len() != 4 || s.LenOK() != 3 {
+			t.Fatalf("Len=%d LenOK=%d", s.Len(), s.LenOK())
+		}
+		if got := len(s.Filter(Query{Domain: "a.com", Round: -1})); got != 3 {
+			t.Fatalf("domain filter = %d", got)
+		}
+		if got := len(s.Filter(Query{Domain: "a.com", Round: 0})); got != 2 {
+			t.Fatalf("round filter = %d", got)
+		}
+		if got := len(s.Filter(Query{Source: SourceCrowd, Round: -1})); got != 1 {
+			t.Fatalf("source filter = %d", got)
+		}
+		if got := len(s.Filter(Query{OnlyOK: true, Round: -1})); got != 3 {
+			t.Fatalf("ok filter = %d", got)
+		}
+		if got := len(s.Filter(Query{VP: "fi-tam", Round: -1})); got != 1 {
+			t.Fatalf("vp filter = %d", got)
+		}
+		if got := len(s.Filter(Query{SKU: "A-2", Round: -1})); got != 1 {
+			t.Fatalf("sku filter = %d", got)
+		}
+	})
 }
 
 func TestDomainsAndProducts(t *testing.T) {
-	s := New()
-	s.Add(obs("b.com", "B-2", "x", 1, -1, SourceCrawl, true))
-	s.Add(obs("a.com", "A-1", "x", 1, -1, SourceCrawl, true))
-	s.Add(obs("b.com", "B-1", "x", 1, -1, SourceCrawl, true))
-	s.Add(obs("b.com", "B-1", "y", 2, -1, SourceCrawl, true))
+	runBackends(t, func(t *testing.T, newBackend newBackendFunc) {
+		s := newBackend(t)
+		s.Add(obs("b.com", "B-2", "x", 1, -1, SourceCrawl, true))
+		s.Add(obs("a.com", "A-1", "x", 1, -1, SourceCrawl, true))
+		s.Add(obs("b.com", "B-1", "x", 1, -1, SourceCrawl, true))
+		s.Add(obs("b.com", "B-1", "y", 2, -1, SourceCrawl, true))
 
-	if got := s.Domains(); len(got) != 2 || got[0] != "a.com" || got[1] != "b.com" {
-		t.Fatalf("Domains = %v", got)
-	}
-	ps := s.Products("b.com")
-	if len(ps) != 2 || ps[0].SKU != "B-1" || ps[1].SKU != "B-2" {
-		t.Fatalf("Products = %v", ps)
-	}
+		if got := s.Domains(); len(got) != 2 || got[0] != "a.com" || got[1] != "b.com" {
+			t.Fatalf("Domains = %v", got)
+		}
+		ps := s.Products("b.com")
+		if len(ps) != 2 || ps[0].SKU != "B-1" || ps[1].SKU != "B-2" {
+			t.Fatalf("Products = %v", ps)
+		}
+	})
 }
 
 func TestGroupByProduct(t *testing.T) {
-	s := New()
-	for round := 0; round < 3; round++ {
-		s.Add(obs("a.com", "A-1", "us-bos", 100, round, SourceCrawl, true))
-		s.Add(obs("a.com", "A-1", "fi-tam", 130, round, SourceCrawl, true))
-	}
-	s.Add(obs("a.com", "A-1", "user", 99, -1, SourceCrowd, true))
-	groups := s.GroupByProduct(SourceCrawl)
-	g := groups[Key{Domain: "a.com", SKU: "A-1"}]
-	if len(g) != 6 {
-		t.Fatalf("group size = %d, want 6 (crowd obs excluded)", len(g))
-	}
+	runBackends(t, func(t *testing.T, newBackend newBackendFunc) {
+		s := newBackend(t)
+		for round := 0; round < 3; round++ {
+			s.Add(obs("a.com", "A-1", "us-bos", 100, round, SourceCrawl, true))
+			s.Add(obs("a.com", "A-1", "fi-tam", 130, round, SourceCrawl, true))
+		}
+		s.Add(obs("a.com", "A-1", "user", 99, -1, SourceCrowd, true))
+		groups := s.GroupByProduct(SourceCrawl)
+		g := groups[Key{Domain: "a.com", SKU: "A-1"}]
+		if len(g) != 6 {
+			t.Fatalf("group size = %d, want 6 (crowd obs excluded)", len(g))
+		}
+	})
 }
 
 func TestAmountReconstruction(t *testing.T) {
@@ -91,35 +97,37 @@ func TestAmountReconstruction(t *testing.T) {
 }
 
 func TestJSONLRoundTrip(t *testing.T) {
-	s := New()
-	for i := 0; i < 50; i++ {
-		o := obs("a.com", fmt.Sprintf("A-%d", i), "us-bos", int64(100+i), i%7, SourceCrawl, i%5 != 0)
-		if i%5 == 0 {
-			o.Err = "extract: no price found"
+	runBackends(t, func(t *testing.T, newBackend newBackendFunc) {
+		s := newBackend(t)
+		for i := 0; i < 50; i++ {
+			o := obs("a.com", fmt.Sprintf("A-%d", i), "us-bos", int64(100+i), i%7, SourceCrawl, i%5 != 0)
+			if i%5 == 0 {
+				o.Err = "extract: no price found"
+			}
+			s.Add(o)
 		}
-		s.Add(o)
-	}
-	var buf bytes.Buffer
-	if err := s.WriteJSONL(&buf); err != nil {
-		t.Fatal(err)
-	}
-	back, err := ReadJSONL(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if back.Len() != s.Len() || back.LenOK() != s.LenOK() {
-		t.Fatalf("round trip: Len %d->%d OK %d->%d", s.Len(), back.Len(), s.LenOK(), back.LenOK())
-	}
-	a, b := s.All(), back.All()
-	for i := range a {
-		if !a[i].Time.Equal(b[i].Time) {
-			t.Fatalf("time drift at %d", i)
+		var buf bytes.Buffer
+		if err := s.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
 		}
-		a[i].Time, b[i].Time = time.Time{}, time.Time{}
-		if a[i] != b[i] {
-			t.Fatalf("observation %d mismatch:\n%+v\n%+v", i, a[i], b[i])
+		back, err := ReadJSONL(&buf)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
+		if back.Len() != s.Len() || back.LenOK() != s.LenOK() {
+			t.Fatalf("round trip: Len %d->%d OK %d->%d", s.Len(), back.Len(), s.LenOK(), back.LenOK())
+		}
+		a, b := s.All(), back.All()
+		for i := range a {
+			if !a[i].Time.Equal(b[i].Time) {
+				t.Fatalf("time drift at %d", i)
+			}
+			a[i].Time, b[i].Time = time.Time{}, time.Time{}
+			if a[i] != b[i] {
+				t.Fatalf("observation %d mismatch:\n%+v\n%+v", i, a[i], b[i])
+			}
+		}
+	})
 }
 
 func TestReadJSONLBadInput(t *testing.T) {
@@ -133,19 +141,21 @@ func TestReadJSONLBadInput(t *testing.T) {
 }
 
 func TestConcurrentAdd(t *testing.T) {
-	s := New()
-	var wg sync.WaitGroup
-	for i := 0; i < 20; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			for j := 0; j < 50; j++ {
-				s.Add(obs("c.com", fmt.Sprintf("C-%d-%d", i, j), "x", 1, -1, SourceCrawl, true))
-			}
-		}(i)
-	}
-	wg.Wait()
-	if s.Len() != 1000 {
-		t.Fatalf("Len = %d", s.Len())
-	}
+	runBackends(t, func(t *testing.T, newBackend newBackendFunc) {
+		s := newBackend(t)
+		var wg sync.WaitGroup
+		for i := 0; i < 20; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for j := 0; j < 50; j++ {
+					s.Add(obs("c.com", fmt.Sprintf("C-%d-%d", i, j), "x", 1, -1, SourceCrawl, true))
+				}
+			}(i)
+		}
+		wg.Wait()
+		if s.Len() != 1000 {
+			t.Fatalf("Len = %d", s.Len())
+		}
+	})
 }

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The write-ahead log is a sequence of framed records, one per AddAll
+// batch per shard:
+//
+//	offset 0  uint32 LE  payload length
+//	offset 4  uint32 LE  CRC-32C (Castagnoli) of the payload
+//	offset 8  payload    JSON walRecord
+//
+// A record is the unit of atomicity: recovery replays complete records
+// and discards everything from the first frame that is short, oversized,
+// checksum-broken or undecodable — the torn tail a crash mid-write (or a
+// lost page-cache flush) leaves behind. Torn tails are expected crash
+// artifacts, not corruption errors; recovery reports how many bytes it
+// discarded and carries on.
+
+// walRecord is one logged batch: the observations of a single AddAll
+// call that landed in one shard, with the global sequence numbers the
+// memory engine assigned them. Sequences let recovery re-interleave
+// concurrent batches across the per-shard logs in admission order.
+type walRecord struct {
+	Seqs []uint64      `json:"seqs"`
+	Obs  []Observation `json:"obs"`
+}
+
+// walHeaderSize is the framing overhead per record.
+const walHeaderSize = 8
+
+// maxWALRecord bounds a single record's payload. The largest real batch
+// is a JSONL bulk load chunk (readBatch observations); 64 MiB is far
+// above any legitimate record and small enough that a corrupt length
+// field cannot make recovery attempt a giant allocation.
+const maxWALRecord = 64 << 20
+
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// errTornRecord marks a frame that ends (or breaks) before completing —
+// the signal to stop replaying a log and truncate mentally at this point.
+var errTornRecord = errors.New("store: torn wal record")
+
+// appendWALRecord frames a record onto buf and returns the extended
+// slice. The reader's frame limit is enforced here too: a frame the
+// recovery path would reject as torn must never be written (and claimed
+// durable) in the first place.
+func appendWALRecord(buf []byte, seqs []uint64, obs []Observation) ([]byte, error) {
+	payload, err := json.Marshal(walRecord{Seqs: seqs, Obs: obs})
+	if err != nil {
+		return buf, fmt.Errorf("store: encode wal record: %w", err)
+	}
+	if len(payload) > maxWALRecord {
+		return buf, fmt.Errorf("store: wal record of %d bytes exceeds the %d-byte frame limit; split the batch", len(payload), maxWALRecord)
+	}
+	var hdr [walHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, walCRC))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...), nil
+}
+
+// parseWALRecord decodes the first framed record of b, returning the
+// record and the bytes that follow it. Any defect — short header, absurd
+// length, short payload, checksum mismatch, broken JSON, sequence count
+// not matching the observation count — returns errTornRecord: the frame
+// boundary cannot be trusted past a bad frame, so the caller must stop.
+func parseWALRecord(b []byte) (rec walRecord, rest []byte, err error) {
+	if len(b) < walHeaderSize {
+		return walRecord{}, b, errTornRecord
+	}
+	n := binary.LittleEndian.Uint32(b[0:4])
+	sum := binary.LittleEndian.Uint32(b[4:8])
+	if n > maxWALRecord || uint64(walHeaderSize)+uint64(n) > uint64(len(b)) {
+		return walRecord{}, b, errTornRecord
+	}
+	payload := b[walHeaderSize : walHeaderSize+n]
+	if crc32.Checksum(payload, walCRC) != sum {
+		return walRecord{}, b, errTornRecord
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return walRecord{}, b, errTornRecord
+	}
+	if len(rec.Seqs) != len(rec.Obs) {
+		return walRecord{}, b, errTornRecord
+	}
+	return rec, b[walHeaderSize+n:], nil
+}
+
+// replayWAL parses every complete record of one shard's log and reports
+// how many tail bytes were discarded as torn.
+func replayWAL(data []byte) (recs []walRecord, discarded int64) {
+	for len(data) > 0 {
+		rec, rest, err := parseWALRecord(data)
+		if err != nil {
+			return recs, int64(len(data))
+		}
+		recs = append(recs, rec)
+		data = rest
+	}
+	return recs, 0
+}
+
+// readWAL loads one shard's log from r and replays it.
+func readWAL(r io.Reader) (recs []walRecord, discarded int64, err error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: read wal: %w", err)
+	}
+	recs, discarded = replayWAL(data)
+	return recs, discarded, nil
+}

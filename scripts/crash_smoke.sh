@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke: a durable sheriffd must survive kill -9 without
+# losing anything it had flushed.
+#
+# Phase 1 (quiesced kill): drive crowd load through examples/loadgen to
+# completion, record /api/stats observations (the flush point — under
+# -fsync always every completed check is durable), kill -9 the server,
+# restart on the same -data-dir and assert the observation count matches
+# the flush point exactly.
+#
+# Phase 2 (mid-round kill): kill -9 while a loadgen round is in flight —
+# the WAL may end in a torn record — then restart and assert recovery
+# succeeds with at least the phase-1 flush point intact and a consistent
+# /api/stats.
+#
+# Run from the repository root: ./scripts/crash_smoke.sh
+set -euo pipefail
+
+ADDR="${ADDR:-127.0.0.1:8317}"
+SEED=1
+LONGTAIL=20
+
+workdir="$(mktemp -d)"
+datadir="$workdir/data"
+logfile="$workdir/sheriffd.log"
+srv_pid=""
+
+cleanup() {
+  [ -n "$srv_pid" ] && kill -9 "$srv_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+say() { echo "== crash-smoke: $*"; }
+
+say "building sheriffd and loadgen"
+go build -o "$workdir/sheriffd" ./cmd/sheriffd
+go build -o "$workdir/loadgen" ./examples/loadgen
+
+start_server() {
+  "$workdir/sheriffd" -addr "$ADDR" -seed "$SEED" -longtail "$LONGTAIL" \
+    -data-dir "$datadir" -fsync always >>"$logfile" 2>&1 &
+  srv_pid=$!
+  for _ in $(seq 1 150); do
+    if curl -sf "http://$ADDR/api/stats" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  say "server did not come up"
+  cat "$logfile"
+  exit 1
+}
+
+observations() {
+  curl -sf "http://$ADDR/api/stats" | python3 -c 'import json,sys; print(json.load(sys.stdin)["observations"])'
+}
+
+durable_fsync() {
+  curl -sf "http://$ADDR/api/stats" | python3 -c 'import json,sys; print(json.load(sys.stdin)["durable"]["fsync"])'
+}
+
+say "phase 1: boot on an empty data dir"
+start_server
+[ "$(durable_fsync)" = "always" ] || { say "stats missing the durable block"; exit 1; }
+
+say "phase 1: drive a full loadgen run"
+"$workdir/loadgen" -addr "http://$ADDR" -seed "$SEED" -longtail "$LONGTAIL" \
+  -users 6 -rounds 2
+
+flush_point="$(observations)"
+say "phase 1: flush point = $flush_point observations"
+[ "$flush_point" -gt 0 ] || { say "no observations recorded"; exit 1; }
+
+say "phase 1: kill -9 (quiesced) and restart"
+kill -9 "$srv_pid"
+wait "$srv_pid" 2>/dev/null || true
+start_server
+
+recovered="$(observations)"
+say "phase 1: recovered = $recovered observations"
+if [ "$recovered" -ne "$flush_point" ]; then
+  say "FAIL: quiesced kill lost data ($recovered != $flush_point)"
+  cat "$logfile"
+  exit 1
+fi
+grep -q "recovered $flush_point observations" "$logfile" || {
+  say "FAIL: boot log does not report the recovery"
+  cat "$logfile"
+  exit 1
+}
+
+say "phase 2: kill -9 mid-round"
+"$workdir/loadgen" -addr "http://$ADDR" -seed "$SEED" -longtail "$LONGTAIL" \
+  -users 6 -rounds 50 -requests 3000 >/dev/null 2>&1 &
+load_pid=$!
+sleep 3
+kill -9 "$srv_pid"
+wait "$srv_pid" 2>/dev/null || true
+wait "$load_pid" 2>/dev/null || true
+
+say "phase 2: restart over the torn tail"
+start_server
+recovered2="$(observations)"
+say "phase 2: recovered = $recovered2 observations"
+if [ "$recovered2" -lt "$recovered" ]; then
+  say "FAIL: mid-round kill lost pre-kill data ($recovered2 < $recovered)"
+  cat "$logfile"
+  exit 1
+fi
+
+say "phase 2: clean shutdown still works"
+kill -TERM "$srv_pid"
+for _ in $(seq 1 50); do
+  kill -0 "$srv_pid" 2>/dev/null || break
+  sleep 0.2
+done
+grep -q "data dir flushed" "$logfile" || {
+  say "FAIL: graceful drain did not flush the data dir"
+  cat "$logfile"
+  exit 1
+}
+srv_pid=""
+
+say "PASS (flush point $flush_point, post-crash $recovered2)"

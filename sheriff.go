@@ -125,6 +125,32 @@ type (
 	ProductKey = store.Key
 )
 
+// The observation database is pluggable: StoreBackend is the full
+// read/write contract both engines satisfy, StoreReader the query-only
+// subset the analysis layer consumes, and DurableStore the WAL-backed,
+// snapshot-compacted engine whose dataset survives the process
+// (sheriffd -data-dir runs on one).
+type (
+	StoreBackend = store.Backend
+	StoreReader  = store.Reader
+	DurableStore = store.Durable
+	// DurableOptions tunes the durable engine: fsync policy, segment
+	// size, compaction threshold.
+	DurableOptions = store.DurableOptions
+	// RecoveryReport is what opening a data directory found: snapshot
+	// rows, replayed WAL rows, torn bytes discarded.
+	RecoveryReport = store.RecoveryReport
+)
+
+// OpenDataDir opens a data directory as a writable durable backend,
+// recovering whatever a previous process (cleanly stopped or killed)
+// left behind. Pass the result as WorldOptions.Store.
+var OpenDataDir = store.OpenDurable
+
+// OpenDataDirReadOnly recovers a data directory into a plain in-memory
+// store without writing — the analysis-side open.
+var OpenDataDirReadOnly = store.OpenReadOnly
+
 // ReadDataset loads a JSONL dataset previously written with
 // World.Store.WriteJSONL (cmd/crawl writes these, cmd/analyze reads them).
 var ReadDataset = store.ReadJSONL
