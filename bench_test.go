@@ -8,6 +8,10 @@ package sheriff_test
 
 import (
 	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -804,4 +808,83 @@ func BenchmarkCrowdCheckConcurrent(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- v1 HTTP API benchmarks (PR 5) ---
+
+// apiBenchServer builds a dedicated world behind the full v1 stack
+// (middleware included) over real TCP. Dedicated — API checks mutate
+// the store, and the shared fixture's dataset must stay fixed for the
+// figure benchmarks.
+func apiBenchServer(b *testing.B, preload int) (*sheriff.World, *httptest.Server) {
+	b.Helper()
+	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: 1, LongTail: 6})
+	if preload > 0 {
+		w.Store.AddAll(benchObservations(preload))
+	}
+	srv := httptest.NewServer(sheriff.NewAPIWithOptions(w, sheriff.APIOptions{
+		Logger: log.New(io.Discard, "", 0),
+	}))
+	b.Cleanup(srv.Close)
+	return w, srv
+}
+
+// BenchmarkAPICheckHTTP measures one crowd check end to end over the
+// wire: middleware stack, JSON decode, the backend's synchronized 14-VP
+// fan-out (page-cache-deduped across iterations), JSON encode.
+func BenchmarkAPICheckHTTP(b *testing.B) {
+	w, srv := apiBenchServer(b, 0)
+	r := w.Retailers["www.digitalrev.com"]
+	p := r.Catalog().Products()[0]
+	loc, _ := geo.LocationOf("US", "Boston")
+	addr, _ := geo.AddrFor(loc, 61)
+	amt := r.DisplayPrice(p, shop.Visit{Loc: loc, Time: w.Clock.Now(), IP: addr.String()})
+	payload := fmt.Sprintf(
+		`{"url":"http://www.digitalrev.com/product/%s","highlight":"%s","user_addr":"%s","user_id":"bench"}`,
+		p.SKU, money.Format(amt, amt.Currency.Style()), addr)
+	client := srv.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(srv.URL+"/api/v1/checks", "application/json", strings.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// BenchmarkObservationsStream measures the NDJSON export of a
+// 100K-observation dataset: store iterators straight onto the socket,
+// decoder-side bytes discarded.
+func BenchmarkObservationsStream(b *testing.B) {
+	_, srv := apiBenchServer(b, 100_000)
+	client := srv.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req, err := http.NewRequest(http.MethodGet, srv.URL+"/api/v1/observations", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req.Header.Set("Accept", "application/x-ndjson")
+		resp, err := client.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("empty stream")
+		}
+	}
 }

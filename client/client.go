@@ -1,0 +1,487 @@
+// Package client is the typed Go SDK for the $heriff v1 HTTP API — the
+// programmatic face of the wire the paper's browser extension talks.
+// cmd/sheriffd serves the API; this package is how Go code (the load
+// generator, remote analysis, campaign scripts) drives it.
+//
+//	cl := client.New("http://localhost:8080", client.Options{})
+//	res, err := cl.Check(ctx, sheriff.CheckRequest{URL: ..., Highlight: ..., UserAddr: addr})
+//
+// Every method takes a context, decodes the structured v1 error envelope
+// into *client.APIError (branch on its Code), and retries transient
+// failures (429 with Retry-After honored, 502/503/504 and transport
+// errors on idempotent GETs) with exponential backoff. Observations
+// paginate transparently or stream as NDJSON off the server's store
+// iterators.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"sheriff"
+)
+
+// Options configures a Client; the zero value works.
+type Options struct {
+	// HTTPClient is the transport (default: &http.Client{Timeout: 60s}).
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per call, first included (default 3;
+	// 1 disables retries).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay, doubled per attempt
+	// (default 100ms, capped at 2s). A server Retry-After overrides it.
+	BaseBackoff time.Duration
+	// UserAgent identifies the client in server logs.
+	UserAgent string
+}
+
+// Client talks to one sheriffd. Safe for concurrent use.
+type Client struct {
+	base string
+	opts Options
+}
+
+// New builds a client for the server at baseURL (scheme://host[:port],
+// no trailing /api).
+func New(baseURL string, opts Options) *Client {
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = &http.Client{Timeout: 60 * time.Second}
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.BaseBackoff <= 0 {
+		opts.BaseBackoff = 100 * time.Millisecond
+	}
+	if opts.UserAgent == "" {
+		opts.UserAgent = "sheriff-client/1"
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), opts: opts}
+}
+
+// APIError is a structured v1 error: the typed code and message from the
+// envelope plus the transport-level status and request ID.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Code is the machine-readable error code (api.Code* values:
+	// "bad_request", "not_found", "rate_limited", ...).
+	Code string
+	// Message and Detail mirror the envelope.
+	Message string
+	Detail  string
+	// RequestID is the server's X-Request-ID, for log correlation.
+	RequestID string
+
+	// retryAfter carries the Retry-After header between attempts.
+	retryAfter string
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	msg := fmt.Sprintf("api: %d %s: %s", e.StatusCode, e.Code, e.Message)
+	if e.Detail != "" {
+		msg += " (" + e.Detail + ")"
+	}
+	return msg
+}
+
+// IsCode reports whether err is an *APIError carrying the given code.
+func IsCode(err error, code string) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == code
+}
+
+// retryable reports whether a response status is worth another attempt.
+func retryable(status int, idempotent bool) bool {
+	if status == http.StatusTooManyRequests {
+		return true
+	}
+	if !idempotent {
+		return false
+	}
+	switch status {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// backoffDelay is the wait before attempt n (0-based), honoring a
+// Retry-After when the server sent one.
+func (c *Client) backoffDelay(attempt int, retryAfter string) time.Duration {
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	d := c.opts.BaseBackoff << attempt
+	if max := 2 * time.Second; d > max {
+		d = max
+	}
+	return d
+}
+
+// do runs one HTTP call with retries and returns the response on any
+// 2xx. Non-2xx responses are decoded into *APIError (legacy text errors
+// degrade to an APIError with an empty Code). The caller owns the body.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, accept string) (*http.Response, error) {
+	idempotent := method == http.MethodGet
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			var retryAfter string
+			var ae *APIError
+			if errors.As(lastErr, &ae) {
+				retryAfter = ae.retryAfter
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(c.backoffDelay(attempt-1, retryAfter)):
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("User-Agent", c.opts.UserAgent)
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := c.opts.HTTPClient.Do(req)
+		if err != nil {
+			// Transport failure: retry only when the request could not
+			// have mutated anything (GET) or the context still stands and
+			// the error is a dial-side one we cannot distinguish — be
+			// conservative and retry GETs only.
+			lastErr = err
+			if !idempotent || ctx.Err() != nil {
+				return nil, err
+			}
+			continue
+		}
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			return resp, nil
+		}
+		apiErr := decodeAPIError(resp)
+		resp.Body.Close()
+		lastErr = apiErr
+		if !retryable(resp.StatusCode, idempotent) {
+			return nil, apiErr
+		}
+	}
+	return nil, lastErr
+}
+
+// decodeAPIError turns a non-2xx response into an *APIError — the v1
+// envelope when present, the raw text otherwise (legacy endpoints).
+func decodeAPIError(resp *http.Response) *APIError {
+	ae := &APIError{
+		StatusCode: resp.StatusCode,
+		RequestID:  resp.Header.Get("X-Request-ID"),
+		retryAfter: resp.Header.Get("Retry-After"),
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var envelope struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+			Detail  string `json:"detail"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &envelope); err == nil && envelope.Error.Code != "" {
+		ae.Code = envelope.Error.Code
+		ae.Message = envelope.Error.Message
+		ae.Detail = envelope.Error.Detail
+		return ae
+	}
+	ae.Message = strings.TrimSpace(string(raw))
+	return ae
+}
+
+// getJSON runs a GET and decodes the 2xx body into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	resp, err := c.do(ctx, http.MethodGet, path, nil, "application/json")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// toWire renders a CheckRequest as the shared v1 submission shape
+// (sheriff.APICheckPayload — the same struct the server decodes).
+func toWire(req sheriff.CheckRequest) sheriff.APICheckPayload {
+	addr := ""
+	if req.UserAddr.IsValid() {
+		addr = req.UserAddr.String()
+	}
+	return sheriff.APICheckPayload{
+		URL: req.URL, Highlight: req.Highlight, UserAddr: addr,
+		UserID: req.UserID, UserAgent: req.UserAgent,
+	}
+}
+
+// Check runs one crowd check through POST /api/v1/checks and returns
+// the per-vantage-point result. Failed checks come back as *APIError
+// with the typed code (not_found, extraction_failed, upstream_error...).
+func (c *Client) Check(ctx context.Context, req sheriff.CheckRequest) (sheriff.CheckResult, error) {
+	body, err := json.Marshal(toWire(req))
+	if err != nil {
+		return sheriff.CheckResult{}, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/api/v1/checks", body, "application/json")
+	if err != nil {
+		return sheriff.CheckResult{}, err
+	}
+	defer resp.Body.Close()
+	var res sheriff.CheckResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return sheriff.CheckResult{}, fmt.Errorf("client: decode check result: %w", err)
+	}
+	return res, nil
+}
+
+// CheckOutcome is one batch entry's result-or-error.
+type CheckOutcome struct {
+	Result *sheriff.CheckResult
+	Err    *APIError
+}
+
+// CheckBatch submits several checks in one round trip. The returned
+// slice matches the input order; entries fail independently.
+func (c *Client) CheckBatch(ctx context.Context, reqs []sheriff.CheckRequest) ([]CheckOutcome, error) {
+	wire := struct {
+		Checks []sheriff.APICheckPayload `json:"checks"`
+	}{Checks: make([]sheriff.APICheckPayload, len(reqs))}
+	for i, r := range reqs {
+		wire.Checks[i] = toWire(r)
+	}
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/api/v1/checks", body, "application/json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out sheriff.APIBatchCheckResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode batch result: %w", err)
+	}
+	res := make([]CheckOutcome, len(out.Results))
+	for i, item := range out.Results {
+		res[i].Result = item.Result
+		if item.Error != nil {
+			res[i].Err = &APIError{
+				StatusCode: http.StatusOK, Code: item.Error.Code,
+				Message: item.Error.Message, Detail: item.Error.Detail,
+			}
+		}
+	}
+	return res, nil
+}
+
+// CheckFunc adapts the client to the crowd-load harness: the returned
+// function has the sheriff.CheckFunc shape, so crowd.RunLoad (and
+// examples/loadgen) can drive a remote sheriffd through the SDK.
+func (c *Client) CheckFunc(ctx context.Context) sheriff.CheckFunc {
+	return func(req sheriff.CheckRequest) (sheriff.CheckResult, error) {
+		return c.Check(ctx, req)
+	}
+}
+
+// Anchors fetches the learned anchors keyed by domain.
+func (c *Client) Anchors(ctx context.Context) (map[string]sheriff.Anchor, error) {
+	var out struct {
+		Anchors map[string]sheriff.Anchor `json:"anchors"`
+	}
+	if err := c.getJSON(ctx, "/api/v1/anchors", &out); err != nil {
+		return nil, err
+	}
+	return out.Anchors, nil
+}
+
+// SourceCount splits one source's observations into total and OK — the
+// server's shape, shared via the sheriff facade.
+type SourceCount = sheriff.APISourceCount
+
+// Stats is GET /api/v1/stats — the server's response struct itself, so
+// a field added server-side lands here in the same commit.
+type Stats = sheriff.APIStats
+
+// Stats fetches the server's counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var out Stats
+	err := c.getJSON(ctx, "/api/v1/stats", &out)
+	return out, err
+}
+
+// DomainReport is GET /api/v1/domains/{domain}/report — the server's
+// response struct, shared via the sheriff facade.
+type DomainReport = sheriff.APIDomainReport
+
+// DomainReport fetches one domain's variation + strategy attribution.
+func (c *Client) DomainReport(ctx context.Context, domain string) (DomainReport, error) {
+	var out DomainReport
+	err := c.getJSON(ctx, "/api/v1/domains/"+url.PathEscape(domain)+"/report", &out)
+	return out, err
+}
+
+// ObservationsQuery filters and pages GET /api/v1/observations. Zero
+// fields match everything.
+type ObservationsQuery struct {
+	// Domain/SKU/VP/Source restrict the scan like store.Query.
+	Domain, SKU, VP, Source string
+	// Round restricts to one crawl round when set (rounds are 0-based;
+	// use the Round helper); nil matches every round.
+	Round *int
+	// OnlyOK drops failed extractions.
+	OnlyOK bool
+	// PageSize is the page length (server default 100, cap 1000).
+	PageSize int
+	// Cursor resumes from a previous page's NextCursor.
+	Cursor string
+}
+
+// Round selects one crawl round in an ObservationsQuery.
+func Round(n int) *int { return &n }
+
+// values renders the query string.
+func (q ObservationsQuery) values() url.Values {
+	v := url.Values{}
+	set := func(k, s string) {
+		if s != "" {
+			v.Set(k, s)
+		}
+	}
+	set("domain", q.Domain)
+	set("sku", q.SKU)
+	set("vp", q.VP)
+	set("source", q.Source)
+	if q.Round != nil {
+		v.Set("round", strconv.Itoa(*q.Round))
+	}
+	if q.OnlyOK {
+		v.Set("ok", "true")
+	}
+	if q.PageSize > 0 {
+		v.Set("limit", strconv.Itoa(q.PageSize))
+	}
+	set("cursor", q.Cursor)
+	return v
+}
+
+// ObservationsPage fetches one page; next is the cursor for the
+// following page ("" when exhausted).
+func (c *Client) ObservationsPage(ctx context.Context, q ObservationsQuery) (page []sheriff.Observation, next string, err error) {
+	var out sheriff.APIObservationsPage
+	path := "/api/v1/observations"
+	if enc := q.values().Encode(); enc != "" {
+		path += "?" + enc
+	}
+	if err := c.getJSON(ctx, path, &out); err != nil {
+		return nil, "", err
+	}
+	return out.Observations, out.NextCursor, nil
+}
+
+// Observations iterates every matching observation, fetching pages as
+// the consumer advances — the pagination helper. A fetch error is
+// yielded once as the second value and ends the sequence.
+func (c *Client) Observations(ctx context.Context, q ObservationsQuery) iter.Seq2[sheriff.Observation, error] {
+	return func(yield func(sheriff.Observation, error) bool) {
+		// The cursor is per-invocation state: an iter.Seq2 may be ranged
+		// more than once, and each range must walk from q's own starting
+		// cursor, not from wherever the previous range stopped.
+		pq := q
+		for {
+			page, next, err := c.ObservationsPage(ctx, pq)
+			if err != nil {
+				yield(sheriff.Observation{}, err)
+				return
+			}
+			for _, o := range page {
+				if !yield(o, nil) {
+					return
+				}
+			}
+			if next == "" {
+				return
+			}
+			pq.Cursor = next
+		}
+	}
+}
+
+// StreamObservations iterates every matching observation over one
+// NDJSON response — the full-dataset export path, served off the
+// store's iterators server-side and decoded row by row here, so neither
+// end materializes the dataset. A transport or decode error is yielded
+// once as the second value and ends the sequence.
+func (c *Client) StreamObservations(ctx context.Context, q ObservationsQuery) iter.Seq2[sheriff.Observation, error] {
+	return func(yield func(sheriff.Observation, error) bool) {
+		path := "/api/v1/observations"
+		if enc := q.values().Encode(); enc != "" {
+			path += "?" + enc
+		}
+		resp, err := c.do(ctx, http.MethodGet, path, nil, "application/x-ndjson")
+		if err != nil {
+			yield(sheriff.Observation{}, err)
+			return
+		}
+		defer resp.Body.Close()
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var o sheriff.Observation
+			if err := dec.Decode(&o); err != nil {
+				if err != io.EOF {
+					yield(sheriff.Observation{}, fmt.Errorf("client: decode stream: %w", err))
+				}
+				return
+			}
+			if !yield(o, nil) {
+				return
+			}
+		}
+	}
+}
+
+// FetchDataset pulls every matching observation into a fresh in-memory
+// store via the NDJSON stream — the remote analysis path (cmd/analyze
+// -remote builds its figures off this).
+func (c *Client) FetchDataset(ctx context.Context, q ObservationsQuery) (*sheriff.Store, error) {
+	st := sheriff.NewStore()
+	batch := make([]sheriff.Observation, 0, 1024)
+	for o, err := range c.StreamObservations(ctx, q) {
+		if err != nil {
+			return nil, err
+		}
+		batch = append(batch, o)
+		if len(batch) == cap(batch) {
+			st.AddAll(batch)
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		st.AddAll(batch)
+	}
+	return st, nil
+}

@@ -1,0 +1,385 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sheriff"
+	"sheriff/client"
+	"sheriff/internal/geo"
+	"sheriff/internal/money"
+	"sheriff/internal/shop"
+	"sheriff/internal/store"
+)
+
+// newWorldServer spins a real API server for end-to-end SDK tests.
+func newWorldServer(t *testing.T) (*sheriff.World, *httptest.Server) {
+	t.Helper()
+	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: 1, LongTail: 6})
+	srv := httptest.NewServer(sheriff.NewAPIWithOptions(w, sheriff.APIOptions{
+		Logger: log.New(io.Discard, "", 0),
+	}))
+	t.Cleanup(srv.Close)
+	return w, srv
+}
+
+// checkRequest builds the deterministic digitalrev check.
+func checkRequest(t *testing.T, w *sheriff.World) sheriff.CheckRequest {
+	t.Helper()
+	r := w.Retailers["www.digitalrev.com"]
+	p := r.Catalog().Products()[0]
+	loc, err := geo.LocationOf("US", "Boston")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := geo.AddrFor(loc, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amt := r.DisplayPrice(p, shop.Visit{Loc: loc, Time: w.Clock.Now(), IP: addr.String()})
+	return sheriff.CheckRequest{
+		URL:       "http://www.digitalrev.com/product/" + p.SKU,
+		Highlight: money.Format(amt, amt.Currency.Style()),
+		UserAddr:  addr,
+		UserID:    "sdk-test",
+	}
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	w, srv := newWorldServer(t)
+	cl := client.New(srv.URL, client.Options{})
+	ctx := context.Background()
+
+	res, err := cl.Check(ctx, checkRequest(t, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Domain != "www.digitalrev.com" || len(res.Prices) != 14 || !res.Varies {
+		t.Fatalf("check = %+v", res)
+	}
+
+	// Typed errors: an unknown domain maps to code not_found.
+	_, err = cl.Check(ctx, sheriff.CheckRequest{
+		URL: "http://no.such.shop/product/X", Highlight: "$1.00",
+		UserAddr: res14Addr(t),
+	})
+	if !client.IsCode(err, "not_found") {
+		t.Fatalf("err = %v, want not_found APIError", err)
+	}
+	var ae *client.APIError
+	if !asAPIError(err, &ae) || ae.StatusCode != http.StatusNotFound || ae.RequestID == "" {
+		t.Fatalf("APIError = %+v", ae)
+	}
+
+	// Batch: first succeeds, second fails item-local.
+	outcomes, err := cl.CheckBatch(ctx, []sheriff.CheckRequest{
+		checkRequest(t, w),
+		{URL: "http://no.such.shop/product/X", Highlight: "$1.00", UserAddr: res14Addr(t)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 2 || outcomes[0].Result == nil || outcomes[1].Err == nil ||
+		outcomes[1].Err.Code != "not_found" {
+		t.Fatalf("outcomes = %+v", outcomes)
+	}
+
+	// Stats and anchors reflect the checks above.
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Checks != 2 || stats.Observations != 28 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	anchors, err := cl.Anchors(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := anchors["www.digitalrev.com"]; !ok {
+		t.Fatalf("anchors = %v", anchors)
+	}
+
+	// Observations: pagination helper and NDJSON stream must agree with
+	// the store, row for row.
+	want := w.Store.All()
+	var paged []sheriff.Observation
+	for o, err := range cl.Observations(ctx, client.ObservationsQuery{PageSize: 5}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		paged = append(paged, o)
+	}
+	var streamed []sheriff.Observation
+	for o, err := range cl.StreamObservations(ctx, client.ObservationsQuery{}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed = append(streamed, o)
+	}
+	if len(paged) != len(want) || len(streamed) != len(want) {
+		t.Fatalf("paged %d, streamed %d, want %d", len(paged), len(streamed), len(want))
+	}
+	for i := range want {
+		if paged[i] != want[i] || streamed[i] != want[i] {
+			t.Fatalf("row %d disagrees", i)
+		}
+	}
+
+	// FetchDataset round-trips into a local store.
+	st, err := cl.FetchDataset(ctx, client.ObservationsQuery{Domain: "www.digitalrev.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 28 {
+		t.Fatalf("fetched dataset: %d rows", st.Len())
+	}
+
+	// DomainReport comes back typed.
+	rep, err := cl.DomainReport(ctx, "www.digitalrev.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Domain != "www.digitalrev.com" || rep.Observations != 28 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if _, err := cl.DomainReport(ctx, "never.seen"); !client.IsCode(err, "not_found") {
+		t.Fatalf("missing-domain report err = %v", err)
+	}
+}
+
+// res14Addr is a valid fabric egress address for error-path checks.
+func res14Addr(t *testing.T) netip.Addr {
+	t.Helper()
+	loc, err := geo.LocationOf("US", "Boston")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := geo.AddrFor(loc, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+func asAPIError(err error, target **client.APIError) bool {
+	ae, ok := err.(*client.APIError)
+	if ok {
+		*target = ae
+	}
+	return ok
+}
+
+func TestClientRetryOn429(t *testing.T) {
+	var calls atomic.Int32
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"rate_limited","message":"slow down"}}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"checks":7,"observations":0,"ok_prices":0,"domains":0,"cache":{"hits":0,"misses":0},"server":{"requests":2,"rate_limited":1}}`)
+	}))
+	defer stub.Close()
+
+	cl := client.New(stub.URL, client.Options{BaseBackoff: time.Millisecond})
+	stats, err := cl.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Checks != 7 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2 (one retry)", got)
+	}
+}
+
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int32
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":{"code":"internal","message":"down"}}`)
+	}))
+	defer stub.Close()
+
+	cl := client.New(stub.URL, client.Options{MaxAttempts: 3, BaseBackoff: time.Millisecond})
+	_, err := cl.Stats(context.Background())
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want MaxAttempts=3", got)
+	}
+	var ae *client.APIError
+	if !asAPIError(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestClientPostNotRetriedOn5xx: a check POST is not idempotent at the
+// HTTP layer; a 503 must surface immediately rather than re-submit.
+func TestClientPostNotRetriedOn5xx(t *testing.T) {
+	var calls atomic.Int32
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":{"code":"internal","message":"down"}}`)
+	}))
+	defer stub.Close()
+
+	cl := client.New(stub.URL, client.Options{MaxAttempts: 3, BaseBackoff: time.Millisecond})
+	_, err := cl.Check(context.Background(), sheriff.CheckRequest{URL: "http://x/product/1", Highlight: "$1"})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("POST retried: %d calls", got)
+	}
+
+	// But a 429 does retry a POST — the server told us it dropped the
+	// request unprocessed.
+	calls.Store(0)
+	stub429 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"rate_limited","message":"slow down"}}`)
+			return
+		}
+		fmt.Fprint(w, `{"domain":"x","sku":"1","prices":[],"ratio":1,"varies":false}`)
+	}))
+	defer stub429.Close()
+	cl = client.New(stub429.URL, client.Options{BaseBackoff: time.Millisecond})
+	if _, err := cl.Check(context.Background(), sheriff.CheckRequest{URL: "http://x/product/1", Highlight: "$1"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("429 POST retry: %d calls, want 2", got)
+	}
+}
+
+func TestClientLegacyTextErrorDegradesGracefully(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "plain text failure", http.StatusBadRequest)
+	}))
+	defer stub.Close()
+
+	cl := client.New(stub.URL, client.Options{})
+	_, err := cl.Stats(context.Background())
+	var ae *client.APIError
+	if !asAPIError(err, &ae) {
+		t.Fatalf("err = %v", err)
+	}
+	if ae.Code != "" || ae.Message != "plain text failure" || ae.StatusCode != http.StatusBadRequest {
+		t.Fatalf("APIError = %+v", ae)
+	}
+}
+
+func TestClientPaginationAgainstStub(t *testing.T) {
+	// Three pages served purely off the cursor parameter, to pin the
+	// client-side pagination loop without a world.
+	rows := make([]store.Observation, 25)
+	for i := range rows {
+		rows[i] = store.Observation{Domain: "stub.example.com", SKU: strconv.Itoa(i), Round: -1, Currency: "USD"}
+	}
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		off := 0
+		if c := r.URL.Query().Get("cursor"); c != "" {
+			fmt.Sscanf(c, "off-%d", &off)
+		}
+		limit := 10
+		end := off + limit
+		next := ""
+		if end >= len(rows) {
+			end = len(rows)
+		} else {
+			next = fmt.Sprintf("off-%d", end)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"observations": rows[off:end],
+			"count":        end - off,
+			"next_cursor":  next,
+		})
+	}))
+	defer stub.Close()
+
+	cl := client.New(stub.URL, client.Options{})
+	var got []sheriff.Observation
+	for o, err := range cl.Observations(context.Background(), client.ObservationsQuery{PageSize: 10}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, o)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("paginated %d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if got[i].SKU != rows[i].SKU {
+			t.Fatalf("row %d = %+v", i, got[i])
+		}
+	}
+}
+
+func TestClientCheckFuncDrivesLoadHarness(t *testing.T) {
+	w, srv := newWorldServer(t)
+	cl := client.New(srv.URL, client.Options{})
+
+	// The SDK adapter is the crowd-load harness's CheckFunc: a small
+	// frozen run against the in-process server exercises the whole
+	// loadgen path without a separate process.
+	rep, err := sheriff.RunLoad(cl.CheckFunc(context.Background()), w.Clock, w.Retailers,
+		w.Interesting, w.Tail, sheriff.LoadOptions{
+			Seed: 3, Users: 4, Requests: 12, Rounds: 2, Freeze: true,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Succeeded == 0 || rep.Requests != 12 {
+		t.Fatalf("load report = %+v", rep)
+	}
+}
+
+// TestClientObservationsRerangeable: an iter.Seq2 may be ranged more
+// than once; each range must walk from the query's own start, not from
+// where the previous range stopped.
+func TestClientObservationsRerangeable(t *testing.T) {
+	w, srv := newWorldServer(t)
+	w.Store.AddAll(func() []store.Observation {
+		rows := make([]store.Observation, 30)
+		for i := range rows {
+			rows[i] = store.Observation{Domain: "re.example.com", SKU: strconv.Itoa(i), Round: -1, Currency: "USD"}
+		}
+		return rows
+	}())
+	cl := client.New(srv.URL, client.Options{})
+	seq := cl.Observations(context.Background(), client.ObservationsQuery{PageSize: 7})
+	count := func() int {
+		n := 0
+		for _, err := range seq {
+			if err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+		return n
+	}
+	first, second := count(), count()
+	if first != 30 || second != 30 {
+		t.Fatalf("ranges saw %d then %d rows, want 30 both times", first, second)
+	}
+}

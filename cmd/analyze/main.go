@@ -7,22 +7,30 @@
 //	analyze -data dataset.jsonl -fig 8 -domain www.homedepot.com -level city
 //	analyze -data dataset.jsonl -fig repeat    # crowd-vs-crawl agreement
 //	analyze -data-dir ./sheriff-data -fig all  # a durable sheriffd's data dir
+//	analyze -remote http://host:8080 -fig all  # a live sheriffd, over the wire
 //
 // -data-dir opens a durable data directory read-only (snapshot segments
 // plus WAL tail replay, torn tails tolerated) — the dataset a killed or
 // still-running sheriffd accumulated analyzes without touching its files.
+//
+// -remote pulls the dataset from a running sheriffd through the typed
+// SDK (GET /api/v1/observations as an NDJSON stream, decoded row by row
+// into a local store), so analysis runs against a live service without
+// file access to its data directory.
 //
 // The -seed flag must match the seed the dataset was collected under so
 // that currency conversions use the same exchange-rate fixings.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
 
+	"sheriff/client"
 	"sheriff/internal/analysis"
 	"sheriff/internal/fx"
 	"sheriff/internal/store"
@@ -31,6 +39,7 @@ import (
 func main() {
 	data := flag.String("data", "dataset.jsonl", "dataset path (JSONL)")
 	dataDir := flag.String("data-dir", "", "durable data directory to open read-only (overrides -data)")
+	remote := flag.String("remote", "", "base URL of a live sheriffd to pull the dataset from (overrides -data and -data-dir)")
 	fig := flag.String("fig", "all", "figure: 1,2,3,4,5,6,7,8,9,10 or all")
 	domain := flag.String("domain", "", "domain for figures 6 and 8")
 	level := flag.String("level", "city", "granularity for figure 8: city or country")
@@ -39,7 +48,15 @@ func main() {
 	flag.Parse()
 
 	var st *store.Store
-	if *dataDir != "" {
+	if *remote != "" {
+		cl := client.New(*remote, client.Options{})
+		var err error
+		st, err = cl.FetchDataset(context.Background(), client.ObservationsQuery{})
+		if err != nil {
+			log.Fatalf("fetch remote dataset: %v", err)
+		}
+		fmt.Printf("remote %s: pulled %d observations\n", *remote, st.Len())
+	} else if *dataDir != "" {
 		var rep store.RecoveryReport
 		var err error
 		st, rep, err = store.OpenReadOnly(*dataDir)

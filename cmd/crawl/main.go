@@ -13,9 +13,21 @@
 // batch, and the directory opens with cmd/analyze -data-dir or as a
 // sheriffd data dir. -o "" skips the JSONL dump when the directory is
 // the only output wanted.
+//
+// With -remote the crowd campaign runs against a live sheriffd through
+// the typed SDK instead of in-process: a same-seed twin world plays the
+// users' eyes (ground-truth highlights) while every check travels as
+// POST /api/v1/checks, observations accumulate server-side, and -o
+// downloads the remote dataset afterwards as an NDJSON stream. The
+// systematic crawl stage is skipped — the server owns its own anchors
+// and store; remote collection is the crowd half of the pipeline, as in
+// the paper's beta:
+//
+//	crawl -remote http://host:8080 -seed 1 -requests 300 -o remote.jsonl
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +35,7 @@ import (
 	"time"
 
 	"sheriff"
+	"sheriff/client"
 	"sheriff/internal/store"
 )
 
@@ -37,9 +50,14 @@ func main() {
 	anchorsOut := flag.String("anchors", "", "optionally save learned anchors (JSON) here")
 	dataDir := flag.String("data-dir", "", "record into a durable data directory (crash-safe collection)")
 	fsyncMode := flag.String("fsync", "interval", "durable WAL flush policy: always, interval or never")
+	remote := flag.String("remote", "", "base URL of a live sheriffd: run the crowd campaign over the wire (skips the systematic crawl)")
 	flag.Parse()
 
 	start := time.Now()
+	if *remote != "" {
+		runRemote(*remote, *seed, *longtail, *users, *requests, *out, start)
+		return
+	}
 	var backing sheriff.StoreBackend
 	var durable *sheriff.DurableStore
 	if *dataDir != "" {
@@ -105,6 +123,48 @@ func main() {
 	}
 	fmt.Printf("wrote %d observations (%d prices) in %v\n",
 		w.Store.Len(), w.Store.LenOK(), time.Since(start).Round(time.Millisecond))
+}
+
+// runRemote is the over-the-wire collection path: crowd checks through
+// the SDK against a live sheriffd (frozen same-seed twin for the users'
+// eyes, exactly like examples/loadgen), then the dataset download.
+func runRemote(base string, seed int64, longtail, users, requests int, out string, start time.Time) {
+	ctx := context.Background()
+	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: seed, LongTail: longtail})
+	log.Printf("remote %s: seed-%d twin world, %d domains", base, seed, w.DomainCount())
+
+	cl := client.New(base, client.Options{})
+	rep, err := sheriff.RunLoad(cl.CheckFunc(ctx), w.Clock, w.Retailers, w.Interesting, w.Tail, sheriff.LoadOptions{
+		Seed:     seed + 101,
+		Users:    users,
+		Requests: requests,
+		Rounds:   1,
+		// The server's simulated clock cannot be advanced over the wire;
+		// the twin stays frozen at the shared origin.
+		Freeze: true,
+	})
+	if err != nil {
+		log.Fatalf("remote crowd campaign: %v", err)
+	}
+	log.Printf("remote crowd: %d checks (%d ok, %d failed), %d with variation, %d domains",
+		rep.Requests, rep.Succeeded, rep.Failed, rep.Variations, rep.DistinctDomains)
+
+	if out != "" {
+		st, err := cl.FetchDataset(ctx, client.ObservationsQuery{})
+		if err != nil {
+			log.Fatalf("download remote dataset: %v", err)
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatalf("create %s: %v", out, err)
+		}
+		defer f.Close()
+		if err := st.WriteJSONL(f); err != nil {
+			log.Fatalf("write dataset: %v", err)
+		}
+		fmt.Printf("wrote %d remote observations (%d prices) in %v\n",
+			st.Len(), st.LenOK(), time.Since(start).Round(time.Millisecond))
+	}
 }
 
 func sum(m map[string]int) int {

@@ -12,12 +12,20 @@
 //
 //	sheriffd -addr :8080 -data-dir ./sheriff-data -fsync always
 //
-// Endpoints:
+// Endpoints (v1; see README "API reference" for the full table):
 //
-//	POST /api/check    {"url", "highlight", "user_addr", "user_id"}
-//	GET  /api/anchors  anchors learned from checks so far
-//	GET  /api/stats    check/observation counters
-//	GET  /             human-readable service description
+//	POST /api/v1/checks                    one check or {"checks":[...]} batch
+//	GET  /api/v1/observations              cursor-paginated query; NDJSON stream
+//	GET  /api/v1/domains/{domain}/report   per-domain variation + strategy report
+//	GET  /api/v1/stats                     check/store/cache/server counters
+//	GET  /api/v1/anchors                   anchors learned from checks so far
+//	GET  /                                 human-readable service description
+//
+// plus the legacy aliases /api/check, /api/anchors and /api/stats (the
+// beta extension contract, byte-identical responses). Errors on v1
+// travel as {"error":{"code","message","detail"}}. The middleware stack
+// is tunable: -cors-origin restricts cross-origin callers, -rate-limit
+// enables a per-client token bucket, -max-body caps request bodies.
 //
 // Example check (the user at 10.0.1.50 highlighted "$49.99"):
 //
@@ -59,6 +67,11 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	dataDir := flag.String("data-dir", "", "durable data directory (empty: in-memory, lost on exit)")
 	fsyncMode := flag.String("fsync", "always", "durable WAL flush policy: always, interval or never")
+	corsOrigins := flag.String("cors-origin", "*", "comma-separated CORS allowlist for the extension ('*' = any origin)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client requests/second (0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", 0, "rate-limit bucket depth (default: the rate)")
+	trustProxy := flag.Bool("trust-proxy", false, "rate-limit by the first X-Forwarded-For hop (only behind a proxy that sets it)")
+	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
 	flag.Parse()
 
 	// With -data-dir the store outlives the process: recover whatever the
@@ -80,7 +93,13 @@ func main() {
 	}
 
 	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: *seed, LongTail: *longtail, Store: backingStore})
-	api := sheriff.NewAPI(w)
+	api := sheriff.NewAPIWithOptions(w, sheriff.APIOptions{
+		AllowedOrigins:    strings.Split(*corsOrigins, ","),
+		MaxBodyBytes:      *maxBody,
+		RateLimit:         *rateLimit,
+		RateBurst:         *rateBurst,
+		TrustProxyHeaders: *trustProxy,
+	})
 
 	mux := http.NewServeMux()
 	mux.Handle("/api/", api)
@@ -96,8 +115,11 @@ func main() {
 		fmt.Fprintf(rw, "world seed      %d\n", *seed)
 		fmt.Fprintf(rw, "domains         %d (%d crawl targets)\n", w.DomainCount(), len(w.Crawled))
 		fmt.Fprintf(rw, "vantage points  %d\n", len(sheriff.VantagePoints()))
-		fmt.Fprintf(rw, "\nPOST /api/check {url, highlight, user_addr, user_id}\n")
-		fmt.Fprintf(rw, "GET  /api/anchors\nGET  /api/stats\n")
+		fmt.Fprintf(rw, "\nPOST /api/v1/checks {url, highlight, user_addr, user_id} or {checks:[...]}\n")
+		fmt.Fprintf(rw, "GET  /api/v1/observations[?domain=&source=&vp=&limit=&cursor=]  (NDJSON with Accept: application/x-ndjson)\n")
+		fmt.Fprintf(rw, "GET  /api/v1/domains/{domain}/report\n")
+		fmt.Fprintf(rw, "GET  /api/v1/anchors\nGET  /api/v1/stats\n")
+		fmt.Fprintf(rw, "legacy: POST /api/check  GET /api/anchors  GET /api/stats\n")
 		fmt.Fprintf(rw, "\ntry a product: http://%s/product/%s\n",
 			w.Crawled[0], w.Retailers[w.Crawled[0]].Catalog().Products()[0].SKU)
 	})

@@ -1,4 +1,4 @@
-// Loadgen: drive concurrent crowd load through the $heriff HTTP API —
+// Loadgen: drive concurrent crowd load through the $heriff v1 HTTP API —
 // the wire the real browser extension talks — and report checks/sec and
 // latency percentiles.
 //
@@ -15,33 +15,24 @@
 // origin because the harness cannot advance a remote server's simulated
 // time (crowd.LoadOptions.Freeze).
 //
-// Against the default in-process server the run exercises the full HTTP
-// stack — JSON decode, Backend.Check with its synchronized 14-VP fan-out
-// and single-flight page cache, JSON encode — over real TCP sockets.
+// All checks go through the typed SDK (sheriff/client): POST
+// /api/v1/checks with structured-error decoding and retry/backoff, then
+// GET /api/v1/stats for the server-side view. Against the default
+// in-process server the run exercises the full HTTP stack — middleware,
+// JSON decode, Backend.Check with its synchronized 14-VP fan-out and
+// single-flight page cache, JSON encode — over real TCP sockets.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
 	"net/http/httptest"
-	"time"
 
 	"sheriff"
+	"sheriff/client"
 )
-
-// checkPayload mirrors the wire form of POST /api/check.
-type checkPayload struct {
-	URL       string `json:"url"`
-	Highlight string `json:"highlight"`
-	UserAddr  string `json:"user_addr"`
-	UserID    string `json:"user_id"`
-	UserAgent string `json:"user_agent,omitempty"`
-}
 
 func main() {
 	addr := flag.String("addr", "", "base URL of a live sheriffd (empty: spin an in-process API server)")
@@ -84,33 +75,10 @@ func main() {
 		fmt.Printf("targeting live sheriffd at %s with a seed-%d twin world\n", base, *seed)
 	}
 
-	client := &http.Client{Timeout: 30 * time.Second}
-	check := func(req sheriff.CheckRequest) (sheriff.CheckResult, error) {
-		body, err := json.Marshal(checkPayload{
-			URL: req.URL, Highlight: req.Highlight,
-			UserAddr: req.UserAddr.String(), UserID: req.UserID,
-			UserAgent: req.UserAgent,
-		})
-		if err != nil {
-			return sheriff.CheckResult{}, err
-		}
-		resp, err := client.Post(base+"/api/check", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return sheriff.CheckResult{}, err
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-			return sheriff.CheckResult{}, fmt.Errorf("api: status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
-		}
-		var res sheriff.CheckResult
-		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
-			return sheriff.CheckResult{}, err
-		}
-		return res, nil
-	}
+	ctx := context.Background()
+	cl := client.New(base, client.Options{})
 
-	rep, err := sheriff.RunLoad(check, w.Clock, w.Retailers, w.Interesting, w.Tail, sheriff.LoadOptions{
+	rep, err := sheriff.RunLoad(cl.CheckFunc(ctx), w.Clock, w.Retailers, w.Interesting, w.Tail, sheriff.LoadOptions{
 		Seed:     *seed + 211,
 		Users:    *users,
 		Requests: *requests,
@@ -126,30 +94,20 @@ func main() {
 
 	// The server-side view: check counters and the page-cache dedupe the
 	// concurrent rounds achieved.
-	resp, err := client.Get(base + "/api/stats")
-	if err == nil {
-		defer resp.Body.Close()
-		var stats struct {
-			Checks      int    `json:"checks"`
-			CacheHits   uint64 `json:"cache_hits"`
-			CacheMisses uint64 `json:"cache_misses"`
-			Durable     *struct {
-				Fsync     string `json:"fsync"`
-				WALBytes  int64  `json:"wal_bytes"`
-				SyncedSeq uint64 `json:"synced_seq"`
-			} `json:"durable"`
-		}
-		if json.NewDecoder(resp.Body).Decode(&stats) == nil {
-			total := stats.CacheHits + stats.CacheMisses
-			fmt.Printf("server: %d checks processed", stats.Checks)
-			if total > 0 {
-				fmt.Printf(", page cache deduped %.0f%% of %d fetches",
-					100*float64(stats.CacheHits)/float64(total), total)
-			}
-			if d := stats.Durable; d != nil {
-				fmt.Printf(", durable fsync=%s wal=%dB synced_seq=%d", d.Fsync, d.WALBytes, d.SyncedSeq)
-			}
-			fmt.Println()
-		}
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		log.Printf("stats: %v", err)
+		return
 	}
+	total := stats.Cache.Hits + stats.Cache.Misses
+	fmt.Printf("server: %d checks processed, %d observations over %d domains",
+		stats.Checks, stats.Observations, stats.Domains)
+	if total > 0 {
+		fmt.Printf(", page cache deduped %.0f%% of %d fetches",
+			100*float64(stats.Cache.Hits)/float64(total), total)
+	}
+	if d := stats.Durable; d != nil {
+		fmt.Printf(", durable fsync=%s wal=%dB synced_seq=%d", d.Fsync, d.WALBytes, d.SyncedSeq)
+	}
+	fmt.Println()
 }

@@ -1,0 +1,130 @@
+// Golden tests freezing the legacy wire contract: the browser extension
+// of the paper's beta talks POST /api/check, GET /api/anchors and
+// GET /api/stats, and those responses must stay byte-identical across
+// server refactors. The goldens were generated against the pre-v1
+// server (PR 4) and are replayed verbatim here; regenerate only on a
+// deliberate, versioned break with:
+//
+//	go test ./internal/api -run TestLegacyGolden -update
+package api_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sheriff"
+	"sheriff/internal/geo"
+	"sheriff/internal/money"
+	"sheriff/internal/shop"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from the live server")
+
+// legacyCase is one request of the frozen replay sequence. The sequence
+// runs in order against one world, so state the earlier requests build
+// (the learned anchor, the check counter) is part of the contract.
+type legacyCase struct {
+	name   string
+	method string
+	path   string
+	body   string
+}
+
+// legacySequence builds the deterministic replay: a seed-1 world, one
+// valid check (digitalrev product 0 highlighted from Boston), then the
+// read endpoints and the error paths.
+func legacySequence(t *testing.T, w *sheriff.World) []legacyCase {
+	t.Helper()
+	r := w.Retailers["www.digitalrev.com"]
+	p := r.Catalog().Products()[0]
+	loc, err := geo.LocationOf("US", "Boston")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := geo.AddrFor(loc, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amt := r.DisplayPrice(p, shop.Visit{Loc: loc, Time: w.Clock.Now(), IP: addr.String()})
+	checkBody := fmt.Sprintf(
+		`{"url":"http://www.digitalrev.com/product/%s","highlight":"%s","user_addr":"%s","user_id":"golden"}`,
+		p.SKU, money.Format(amt, amt.Currency.Style()), addr)
+	return []legacyCase{
+		{"check_ok", http.MethodPost, "/api/check", checkBody},
+		{"anchors_ok", http.MethodGet, "/api/anchors", ""},
+		{"stats_ok", http.MethodGet, "/api/stats", ""},
+		{"check_method", http.MethodGet, "/api/check", ""},
+		{"check_bad_json", http.MethodPost, "/api/check", "{not json"},
+		{"check_missing_fields", http.MethodPost, "/api/check", `{"url":"http://www.digitalrev.com/product/X"}`},
+		{"check_bad_addr", http.MethodPost, "/api/check", `{"url":"http://www.digitalrev.com/product/X","highlight":"$1.00","user_addr":"not-an-ip"}`},
+		{"check_nxdomain", http.MethodPost, "/api/check", `{"url":"http://no.such.domain/product/X","highlight":"$1.00","user_addr":"10.0.1.50"}`},
+		{"anchors_method", http.MethodPost, "/api/anchors", ""},
+		{"stats_method", http.MethodPost, "/api/stats", ""},
+	}
+}
+
+// snapshot renders one response the way the golden files store it:
+// status line, content type, blank line, body.
+func snapshot(status int, contentType, body string) string {
+	return fmt.Sprintf("%d\n%s\n\n%s", status, contentType, body)
+}
+
+func TestLegacyGoldenByteIdentical(t *testing.T) {
+	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: 1, LongTail: 6})
+	srv := httptest.NewServer(sheriff.NewAPI(w))
+	defer srv.Close()
+
+	for _, tc := range legacySequence(t, w) {
+		t.Run(tc.name, func(t *testing.T) {
+			var body *bytes.Reader
+			if tc.body == "" {
+				body = bytes.NewReader(nil)
+			} else {
+				body = bytes.NewReader([]byte(tc.body))
+			}
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(resp.Body); err != nil {
+				t.Fatal(err)
+			}
+			got := snapshot(resp.StatusCode, resp.Header.Get("Content-Type"), buf.String())
+			path := filepath.Join("testdata", "legacy", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update on a known-good tree): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("legacy %s %s drifted from the frozen contract:\n--- want\n%s\n--- got\n%s",
+					tc.method, tc.path, indent(string(want)), indent(got))
+			}
+		})
+	}
+}
+
+func indent(s string) string {
+	return "\t" + strings.ReplaceAll(s, "\n", "\n\t")
+}

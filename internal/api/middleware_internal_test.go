@@ -1,0 +1,218 @@
+// White-box middleware tests: pieces that are easier to drive directly
+// than through the full server (panic recovery, the token bucket, the
+// encode-failure path of writeJSON).
+package api
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+var discard = log.New(io.Discard, "", 0)
+
+func TestRecoverMiddleware(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}), Recover(discard))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/stats", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"code":"internal"`) {
+		t.Fatalf("body = %s", rec.Body.String())
+	}
+}
+
+func TestChainOrder(t *testing.T) {
+	var order []string
+	tag := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				order = append(order, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		order = append(order, "handler")
+	}), tag("outer"), tag("inner"))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	if got := strings.Join(order, ","); got != "outer,inner,handler" {
+		t.Fatalf("order = %s", got)
+	}
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := newRateLimiter(2, 4, false, func() time.Time { return now })
+
+	// The burst drains, then denies.
+	for i := 0; i < 4; i++ {
+		if ok, _ := l.allow("c"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, wait := l.allow("c")
+	if ok {
+		t.Fatal("over-burst allowed")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("wait = %v, want (0, 1s] at 2 rps", wait)
+	}
+
+	// Half a second refills one token at 2 rps; the bucket never exceeds
+	// its burst no matter how long the client is idle.
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := l.allow("c"); !ok {
+		t.Fatal("refilled token denied")
+	}
+	now = now.Add(time.Hour)
+	granted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := l.allow("c"); ok {
+			granted++
+		}
+	}
+	if granted != 4 {
+		t.Fatalf("after idle hour: %d grants, want burst of 4", granted)
+	}
+
+	// Buckets are per client.
+	if ok, _ := l.allow("other"); !ok {
+		t.Fatal("fresh client denied")
+	}
+}
+
+func TestClientKey(t *testing.T) {
+	r := httptest.NewRequest(http.MethodGet, "/", nil)
+	r.RemoteAddr = "192.0.2.7:5312"
+	r.Header.Set("X-Forwarded-For", "203.0.113.50, 10.0.0.1")
+
+	// Untrusted (default): the client-controlled header is ignored —
+	// honoring it would hand every caller a fresh bucket per request.
+	plain := newRateLimiter(1, 1, false, nil)
+	if got := plain.clientKey(r); got != "192.0.2.7" {
+		t.Fatalf("untrusted clientKey = %q", got)
+	}
+
+	// Declared proxy: the first hop is the client.
+	proxied := newRateLimiter(1, 1, true, nil)
+	if got := proxied.clientKey(r); got != "203.0.113.50" {
+		t.Fatalf("trusted clientKey = %q", got)
+	}
+	r.Header.Del("X-Forwarded-For")
+	if got := proxied.clientKey(r); got != "192.0.2.7" {
+		t.Fatalf("trusted clientKey without XFF = %q", got)
+	}
+}
+
+// TestRateLimiterBucketsBounded: a caller scanning many source
+// addresses must not grow the bucket map without bound — idle-full
+// buckets are swept once the cap is reached.
+func TestRateLimiterBucketsBounded(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := newRateLimiter(100, 1, false, func() time.Time { return now })
+	for i := 0; i < maxRateBuckets+500; i++ {
+		l.allow(fmt.Sprintf("198.51.%d.%d", i/256, i%256))
+		// Each client appears once and fully refills within 10ms at
+		// 100 rps; march time so earlier buckets become sweepable.
+		now = now.Add(20 * time.Millisecond)
+	}
+	l.mu.Lock()
+	n := len(l.buckets)
+	l.mu.Unlock()
+	if n > maxRateBuckets {
+		t.Fatalf("bucket map grew past the cap: %d > %d", n, maxRateBuckets)
+	}
+}
+
+// failingWriter errors on the first body write — the encode-failure
+// regression case for writeJSON.
+type failingWriter struct {
+	hdr         http.Header
+	statusCalls []int
+	wrote       int
+}
+
+func (f *failingWriter) Header() http.Header {
+	if f.hdr == nil {
+		f.hdr = make(http.Header)
+	}
+	return f.hdr
+}
+func (f *failingWriter) WriteHeader(code int) { f.statusCalls = append(f.statusCalls, code) }
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.wrote++
+	return 0, errors.New("client hung up")
+}
+
+// TestWriteJSONEncodeFailureDropped: when the body write fails the
+// handler must log and drop — never attempt a second status write into
+// the torn response.
+func TestWriteJSONEncodeFailureDropped(t *testing.T) {
+	fw := &failingWriter{}
+	writeJSON(fw, discard, map[string]string{"k": "v"})
+	if len(fw.statusCalls) != 0 {
+		t.Fatalf("writeJSON wrote a status into a torn response: %v", fw.statusCalls)
+	}
+	if fw.wrote == 0 {
+		t.Fatal("writeJSON never attempted the body")
+	}
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	for _, seq := range []uint64{0, 1, 99, 1 << 40} {
+		got, err := decodeCursor(encodeCursor(seq))
+		if err != nil || got != seq {
+			t.Fatalf("cursor round trip %d -> %d, %v", seq, got, err)
+		}
+	}
+	if _, err := decodeCursor("definitely not base64!!"); err == nil {
+		t.Fatal("garbage cursor accepted")
+	}
+}
+
+// TestRecoverAfterBodyStarted: a panic after bytes are on the wire must
+// NOT append the 500 envelope — on an NDJSON stream the envelope would
+// decode as a bogus row. The connection tears; the log line remains.
+func TestRecoverAfterBodyStarted(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"domain":"x"}`)
+		panic("mid-stream")
+	}), Recover(discard))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/observations", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d (the 200 was already committed)", rec.Code)
+	}
+	if body := rec.Body.String(); strings.Contains(body, `"error"`) {
+		t.Fatalf("panic envelope appended to a started body: %s", body)
+	}
+}
+
+// TestRateLimiterHardCap: when the idle sweep cannot free space (slow
+// refill, fast address churn), arbitrary eviction still holds the cap.
+func TestRateLimiterHardCap(t *testing.T) {
+	now := time.Unix(0, 0)
+	// burst 1000 at 1 rps: a bucket is sweepable only after ~17 idle
+	// minutes, so within this loop the sweep frees nothing.
+	l := newRateLimiter(1, 1000, false, func() time.Time { return now })
+	for i := 0; i < maxRateBuckets+1000; i++ {
+		l.allow(fmt.Sprintf("c%d", i))
+		now = now.Add(time.Millisecond)
+	}
+	l.mu.Lock()
+	n := len(l.buckets)
+	l.mu.Unlock()
+	if n > maxRateBuckets {
+		t.Fatalf("bucket map exceeded the hard cap: %d > %d", n, maxRateBuckets)
+	}
+}

@@ -1,0 +1,355 @@
+package api
+
+import (
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/netip"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sheriff/internal/backend"
+	"sheriff/internal/store"
+)
+
+// Options tunes the middleware stack. The zero value serves: CORS open
+// to every origin (the crowd's extension installs call from anywhere),
+// a 1 MiB body limit, rate limiting off, logging through the process
+// default logger.
+type Options struct {
+	// AllowedOrigins is the CORS allowlist; empty or containing "*"
+	// admits every origin.
+	AllowedOrigins []string
+	// MaxBodyBytes caps request bodies (default 1 MiB; <0 disables).
+	MaxBodyBytes int64
+	// RateLimit is the per-client budget in requests/second; 0 disables.
+	RateLimit float64
+	// RateBurst is the bucket depth (default: RateLimit, minimum 1).
+	RateBurst int
+	// TrustProxyHeaders keys rate limiting on the first X-Forwarded-For
+	// hop. Enable ONLY behind a proxy that sets the header itself;
+	// otherwise the header is client-controlled and defeats the limiter.
+	TrustProxyHeaders bool
+	// Logger receives request lines and server-side errors; nil uses the
+	// process default. Silence with log.New(io.Discard, "", 0).
+	Logger *log.Logger
+	// Now is the wall clock the rate limiter refills on; nil uses
+	// time.Now. Injectable for tests.
+	Now func() time.Time
+}
+
+// Server is the versioned HTTP surface:
+//
+//	POST /api/v1/checks                    one check, or {"checks":[...]} batch
+//	GET  /api/v1/observations              cursor-paginated query; NDJSON stream
+//	                                       with Accept: application/x-ndjson
+//	GET  /api/v1/domains/{domain}/report   per-domain variation + strategy report
+//	GET  /api/v1/stats                     counters: checks, store, cache, server
+//	GET  /api/v1/anchors                   learned anchors per domain
+//
+// plus the legacy aliases /api/check, /api/anchors and /api/stats, whose
+// responses stay byte-identical to the pre-v1 server (the beta extension
+// contract; frozen by golden test).
+type Server struct {
+	backend *backend.Backend
+	store   store.Reader
+	opts    Options
+	handler http.Handler
+
+	// requests counts everything served; rateDenied what the limiter
+	// rejected. Both surface in /api/v1/stats.
+	requests   atomic.Uint64
+	rateDenied *atomic.Uint64
+}
+
+// NewServer wraps a backend with the v1 surface and middleware stack.
+func NewServer(b *backend.Backend, opts Options) *Server {
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = 1 << 20
+	}
+	// Normalize the CORS allowlist: flag values arrive comma-split and
+	// possibly space-padded, and corsAllowed compares exactly.
+	origins := opts.AllowedOrigins[:0:0]
+	for _, o := range opts.AllowedOrigins {
+		if o = strings.TrimSpace(o); o != "" {
+			origins = append(origins, o)
+		}
+	}
+	opts.AllowedOrigins = origins
+	s := &Server{backend: b, store: b.Store(), opts: opts}
+
+	mux := http.NewServeMux()
+	// v1 routes. Method checks live in the handlers so the miss is the
+	// structured 405 envelope, not the mux's plain-text one.
+	mux.HandleFunc("/api/v1/checks", s.handleChecks)
+	mux.HandleFunc("/api/v1/observations", s.handleObservations)
+	mux.HandleFunc("/api/v1/domains/{domain}/report", s.handleDomainReport)
+	mux.HandleFunc("/api/v1/stats", s.handleStats)
+	mux.HandleFunc("/api/v1/anchors", s.handleAnchors)
+	mux.HandleFunc("/api/v1/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, opts.Logger, errf(http.StatusNotFound, CodeNotFound,
+			"no such endpoint: %s", r.URL.Path))
+	})
+	// Legacy aliases: the pre-v1 handlers, verbatim. backend.API still
+	// owns them so the old wire bytes cannot drift by accident.
+	legacy := backend.NewAPI(b)
+	mux.Handle("/api/check", legacy)
+	mux.Handle("/api/anchors", legacy)
+	mux.Handle("/api/stats", legacy)
+
+	// CORS sits outside the rate limiter: a throttled cross-origin
+	// caller must still receive the ACAO header, or the browser hides
+	// the 429 envelope and Retry-After behind an opaque CORS error.
+	mws := []Middleware{s.countRequests, RequestID(), Logging(opts.Logger), Recover(opts.Logger),
+		CORS(opts.AllowedOrigins)}
+	if opts.RateLimit > 0 {
+		rl := newRateLimiter(opts.RateLimit, opts.RateBurst, opts.TrustProxyHeaders, opts.Now)
+		s.rateDenied = &rl.denied
+		mws = append(mws, rl.middleware(opts.Logger))
+	}
+	if opts.MaxBodyBytes > 0 {
+		mws = append(mws, BodyLimit(opts.MaxBodyBytes))
+	}
+	s.handler = Chain(mux, mws...)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// countRequests is the innermost-facing outer layer: every request that
+// reaches the server increments the counter, limiter rejections included.
+func (s *Server) countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// requireMethod writes the structured 405 (with Allow) on a verb
+// mismatch and reports whether the handler may proceed. Bare OPTIONS
+// (no preflight headers, so the CORS middleware let it through) is
+// answered 204 with Allow — advertising OPTIONS in Allow and then
+// rejecting it would contradict ourselves.
+func (s *Server) requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method+", OPTIONS")
+	if r.Method == http.MethodOptions {
+		w.WriteHeader(http.StatusNoContent)
+		return false
+	}
+	writeError(w, s.opts.Logger, errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+		"%s requires %s", r.URL.Path, method))
+	return false
+}
+
+// CheckPayload is the v1 wire form of one check submission (the address
+// travels as a string; it is the same shape the legacy endpoint takes).
+type CheckPayload struct {
+	URL       string `json:"url"`
+	Highlight string `json:"highlight"`
+	UserAddr  string `json:"user_addr"`
+	UserID    string `json:"user_id"`
+	UserAgent string `json:"user_agent,omitempty"`
+}
+
+// BatchCheckRequest is the batch form: the extension (or a campaign
+// script) submits several highlights in one round trip.
+type BatchCheckRequest struct {
+	Checks []CheckPayload `json:"checks"`
+}
+
+// BatchCheckItem is one batch entry's outcome: exactly one of Result or
+// Error is set, so a batch is never all-or-nothing.
+type BatchCheckItem struct {
+	Result *backend.CheckResult `json:"result,omitempty"`
+	Error  *Error               `json:"error,omitempty"`
+}
+
+// BatchCheckResponse wraps the per-item outcomes in submission order.
+type BatchCheckResponse struct {
+	Results []BatchCheckItem `json:"results"`
+}
+
+// maxBatchChecks bounds one batch; the body limit bounds bytes, this
+// bounds backend work (each check is a 14-VP fan-out).
+const maxBatchChecks = 64
+
+// handleChecks serves POST /api/v1/checks: a single check object, or
+// {"checks":[...]} for a batch. Single responses are the CheckResult
+// itself (same shape as the legacy endpoint); batches wrap per-item
+// results and errors.
+func (s *Server) handleChecks(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, s.opts.Logger, mapBodyError(err))
+		return
+	}
+	// A batch announces itself with the "checks" key; anything else is
+	// treated as a single check payload.
+	var probe struct {
+		Checks json.RawMessage `json:"checks"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		writeError(w, s.opts.Logger, errf(http.StatusBadRequest, CodeBadRequest,
+			"bad payload").withDetail(err))
+		return
+	}
+	if probe.Checks != nil {
+		var batch BatchCheckRequest
+		if err := json.Unmarshal(body, &batch); err != nil {
+			writeError(w, s.opts.Logger, errf(http.StatusBadRequest, CodeBadRequest,
+				"bad batch payload").withDetail(err))
+			return
+		}
+		if len(batch.Checks) == 0 {
+			writeError(w, s.opts.Logger, errf(http.StatusBadRequest, CodeBadRequest,
+				"batch has no checks"))
+			return
+		}
+		if len(batch.Checks) > maxBatchChecks {
+			writeError(w, s.opts.Logger, errf(http.StatusBadRequest, CodeBadRequest,
+				"batch of %d exceeds the %d-check limit", len(batch.Checks), maxBatchChecks))
+			return
+		}
+		resp := BatchCheckResponse{Results: make([]BatchCheckItem, len(batch.Checks))}
+		for i, p := range batch.Checks {
+			res, err := s.runCheck(p)
+			if err != nil {
+				resp.Results[i].Error = err
+				continue
+			}
+			resp.Results[i].Result = &res
+		}
+		writeJSON(w, s.opts.Logger, resp)
+		return
+	}
+	var p CheckPayload
+	if err := json.Unmarshal(body, &p); err != nil {
+		writeError(w, s.opts.Logger, errf(http.StatusBadRequest, CodeBadRequest,
+			"bad payload").withDetail(err))
+		return
+	}
+	res, checkErr := s.runCheck(p)
+	if checkErr != nil {
+		writeError(w, s.opts.Logger, checkErr)
+		return
+	}
+	writeJSON(w, s.opts.Logger, res)
+}
+
+// runCheck validates one payload and runs it through the backend,
+// translating failures into the typed envelope.
+func (s *Server) runCheck(p CheckPayload) (backend.CheckResult, *Error) {
+	if p.URL == "" || p.Highlight == "" {
+		return backend.CheckResult{}, errf(http.StatusBadRequest, CodeBadRequest,
+			"url and highlight are required")
+	}
+	// A URL that does not parse or carries no host is client input error,
+	// not an upstream failure — classify it before the backend wraps it.
+	if u, err := url.Parse(p.URL); err != nil || u.Hostname() == "" {
+		return backend.CheckResult{}, errf(http.StatusBadRequest, CodeBadRequest,
+			"url %q is not a product URL", p.URL).withDetail(err)
+	}
+	addr, err := netip.ParseAddr(p.UserAddr)
+	if err != nil {
+		return backend.CheckResult{}, errf(http.StatusBadRequest, CodeBadRequest,
+			"bad user_addr %q", p.UserAddr).withDetail(err)
+	}
+	res, err := s.backend.Check(backend.CheckRequest{
+		URL: p.URL, Highlight: p.Highlight, UserAddr: addr, UserID: p.UserID,
+		UserAgent: p.UserAgent,
+	})
+	if err != nil {
+		return backend.CheckResult{}, mapCheckError(err)
+	}
+	return res, nil
+}
+
+// handleAnchors serves GET /api/v1/anchors: the learned anchors keyed by
+// domain, wrapped so the envelope can grow fields compatibly.
+func (s *Server) handleAnchors(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, s.opts.Logger, struct {
+		Anchors any `json:"anchors"`
+	}{s.backend.Anchors()})
+}
+
+// SourceCount splits one campaign source's observations into total and
+// successfully extracted.
+type SourceCount struct {
+	Total int `json:"total"`
+	OK    int `json:"ok"`
+}
+
+// StatsResponse is the v1 stats payload — the legacy counters plus the
+// store's per-source split, domain count, and the HTTP server's own
+// counters.
+type StatsResponse struct {
+	Checks       int                    `json:"checks"`
+	Observations int                    `json:"observations"`
+	OKPrices     int                    `json:"ok_prices"`
+	Domains      int                    `json:"domains"`
+	ByVP         map[string]int         `json:"by_vp,omitempty"`
+	BySource     map[string]SourceCount `json:"by_source,omitempty"`
+	Cache        struct {
+		Hits   uint64 `json:"hits"`
+		Misses uint64 `json:"misses"`
+	} `json:"cache"`
+	Durable *store.DurableStats `json:"durable,omitempty"`
+	Server  struct {
+		Requests    uint64 `json:"requests"`
+		RateLimited uint64 `json:"rate_limited"`
+	} `json:"server"`
+}
+
+// handleStats serves GET /api/v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	resp := StatsResponse{
+		Checks:       s.backend.Checks(),
+		Observations: s.store.Len(),
+		OKPrices:     s.store.LenOK(),
+		Domains:      len(s.store.Domains()),
+	}
+	resp.Cache.Hits, resp.Cache.Misses = s.backend.PageCacheStats()
+	for _, src := range []string{store.SourceCrowd, store.SourceCrawl, store.SourceLogin, store.SourcePersona} {
+		if total, ok := s.store.LenSource(src); total > 0 {
+			if resp.BySource == nil {
+				resp.BySource = make(map[string]SourceCount)
+			}
+			resp.BySource[src] = SourceCount{Total: total, OK: ok}
+		}
+	}
+	for _, vp := range s.backend.VantagePoints() {
+		if n := s.store.LenVP(vp.ID); n > 0 {
+			if resp.ByVP == nil {
+				resp.ByVP = make(map[string]int)
+			}
+			resp.ByVP[vp.ID] = n
+		}
+	}
+	if d, ok := s.backend.Store().(*store.Durable); ok {
+		stats := d.Stats()
+		resp.Durable = &stats
+	}
+	resp.Server.Requests = s.requests.Load()
+	if s.rateDenied != nil {
+		resp.Server.RateLimited = s.rateDenied.Load()
+	}
+	writeJSON(w, s.opts.Logger, resp)
+}

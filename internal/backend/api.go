@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"net/netip"
 
@@ -138,7 +139,10 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are gone; nothing sensible left to do but log-by-status.
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		// The 200 header (and usually part of the body) is already on the
+		// wire; writing an error body now would corrupt the response and
+		// http.Error would only log a superfluous-WriteHeader complaint.
+		// Log and drop — the client sees the truncated body fail to parse.
+		log.Printf("backend: encode %s response: %v", w.Header().Get("X-Request-ID"), err)
 	}
 }

@@ -1,0 +1,44 @@
+package backend
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+)
+
+// brokenWriter fails every body write — the client hung up after the
+// 200 header went out.
+type brokenWriter struct {
+	hdr         http.Header
+	statusCalls []int
+	writes      int
+}
+
+func (b *brokenWriter) Header() http.Header {
+	if b.hdr == nil {
+		b.hdr = make(http.Header)
+	}
+	return b.hdr
+}
+func (b *brokenWriter) WriteHeader(code int) { b.statusCalls = append(b.statusCalls, code) }
+func (b *brokenWriter) Write([]byte) (int, error) {
+	b.writes++
+	return 0, errors.New("broken pipe")
+}
+
+// TestWriteJSONFailingWriter is the regression for the old behaviour of
+// calling http.Error into a half-written response: on encode failure
+// writeJSON must log and drop, never write a second status.
+func TestWriteJSONFailingWriter(t *testing.T) {
+	bw := &brokenWriter{}
+	writeJSON(bw, map[string]int{"n": 1})
+	if len(bw.statusCalls) != 0 {
+		t.Fatalf("writeJSON wrote status %v into a torn response", bw.statusCalls)
+	}
+	if bw.writes == 0 {
+		t.Fatal("writeJSON never attempted the body")
+	}
+	if got := bw.Header().Get("Content-Type"); got != "application/json" {
+		t.Fatalf("content type = %q", got)
+	}
+}

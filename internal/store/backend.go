@@ -21,6 +21,14 @@ type Reader interface {
 	LenVP(vp string) int
 	// Scan streams matching observations in insertion order.
 	Scan(q Query) iter.Seq[Observation]
+	// ScanRange streams matching observations with sequence numbers in
+	// (after, upto], each with its sequence — the windowed scan the HTTP
+	// layer pages and streams on.
+	ScanRange(q Query, after, upto uint64) iter.Seq2[uint64, Observation]
+	// Watermark is the largest sequence with every observation at or
+	// below it applied; (cursor, Watermark] is the stable read window
+	// under concurrent appends.
+	Watermark() uint64
 	// Filter returns matching observations in insertion order.
 	Filter(q Query) []Observation
 	// All returns every observation in insertion order.

@@ -761,10 +761,14 @@ func (d *Durable) LenOK() int                         { return d.mem.LenOK() }
 func (d *Durable) LenSource(source string) (int, int) { return d.mem.LenSource(source) }
 func (d *Durable) LenVP(vp string) int                { return d.mem.LenVP(vp) }
 func (d *Durable) Scan(q Query) iter.Seq[Observation] { return d.mem.Scan(q) }
-func (d *Durable) Filter(q Query) []Observation       { return d.mem.Filter(q) }
-func (d *Durable) All() []Observation                 { return d.mem.All() }
-func (d *Durable) Domains() []string                  { return d.mem.Domains() }
-func (d *Durable) Products(domain string) []Key       { return d.mem.Products(domain) }
+func (d *Durable) ScanRange(q Query, after, upto uint64) iter.Seq2[uint64, Observation] {
+	return d.mem.ScanRange(q, after, upto)
+}
+func (d *Durable) Watermark() uint64            { return d.mem.Watermark() }
+func (d *Durable) Filter(q Query) []Observation { return d.mem.Filter(q) }
+func (d *Durable) All() []Observation           { return d.mem.All() }
+func (d *Durable) Domains() []string            { return d.mem.Domains() }
+func (d *Durable) Products(domain string) []Key { return d.mem.Products(domain) }
 func (d *Durable) GroupByProduct(source string) map[Key][]Observation {
 	return d.mem.GroupByProduct(source)
 }

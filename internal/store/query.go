@@ -55,6 +55,14 @@ type seqObs struct {
 // choosing the narrowest index for the query: a product's source posting,
 // a product group, a domain order, a source order, or the shard order.
 func (sh *shard) collect(q Query, out []seqObs) []seqObs {
+	return sh.collectRange(q, 0, ^uint64(0), out)
+}
+
+// collectRange is collect restricted to sequence numbers in
+// (after, upto] — the windowed form the streaming/pagination layer uses
+// to bound how much one gather materializes.
+func (sh *shard) collectRange(q Query, after, upto uint64, out []seqObs) []seqObs {
+	inWindow := func(seq uint64) bool { return seq > after && seq <= upto }
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	if q.Domain != "" && q.SKU != "" {
@@ -64,14 +72,14 @@ func (sh *shard) collect(q Query, out []seqObs) []seqObs {
 		}
 		if q.Source != "" {
 			for _, pos := range g.bySource[q.Source] {
-				if o := &g.obs[pos]; q.match(o) {
+				if o := &g.obs[pos]; inWindow(g.seqs[pos]) && q.match(o) {
 					out = append(out, seqObs{seq: g.seqs[pos], obs: *o})
 				}
 			}
 			return out
 		}
 		for pos := range g.obs {
-			if o := &g.obs[pos]; q.match(o) {
+			if o := &g.obs[pos]; inWindow(g.seqs[pos]) && q.match(o) {
 				out = append(out, seqObs{seq: g.seqs[pos], obs: *o})
 			}
 		}
@@ -91,6 +99,9 @@ func (sh *shard) collect(q Query, out []seqObs) []seqObs {
 		order = sh.order
 	}
 	for _, r := range order {
+		if !inWindow(r.seq()) {
+			continue
+		}
 		if o := r.obs(); q.match(o) {
 			out = append(out, seqObs{seq: r.seq(), obs: *o})
 		}
@@ -121,6 +132,36 @@ func (s *Store) Scan(q Query) iter.Seq[Observation] {
 		sort.Slice(rows, func(a, b int) bool { return rows[a].seq < rows[b].seq })
 		for i := range rows {
 			if !yield(rows[i].obs) {
+				return
+			}
+		}
+	}
+}
+
+// ScanRange streams matching observations whose sequence numbers fall
+// in (after, upto], in sequence order, yielding each with its sequence
+// number. It is the windowed face of Scan: the HTTP layer pages and
+// streams large datasets window by window, so no single gather
+// materializes more than one window of rows. Pair upto with Watermark()
+// to read only the stable prefix (every sequence at or below the
+// watermark is applied and can never be reordered by an in-flight
+// batch).
+func (s *Store) ScanRange(q Query, after, upto uint64) iter.Seq2[uint64, Observation] {
+	return func(yield func(uint64, Observation) bool) {
+		if after >= upto {
+			return
+		}
+		var rows []seqObs
+		if q.Domain != "" {
+			rows = s.shards[shardIdx(q.Domain)].collectRange(q, after, upto, nil)
+		} else {
+			for si := range s.shards {
+				rows = s.shards[si].collectRange(q, after, upto, rows)
+			}
+		}
+		sort.Slice(rows, func(a, b int) bool { return rows[a].seq < rows[b].seq })
+		for i := range rows {
+			if !yield(rows[i].seq, rows[i].obs) {
 				return
 			}
 		}

@@ -26,6 +26,7 @@
 package store
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -105,11 +106,20 @@ type Key struct {
 type Store struct {
 	seq    atomic.Uint64
 	shards [numShards]shard
+
+	// wmMu guards inflight: the bases of batches whose sequence numbers
+	// are reserved but not yet fully applied to the shards. The applied
+	// watermark (Watermark) is the largest sequence below every in-flight
+	// reservation — everything at or below it is visible, so cursor
+	// pagination can promise a stable prefix even while concurrent
+	// batches apply out of reservation order.
+	wmMu     sync.Mutex
+	inflight map[uint64]struct{}
 }
 
 // New returns an empty store.
 func New() *Store {
-	s := &Store{}
+	s := &Store{inflight: make(map[uint64]struct{})}
 	for i := range s.shards {
 		s.shards[i].init()
 	}
@@ -118,10 +128,12 @@ func New() *Store {
 
 // Add appends one observation.
 func (s *Store) Add(o Observation) {
+	base := s.reserve(1)
 	sh := &s.shards[shardIdx(o.Domain)]
 	sh.mu.Lock()
-	sh.add(o, s.seq.Add(1))
+	sh.add(o, base+1)
 	sh.mu.Unlock()
+	s.applied(base)
 }
 
 // AddAll appends a batch, preserving batch order in the store's global
@@ -138,13 +150,46 @@ func (s *Store) AddAll(os []Observation) {
 // reserve claims n consecutive sequence numbers and returns the base: the
 // i-th observation of the batch gets sequence base+i+1. The durable
 // engine reserves before logging so WAL records carry the same sequence
-// numbers the memory engine assigns.
+// numbers the memory engine assigns. The reservation is tracked as
+// in-flight (holding the watermark below it) until the matching
+// applied(base) — addAllAt releases it.
 func (s *Store) reserve(n int) uint64 {
-	return s.seq.Add(uint64(n)) - uint64(n)
+	s.wmMu.Lock()
+	base := s.seq.Add(uint64(n)) - uint64(n)
+	s.inflight[base] = struct{}{}
+	s.wmMu.Unlock()
+	return base
 }
 
-// addAllAt appends a batch under an already-reserved sequence base.
+// applied releases a reservation once its batch is fully visible.
+func (s *Store) applied(base uint64) {
+	s.wmMu.Lock()
+	delete(s.inflight, base)
+	s.wmMu.Unlock()
+}
+
+// Watermark returns the largest sequence number S such that every
+// observation with sequence <= S has been fully applied: reservations
+// hand out sequence numbers before batches take shard locks, so a batch
+// with higher sequences can become visible before an earlier one — below
+// the watermark that can no longer happen, which is what makes
+// seq-based pagination cursors stable under concurrent appends.
+func (s *Store) Watermark() uint64 {
+	s.wmMu.Lock()
+	defer s.wmMu.Unlock()
+	w := s.seq.Load()
+	for base := range s.inflight {
+		if base < w {
+			w = base
+		}
+	}
+	return w
+}
+
+// addAllAt appends a batch under an already-reserved sequence base and
+// releases the reservation.
 func (s *Store) addAllAt(os []Observation, base uint64) {
+	defer s.applied(base)
 	groups, single := groupByShard(os)
 	if single >= 0 {
 		// Fast path: single-shard batches (the common shape — one product

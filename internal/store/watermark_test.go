@@ -1,0 +1,113 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+func wmObs(domain, sku string, n int) []Observation {
+	out := make([]Observation, n)
+	for i := range out {
+		out[i] = Observation{Domain: domain, SKU: fmt.Sprintf("%s-%d", sku, i), Round: -1, Currency: "USD", OK: true}
+	}
+	return out
+}
+
+// TestWatermarkHoldsForInflightBatch drives the exact interleaving that
+// breaks naive offset cursors: batch A reserves sequences first, batch
+// B reserves after but applies first. Until A applies, B's rows are
+// visible to Scan while A's are not — so the applied watermark must
+// stay below A's sequences, and a ScanRange capped at the watermark
+// must serve neither batch.
+func TestWatermarkHoldsForInflightBatch(t *testing.T) {
+	s := New()
+	s.AddAll(wmObs("pre.example.com", "P", 5)) // seqs 1..5, applied
+	if got := s.Watermark(); got != 5 {
+		t.Fatalf("watermark = %d, want 5", got)
+	}
+
+	// Batch A reserves 6..8 but has not applied yet (a writer between
+	// reserve and the shard lock).
+	a := wmObs("a.example.com", "A", 3)
+	baseA := s.reserve(len(a))
+
+	// Batch B reserves 9..11 and applies immediately — visible to Scan
+	// before A.
+	s.AddAll(wmObs("b.example.com", "B", 3))
+	if got := s.Len(); got != 8 {
+		t.Fatalf("len = %d (B should be visible)", got)
+	}
+
+	// The watermark must not move past A's reservation: serving seqs
+	// 9..11 now and seqs 6..8 later would make a seq cursor skip A.
+	if got := s.Watermark(); got != 5 {
+		t.Fatalf("watermark = %d with batch A in flight, want 5", got)
+	}
+	var served []uint64
+	for seq := range s.ScanRange(Query{Round: -1}, 0, s.Watermark()) {
+		served = append(served, seq)
+	}
+	if len(served) != 5 {
+		t.Fatalf("stable window served %d rows, want only the 5 applied pre-A: %v", len(served), served)
+	}
+
+	// A applies; the watermark covers everything and the full range
+	// reads 11 rows in sequence order.
+	s.addAllAt(a, baseA)
+	if got := s.Watermark(); got != 11 {
+		t.Fatalf("watermark = %d after A applied, want 11", got)
+	}
+	served = served[:0]
+	for seq := range s.ScanRange(Query{Round: -1}, 0, s.Watermark()) {
+		served = append(served, seq)
+	}
+	if len(served) != 11 {
+		t.Fatalf("full range served %d rows, want 11", len(served))
+	}
+	for i, seq := range served {
+		if seq != uint64(i+1) {
+			t.Fatalf("row %d has seq %d, want %d (sequence order)", i, seq, i+1)
+		}
+	}
+}
+
+// TestScanRangeWindowsCoverScan: windowed reads, concatenated, must
+// equal one full Scan — same rows, same order — for domain-scoped and
+// global queries alike.
+func TestScanRangeWindowsCoverScan(t *testing.T) {
+	s := New()
+	for i := 0; i < 40; i++ {
+		s.AddAll(wmObs(fmt.Sprintf("d%d.example.com", i%7), fmt.Sprintf("S%d", i), 5))
+	}
+	for _, q := range []Query{
+		{Round: -1},
+		{Domain: "d3.example.com", Round: -1},
+	} {
+		want := s.Filter(q)
+		upto := s.Watermark()
+		var got []Observation
+		const window = 17 // deliberately odd, not aligned to batches
+		for start := uint64(0); start < upto; start += window {
+			end := min(start+window, upto)
+			prev := uint64(0)
+			for seq, o := range s.ScanRange(q, start, end) {
+				if seq <= start || seq > end {
+					t.Fatalf("seq %d escaped window (%d, %d]", seq, start, end)
+				}
+				if seq <= prev {
+					t.Fatalf("window yielded out of order: %d after %d", seq, prev)
+				}
+				prev = seq
+				got = append(got, o)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%+v: windows yielded %d rows, Scan %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%+v: row %d differs between windowed and full scan", q, i)
+			}
+		}
+	}
+}

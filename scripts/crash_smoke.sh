@@ -56,6 +56,35 @@ observations() {
   curl -sf "http://$ADDR/api/stats" | python3 -c 'import json,sys; print(json.load(sys.stdin)["observations"])'
 }
 
+v1_observations() {
+  curl -sf "http://$ADDR/api/v1/stats" | python3 -c 'import json,sys; print(json.load(sys.stdin)["observations"])'
+}
+
+# check_v1_surface cross-checks the v1 API against the legacy alias on a
+# live server: both stats endpoints must agree on the observation count,
+# a paginated page must come back with a cursor, and the NDJSON stream
+# must carry exactly one line per observation.
+check_v1_surface() {
+  legacy="$(observations)"
+  v1="$(v1_observations)"
+  if [ "$legacy" != "$v1" ]; then
+    say "FAIL: v1 stats ($v1) disagree with legacy stats ($legacy)"
+    exit 1
+  fi
+  page_rows="$(curl -sf "http://$ADDR/api/v1/observations?limit=5" \
+    | python3 -c 'import json,sys; d=json.load(sys.stdin); print(d["count"], "cursor" if d.get("next_cursor") else "nocursor")')"
+  if [ "$page_rows" != "5 cursor" ]; then
+    say "FAIL: v1 pagination returned '$page_rows', want '5 cursor'"
+    exit 1
+  fi
+  stream_rows="$(curl -sf -H 'Accept: application/x-ndjson' "http://$ADDR/api/v1/observations" | wc -l)"
+  if [ "$stream_rows" -ne "$legacy" ]; then
+    say "FAIL: NDJSON stream carried $stream_rows rows, want $legacy"
+    exit 1
+  fi
+  say "v1 surface consistent ($v1 observations, paginated + streamed)"
+}
+
 durable_fsync() {
   curl -sf "http://$ADDR/api/stats" | python3 -c 'import json,sys; print(json.load(sys.stdin)["durable"]["fsync"])'
 }
@@ -71,6 +100,9 @@ say "phase 1: drive a full loadgen run"
 flush_point="$(observations)"
 say "phase 1: flush point = $flush_point observations"
 [ "$flush_point" -gt 0 ] || { say "no observations recorded"; exit 1; }
+
+say "phase 1: v1 surface (loadgen drove POST /api/v1/checks through the SDK)"
+check_v1_surface
 
 say "phase 1: kill -9 (quiesced) and restart"
 kill -9 "$srv_pid"
@@ -108,6 +140,9 @@ if [ "$recovered2" -lt "$recovered" ]; then
   cat "$logfile"
   exit 1
 fi
+
+say "phase 2: v1 surface after torn-tail recovery"
+check_v1_surface
 
 say "phase 2: clean shutdown still works"
 kill -TERM "$srv_pid"

@@ -25,6 +25,7 @@ package sheriff
 
 import (
 	"sheriff/internal/analysis"
+	"sheriff/internal/api"
 	"sheriff/internal/backend"
 	"sheriff/internal/core"
 	"sheriff/internal/crawler"
@@ -95,12 +96,44 @@ type CheckResult = backend.CheckResult
 // VPPrice is one vantage point's extracted price within a CheckResult.
 type VPPrice = backend.VPPrice
 
-// API is the backend's HTTP surface (POST /api/check, GET /api/anchors,
-// GET /api/stats); serve it with net/http.
-type API = backend.API
+// API is the backend's versioned HTTP surface: the /api/v1/ routes
+// (checks single+batch, cursor-paginated/NDJSON observations, per-domain
+// strategy reports, stats, anchors) behind the middleware stack, plus
+// byte-identical aliases for the legacy /api/check|anchors|stats
+// contract. Serve it with net/http; drive it with sheriff/client.
+type API = api.Server
 
-// NewAPI wraps a world's backend for HTTP serving (cmd/sheriffd does this).
-func NewAPI(w *World) *API { return backend.NewAPI(w.Backend) }
+// APIOptions tunes the API middleware stack: CORS allowlist, body
+// limit, per-client rate limiting, logging.
+type APIOptions = api.Options
+
+// NewAPI wraps a world's backend for HTTP serving with default options
+// (CORS open, 1 MiB bodies, no rate limit).
+func NewAPI(w *World) *API { return api.NewServer(w.Backend, api.Options{}) }
+
+// NewAPIWithOptions is NewAPI with an explicit middleware configuration
+// (cmd/sheriffd wires its flags through this).
+func NewAPIWithOptions(w *World, opts APIOptions) *API { return api.NewServer(w.Backend, opts) }
+
+// Wire shapes of the v1 API, aliased so the server and the client SDK
+// (sheriff/client) share one definition and cannot drift: a field added
+// to a response lands in SDK users' structs in the same commit.
+type (
+	// APICheckPayload is the wire form of one check submission.
+	APICheckPayload = api.CheckPayload
+	// APIBatchCheckResponse wraps per-item batch outcomes.
+	APIBatchCheckResponse = api.BatchCheckResponse
+	// APIObservationsPage is one cursor-paginated observations page.
+	APIObservationsPage = api.ObservationsPage
+	// APIStats is the /api/v1/stats payload.
+	APIStats = api.StatsResponse
+	// APISourceCount is one source's total/ok split within stats.
+	APISourceCount = api.SourceCount
+	// APIDomainReport is the per-domain variation + strategy report.
+	APIDomainReport = api.DomainReport
+	// APIWireError is the typed error object inside the v1 envelope.
+	APIWireError = api.Error
+)
 
 // Anchor is a learned price-extraction anchor (path + context).
 type Anchor = extract.Anchor
@@ -141,6 +174,10 @@ type (
 	// rows, replayed WAL rows, torn bytes discarded.
 	RecoveryReport = store.RecoveryReport
 )
+
+// NewStore builds an empty in-memory observation store — the landing
+// zone for datasets pulled over the wire (client.FetchDataset).
+func NewStore() *Store { return store.New() }
 
 // OpenDataDir opens a data directory as a writable durable backend,
 // recovering whatever a previous process (cleanly stopped or killed)
