@@ -20,6 +20,7 @@ import (
 
 	"sheriff"
 	"sheriff/internal/analysis"
+	"sheriff/internal/api"
 	"sheriff/internal/extract"
 	"sheriff/internal/fx"
 	"sheriff/internal/geo"
@@ -887,4 +888,125 @@ func BenchmarkObservationsStream(b *testing.B) {
 			b.Fatal("empty stream")
 		}
 	}
+}
+
+// --- Incremental analysis engine benchmarks (PR 6) ---
+
+// denseObservations builds n rows concentrated on a handful of heavy
+// domains (200 SKUs x 14 VPs x rotating rounds) — the shape where a
+// full per-domain recompute is expensive and the aggregate fold's
+// O(delta) advantage is unambiguous.
+func denseObservations(n, domains int) []store.Observation {
+	day := time.Date(2013, 2, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]store.Observation, n)
+	for i := range out {
+		round := (i / (domains * 200 * 14)) % 7
+		out[i] = store.Observation{
+			Domain: fmt.Sprintf("dense%02d.example.com", i%domains),
+			SKU:    fmt.Sprintf("P-%d", (i/domains)%200),
+			VP:     fmt.Sprintf("vp-%d", (i/(domains*200))%14),
+			// Price varies by VP so groups carry real variation work.
+			PriceUnits: int64(1000 + (i/(domains*200))%14*150 + i%7),
+			Currency:   "USD", Time: day.AddDate(0, 0, round),
+			Round: round, Source: store.SourceCrawl, OK: i%13 != 0,
+		}
+	}
+	return out
+}
+
+// incrementalBenchWorld preloads a store+engine pair with rows rows.
+func incrementalBenchWorld(b *testing.B, rows int) (*store.Store, *sheriff.AnalysisEngine, *fx.Market) {
+	b.Helper()
+	market := fx.NewMarket(1)
+	st := store.New()
+	eng := sheriff.NewAnalysisEngine(st, market, sheriff.AnalysisOptions{})
+	st.AddAll(denseObservations(rows, 5))
+	return st, eng, market
+}
+
+// reportDelta is the per-iteration write the report benchmarks pay: a
+// small batch landing on the reported domain, so neither path can serve
+// a stale answer.
+func reportDelta(i int) []store.Observation {
+	day := time.Date(2013, 3, 1, 0, 0, 0, 0, time.UTC)
+	return []store.Observation{{
+		Domain: "dense00.example.com", SKU: fmt.Sprintf("P-%d", i%200),
+		VP: "vp-0", PriceUnits: int64(1500 + i%97), Currency: "USD",
+		Time: day, Round: i % 7, Source: store.SourceCrawl, OK: true,
+	}}
+}
+
+// BenchmarkDomainReportIncremental measures report freshness on the
+// write path served off the aggregates: per iteration one delta batch
+// lands on the domain (folded by the engine's store observer — that cost
+// is inside the loop, deliberately) and the report is assembled from
+// fold state. Work is O(delta + products of the domain), independent of
+// how many rows the domain has accumulated.
+func BenchmarkDomainReportIncremental(b *testing.B) {
+	for _, size := range []struct {
+		name string
+		n    int
+	}{{"100K", 100_000}, {"300K", 300_000}} {
+		b.Run(size.name, func(b *testing.B) {
+			st, eng, _ := incrementalBenchWorld(b, size.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.AddAll(reportDelta(i))
+				rep := api.ReportFromEngine(eng, "dense00.example.com")
+				if rep.Observations == 0 {
+					b.Fatal("empty report")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDomainReportFull is the pre-engine reference path under the
+// identical write pattern: every report recomputes counters, ratios and
+// the strategy verdict from the domain's raw rows — O(rows of the
+// domain) per call, growing with the dataset.
+func BenchmarkDomainReportFull(b *testing.B) {
+	for _, size := range []struct {
+		name string
+		n    int
+	}{{"100K", 100_000}, {"300K", 300_000}} {
+		b.Run(size.name, func(b *testing.B) {
+			st, _, market := incrementalBenchWorld(b, size.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.AddAll(reportDelta(i))
+				rep := api.FullDomainReport(st, market, "dense00.example.com")
+				if rep.Observations == 0 {
+					b.Fatal("empty report")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDetectIncrementalVsFull holds the two strategy-verdict paths
+// against each other on the same 100K-row store: the engine answers from
+// its per-family tallies, the full path re-judges every product group.
+func BenchmarkDetectIncrementalVsFull(b *testing.B) {
+	st, eng, market := incrementalBenchWorld(b, 100_000)
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep := eng.StrategyReport("dense00.example.com")
+			if len(rep.Evidence) == 0 {
+				b.Fatal("empty verdict")
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep := analysis.DetectStrategies(st, market, "dense00.example.com", analysis.DetectOptions{})
+			if len(rep.Evidence) == 0 {
+				b.Fatal("empty verdict")
+			}
+		}
+	})
 }

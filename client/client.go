@@ -464,6 +464,73 @@ func (c *Client) StreamObservations(ctx context.Context, q ObservationsQuery) it
 	}
 }
 
+// Event is one analysis event — the server's wire shape, shared via the
+// sheriff facade.
+type Event = sheriff.Event
+
+// EventsPage is one /api/v1/events history page.
+type EventsPage = sheriff.APIEventsPage
+
+// Events fetches the event history after the given sequence (0 = from
+// the beginning), at most limit events (<=0 = server default). Poll
+// again with after=page.LatestSeq, or switch to StreamEvents for a live
+// tail.
+func (c *Client) Events(ctx context.Context, after uint64, limit int) (EventsPage, error) {
+	var out EventsPage
+	path := "/api/v1/events"
+	v := url.Values{}
+	if after > 0 {
+		v.Set("after", strconv.FormatUint(after, 10))
+	}
+	if limit > 0 {
+		v.Set("limit", strconv.Itoa(limit))
+	}
+	if enc := v.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	err := c.getJSON(ctx, path, &out)
+	return out, err
+}
+
+// StreamEvents tails the analysis event log over one NDJSON response:
+// history after the given sequence replays first, then the sequence
+// blocks on live appends until ctx is canceled or the server drains
+// (a graceful shutdown seals the log; the stream flushes what remains
+// and ends cleanly). A transport or decode error is yielded once as the
+// second value and ends the sequence. Resume after a disconnect by
+// passing the last seen Event.Seq.
+//
+// The default transport carries a 60s timeout; a tail meant to run
+// longer needs Options.HTTPClient with Timeout 0 (bound it with ctx
+// instead).
+func (c *Client) StreamEvents(ctx context.Context, after uint64) iter.Seq2[Event, error] {
+	return func(yield func(Event, error) bool) {
+		path := "/api/v1/events"
+		if after > 0 {
+			path += "?after=" + strconv.FormatUint(after, 10)
+		}
+		resp, err := c.do(ctx, http.MethodGet, path, nil, "application/x-ndjson")
+		if err != nil {
+			yield(Event{}, err)
+			return
+		}
+		defer resp.Body.Close()
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var e Event
+			if err := dec.Decode(&e); err != nil {
+				if err != io.EOF && ctx.Err() == nil {
+					yield(Event{}, fmt.Errorf("client: decode event stream: %w", err))
+				}
+				return
+			}
+			if !yield(e, nil) {
+				return
+			}
+		}
+	}
+}
+
 // FetchDataset pulls every matching observation into a fresh in-memory
 // store via the NDJSON stream — the remote analysis path (cmd/analyze
 // -remote builds its figures off this).

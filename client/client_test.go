@@ -383,3 +383,99 @@ func TestClientObservationsRerangeable(t *testing.T) {
 		t.Fatalf("ranges saw %d then %d rows, want 30 both times", first, second)
 	}
 }
+
+// TestClientEventsHistoryAndTail drives /api/v1/events end to end
+// through the SDK: a real check seeds the engine, history pages resume
+// from a cursor, and StreamEvents replays then follows live until the
+// server-side engine drains — at which point the stream ends cleanly.
+func TestClientEventsHistoryAndTail(t *testing.T) {
+	w, srv := newWorldServer(t)
+	cl := client.New(srv.URL, client.Options{})
+	ctx := context.Background()
+
+	// A real check exercises the full write path (store fold included);
+	// whatever events it emitted are the baseline for the assertions.
+	if _, err := cl.Check(ctx, checkRequest(t, w)); err != nil {
+		t.Fatal(err)
+	}
+	base := w.Analysis.Events().Len()
+	log := w.Analysis.Events()
+	log.Append(sheriff.Event{Type: sheriff.EventVariation, Domain: "manual-1.example", SKU: "SKU-1", Ratio: 1.5})
+	log.Append(sheriff.Event{Type: sheriff.EventStrategy, Domain: "manual-2.example", Family: "geo", Flagged: true, Affected: 3, Eligible: 4})
+
+	// Full history.
+	page, err := cl.Events(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(page.Count) != base+2 || page.LatestSeq != base+2 {
+		t.Fatalf("history page = count %d latest %d, want %d/%d", page.Count, page.LatestSeq, base+2, base+2)
+	}
+	for i, e := range page.Events {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want strictly increasing from 1", i, e.Seq)
+		}
+	}
+
+	// Cursor resume: after the baseline, only the two manual events.
+	page, err = cl.Events(ctx, base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Count != 2 || page.Events[0].Domain != "manual-1.example" || page.Events[1].Family != "geo" {
+		t.Fatalf("resumed page = %+v", page)
+	}
+	// Limit caps the page.
+	page, err = cl.Events(ctx, base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Count != 1 || page.Events[0].Domain != "manual-1.example" {
+		t.Fatalf("limited page = %+v", page)
+	}
+
+	// Live tail: replay from the cursor, then follow appends, then end
+	// cleanly when the engine drains.
+	got := make(chan sheriff.Event, 16)
+	tailErr := make(chan error, 1)
+	go func() {
+		defer close(got)
+		for e, err := range cl.StreamEvents(ctx, base) {
+			if err != nil {
+				tailErr <- err
+				return
+			}
+			got <- e
+		}
+	}()
+	recv := func(wantDomain string) {
+		t.Helper()
+		select {
+		case e := <-got:
+			if e.Domain != wantDomain {
+				t.Fatalf("tail saw %q, want %q", e.Domain, wantDomain)
+			}
+		case err := <-tailErr:
+			t.Fatalf("tail error: %v", err)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("tail timed out waiting for %q", wantDomain)
+		}
+	}
+	recv("manual-1.example") // replayed history
+	recv("manual-2.example")
+	log.Append(sheriff.Event{Type: sheriff.EventVariation, Domain: "live.example", SKU: "SKU-9", Ratio: 2})
+	recv("live.example") // a live append reaches the tail
+
+	// Graceful drain: sealing the log ends every tail without an error.
+	w.Analysis.Close()
+	select {
+	case e, open := <-got:
+		if open {
+			t.Fatalf("unexpected trailing event %+v", e)
+		}
+	case err := <-tailErr:
+		t.Fatalf("tail error on drain: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("tail did not end after engine close")
+	}
+}

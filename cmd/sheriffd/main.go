@@ -17,8 +17,9 @@
 //	POST /api/v1/checks                    one check or {"checks":[...]} batch
 //	GET  /api/v1/observations              cursor-paginated query; NDJSON stream
 //	GET  /api/v1/domains/{domain}/report   per-domain variation + strategy report
-//	GET  /api/v1/stats                     check/store/cache/server counters
+//	GET  /api/v1/stats                     check/store/cache/analysis/server counters
 //	GET  /api/v1/anchors                   anchors learned from checks so far
+//	GET  /api/v1/events                    analysis event history; NDJSON/SSE live tail
 //	GET  /                                 human-readable service description
 //
 // plus the legacy aliases /api/check, /api/anchors and /api/stats (the
@@ -119,6 +120,7 @@ func main() {
 		fmt.Fprintf(rw, "GET  /api/v1/observations[?domain=&source=&vp=&limit=&cursor=]  (NDJSON with Accept: application/x-ndjson)\n")
 		fmt.Fprintf(rw, "GET  /api/v1/domains/{domain}/report\n")
 		fmt.Fprintf(rw, "GET  /api/v1/anchors\nGET  /api/v1/stats\n")
+		fmt.Fprintf(rw, "GET  /api/v1/events[?after=&limit=]  (live tail with Accept: application/x-ndjson or text/event-stream)\n")
 		fmt.Fprintf(rw, "legacy: POST /api/check  GET /api/anchors  GET /api/stats\n")
 		fmt.Fprintf(rw, "\ntry a product: http://%s/product/%s\n",
 			w.Crawled[0], w.Retailers[w.Crawled[0]].Catalog().Products()[0].SKU)
@@ -135,6 +137,13 @@ func main() {
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
+	// Live event tails (/api/v1/events NDJSON/SSE) would otherwise pin
+	// Shutdown for the whole drain window: sealing the event log wakes
+	// every tail, which flushes the remaining history and disconnects.
+	// Checks still in flight keep appending — a sealed log records
+	// history, it just wakes nobody — so no event observed by the store
+	// is ever dropped by a drain.
+	srv.RegisterOnShutdown(func() { w.Analysis.Close() })
 
 	// Signal-driven graceful shutdown: on SIGINT/SIGTERM stop accepting,
 	// drain in-flight checks for up to -drain, then exit. A second signal
@@ -173,6 +182,7 @@ func main() {
 			}
 			log.Printf("sheriffd: data dir flushed (%d observations durable)", w.Store.Len())
 		}
+		log.Printf("sheriffd: event log sealed (%d events)", w.Analysis.Events().Len())
 		log.Printf("sheriffd: stopped cleanly")
 	}
 }

@@ -1,0 +1,174 @@
+// Differential proof of the incremental analysis engine: across every
+// scenario-matrix world, on both store engines, and after durable crash
+// recovery, the aggregate-backed domain report must be BYTE-IDENTICAL to
+// the full-recompute reference, and the engine's strategy verdict must
+// equal analysis.DetectStrategies — equivalence is the contract, not
+// approximation.
+package sheriff_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"sheriff"
+	"sheriff/internal/aggregate"
+	"sheriff/internal/analysis"
+	"sheriff/internal/api"
+	"sheriff/internal/events"
+	"sheriff/internal/store"
+)
+
+// reportBytes marshals a report for the byte-level comparison.
+func reportBytes(t *testing.T, rep api.DomainReport) []byte {
+	t.Helper()
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// assertEquivalent holds one engine against the full-recompute reference
+// for one domain: report DeepEqual + JSON bytes, strategy verdict equal.
+func assertEquivalent(t *testing.T, label string, eng *aggregate.Engine, st sheriff.StoreReader, market *sheriff.Market, domain string) {
+	t.Helper()
+	want := api.FullDomainReport(st, market, domain)
+	got := api.ReportFromEngine(eng, domain)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: report diverged\n aggregate %+v\n full      %+v", label, got, want)
+	}
+	if gb, wb := reportBytes(t, got), reportBytes(t, want); string(gb) != string(wb) {
+		t.Errorf("%s: report bytes diverged\n aggregate %s\n full      %s", label, gb, wb)
+	}
+	gotRep := eng.StrategyReport(domain)
+	wantRep := analysis.DetectStrategies(st, market, domain, analysis.DetectOptions{})
+	if !reflect.DeepEqual(gotRep.Evidence, wantRep.Evidence) {
+		t.Errorf("%s: strategy verdict diverged\n aggregate %+v\n full      %+v",
+			label, gotRep.Evidence, wantRep.Evidence)
+	}
+}
+
+// variationEvents counts TypeVariation events — the count that must be
+// stable across crash-recovery rebuilds (the folded ratio is monotone,
+// so each product group crosses the threshold exactly once no matter how
+// its rows are batched or replayed).
+func variationEvents(log *sheriff.EventLog) int {
+	n := 0
+	for _, e := range log.After(0, 0) {
+		if e.Type == events.TypeVariation {
+			n++
+		}
+	}
+	return n
+}
+
+// TestIncrementalEquivalenceScenarioMatrix sweeps all scenario worlds.
+// Each runs its crawl on a durable backend (the live write path folds
+// through the WAL'd store), then the same dataset is checked three ways:
+// the live durable-backed engine, a fresh in-memory store fed by batch
+// copy, and a read-only crash recovery of the data directory.
+func TestIncrementalEquivalenceScenarioMatrix(t *testing.T) {
+	cfgs := sheriff.ScenarioConfigs(5)
+	if len(cfgs) == 0 {
+		t.Fatal("no scenario configs")
+	}
+	for _, cfg := range cfgs {
+		cfg := cfg
+		t.Run(cfg.Label, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			d, _, err := sheriff.OpenDataDir(dir, sheriff.DurableOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := sheriff.NewWorld(sheriff.WorldOptions{
+				Seed:             5,
+				Configs:          []sheriff.ShopConfig{cfg},
+				FetchFailureRate: -1,
+				Store:            d,
+			})
+			if err := w.EnsureAnchors(w.Crawled); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.RunCrawl(sheriff.CrawlOptions{MaxProducts: 8, Rounds: 7}); err != nil {
+				t.Fatal(err)
+			}
+			domain := cfg.Domain
+
+			// 1. Live durable engine: folded write by write through the WAL.
+			assertEquivalent(t, "durable live", w.Analysis, w.Store, w.Market, domain)
+
+			// 2. Memory engine over a batch copy of the same rows.
+			mem := sheriff.NewStore()
+			var batch []sheriff.Observation
+			for o := range w.Store.Scan(sheriff.Query{Round: -1}) {
+				batch = append(batch, o)
+			}
+			mem.AddAll(batch)
+			memEng := sheriff.NewAnalysisEngine(mem, w.Market, sheriff.AnalysisOptions{})
+			assertEquivalent(t, "memory", memEng, mem, w.Market, domain)
+
+			// 3. Crash recovery: reopen the data dir without closing the
+			// live owner (kill -9 semantics) and rebuild aggregates on it.
+			recovered, _, err := sheriff.OpenDataDirReadOnly(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if recovered.Len() != w.Store.Len() {
+				t.Fatalf("recovery lost rows: %d, want %d", recovered.Len(), w.Store.Len())
+			}
+			recEng := sheriff.NewAnalysisReader(recovered, w.Market, sheriff.AnalysisOptions{})
+			assertEquivalent(t, "crash recovery", recEng, recovered, w.Market, domain)
+
+			// The monotone-crossing invariant: the rebuilt engine sees the
+			// same variation events the live fold emitted.
+			if live, rec := variationEvents(w.Analysis.Events()), variationEvents(recEng.Events()); live != rec {
+				t.Errorf("variation events: live %d, recovered %d", live, rec)
+			}
+
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestIncrementalFoldMatchesStore pins the fold accounting end to end on
+// a paper-shaped world (crowd + crawl + long tail): every store row is
+// folded exactly once and every crawled domain's report stays equivalent.
+func TestIncrementalFoldMatchesStore(t *testing.T) {
+	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: 3, LongTail: 6})
+	if err := w.EnsureAnchors(w.Crawled[:3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.RunCrawl(sheriff.CrawlOptions{Domains: w.Crawled[:3], MaxProducts: 5, Rounds: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.Analysis.Stats().ObservationsFolded, uint64(w.Store.Len()); got != want {
+		t.Fatalf("ObservationsFolded=%d, want store length %d", got, want)
+	}
+	for _, domain := range w.Crawled[:3] {
+		assertEquivalent(t, domain, w.Analysis, w.Store, w.Market, domain)
+	}
+	// Source splits must agree with the store's own counters.
+	sum, ok := w.Analysis.DomainSummary(w.Crawled[0])
+	if !ok {
+		t.Fatal("summary missing")
+	}
+	if total, okN := w.Store.LenSource(store.SourceCrawl); total > 0 {
+		var aggTotal, aggOK int
+		for _, d := range w.Crawled[:3] {
+			s, ok := w.Analysis.DomainSummary(d)
+			if !ok {
+				t.Fatalf("summary missing for %s", d)
+			}
+			aggTotal += s.BySource[store.SourceCrawl].Total
+			aggOK += s.BySource[store.SourceCrawl].OK
+		}
+		if aggTotal != total || aggOK != okN {
+			t.Fatalf("crawl source split: aggregates %d/%d, store %d/%d", aggTotal, aggOK, total, okN)
+		}
+	}
+	_ = sum
+}

@@ -1,0 +1,595 @@
+// Package aggregate is the incremental analysis engine: per-domain
+// aggregates maintained as a write-path fold over the observation store,
+// so the per-domain report and the strategy verdict answer in
+// O(domains-touched-by-delta) instead of recomputing over the dataset.
+//
+// The engine installs itself as the store's write observer (see
+// store.Observer): every applied batch is folded — counters, per-product
+// currency-filter state, per-family detector evidence — under a
+// per-domain-shard lock. On open it first rebuilds from whatever the
+// store already holds (the durable engine's recovery path), so the
+// aggregates always equal a full recomputation:
+//
+//   - Counters (observations, OK prices, per-source splits) are sums —
+//     exact under any batching or interleaving.
+//   - The per-product group ratio folds fx.Market.RealVariation's
+//     max-of-lows / min-of-highs directly: max and min are associative
+//     and commutative comparisons and the final division uses the same
+//     two operands, so the folded ratio is BIT-IDENTICAL to the full
+//     path's GroupRatio, not merely close. It is also monotone
+//     non-decreasing in the observations, which makes the variation
+//     threshold crossing fire exactly once per product group — the
+//     event count is stable across crash-recovery rebuilds.
+//   - Per-family detector evidence is per-product: a batch touching a
+//     product's crawl rows recomputes that one product's verdict through
+//     the same analysis.Detector the full path runs (reading the store
+//     inside the domain's aggregate lock, so concurrent writers
+//     converge: the last fold to hold the lock reads every applied
+//     batch), and diffs it into the domain's tallies.
+//
+// Threshold crossings and verdict flips are emitted into an append-only
+// events.Log, served by GET /api/v1/events as replayable history and a
+// live tail.
+package aggregate
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sheriff/internal/analysis"
+	"sheriff/internal/events"
+	"sheriff/internal/fx"
+	"sheriff/internal/shop"
+	"sheriff/internal/store"
+)
+
+// numShards partitions the engine's domain locks; same scale as the
+// store's sharding, for the same reason (a 14-way fan-out plus crawler
+// parallelism must not contend on one mutex).
+const numShards = 16
+
+// shardIdx maps a domain to its aggregate shard (FNV-1a, as the store
+// hashes — but the partitions are independent; only consistency per
+// domain matters here).
+func shardIdx(domain string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(domain); i++ {
+		h ^= uint32(domain[i])
+		h *= 16777619
+	}
+	return h & (numShards - 1)
+}
+
+// DefaultVariationThreshold is the conservative ratio at which a product
+// group's variation fires a TypeVariation event: 5% above what the
+// day's extreme fixings could explain — comfortably past the currency
+// filter, the paper's "interesting domain" neighbourhood.
+const DefaultVariationThreshold = 1.05
+
+// Options tunes the engine; zero values take the defaults.
+type Options struct {
+	// Detect tunes the strategy detector (defaults as DetectStrategies).
+	Detect analysis.DetectOptions
+	// VariationThreshold is the folded group ratio at which a variation
+	// event fires (default DefaultVariationThreshold; values <= 1 fire
+	// on any real variation).
+	VariationThreshold float64
+	// Log is the event sink; nil builds a fresh one.
+	Log *events.Log
+}
+
+// SourceCount splits one source's observations into total and OK —
+// mirrors the API report's shape.
+type SourceCount struct {
+	Total, OK int
+}
+
+// VariationSummary is the folded variation picture of one domain,
+// mirroring the full report path's fields.
+type VariationSummary struct {
+	Products    int
+	Varied      int
+	Extent      float64
+	MaxRatio    float64
+	MedianRatio float64
+}
+
+// FamilyVerdict is one family's verdict within a DomainSummary.
+type FamilyVerdict struct {
+	Family             string
+	Flagged            bool
+	Affected, Eligible int
+	Share              float64
+}
+
+// DomainSummary is the aggregate-backed domain report: every field the
+// HTTP report derives, assembled from fold state in O(products of the
+// domain) and cached until the next write touches the domain. Returned
+// summaries are immutable — folds invalidate the cache, they never
+// mutate a published summary.
+type DomainSummary struct {
+	Domain       string
+	Observations int
+	OKPrices     int
+	Products     int
+	BySource     map[string]SourceCount
+	Variation    VariationSummary
+	// Families is sorted by family name, as the full report path sorts.
+	Families []FamilyVerdict
+}
+
+// groupAgg is the folded state of one product group.
+type groupAgg struct {
+	// quotes, maxLow, minHigh fold RealVariation over every OK
+	// known-currency observation of the group (any source, like the full
+	// path's GroupRatio over the whole group).
+	quotes  int
+	maxLow  float64
+	minHigh float64
+	// crossed marks the variation event as fired (the folded ratio is
+	// monotone, so once true it stays true).
+	crossed bool
+	// crawl counts the group's crawl-source observations; the detector
+	// verdict below only exists when > 0.
+	crawl   int
+	verdict analysis.ProductVerdict
+}
+
+// ratio mirrors fx.Market.RealVariation over the folded state: the same
+// guards, the same operands, the same division — bit-identical results.
+func (g *groupAgg) ratio() (float64, bool) {
+	if g.quotes < 2 {
+		return 1, false
+	}
+	if g.minHigh <= 0 {
+		return 1, false
+	}
+	r := g.maxLow / g.minHigh
+	if r < 1 {
+		r = 1
+	}
+	return r, r > 1
+}
+
+// famCount is one family's summed product tallies.
+type famCount struct {
+	affected, eligible int
+}
+
+// domainAgg is the folded state of one domain.
+type domainAgg struct {
+	observations int
+	okPrices     int
+	bySource     map[string]*SourceCount
+	groups       map[string]*groupAgg // by SKU
+	// fam and flagged index by position in analysis.DetectableFamilies.
+	fam      [4]famCount
+	flagged  [4]bool
+	lastTime time.Time // newest folded observation time, stamps flip events
+	cache    *DomainSummary
+}
+
+// aggShard is one independently-locked partition of the engine.
+type aggShard struct {
+	mu      sync.Mutex
+	domains map[string]*domainAgg
+}
+
+// Engine maintains the aggregates. Safe for concurrent use once
+// constructed; construct (New) before concurrent writers start.
+type Engine struct {
+	st        store.Reader
+	market    *fx.Market
+	det       *analysis.Detector
+	threshold float64
+	log       *events.Log
+	shards    [numShards]aggShard
+
+	folded   atomic.Uint64 // observations folded (writes + rebuild)
+	hits     atomic.Uint64 // DomainSummary served from cache
+	rebuilds atomic.Uint64 // DomainSummary cache assemblies
+}
+
+// New builds an engine over an open backend: the store's existing
+// contents are folded in first (the durable engine's recovered dataset
+// arrives this way), then the engine installs itself as the write
+// observer so every subsequent AddAll folds incrementally. Call before
+// concurrent writers start — batches applied between recovery and New
+// would be missed, and the rebuild scan itself is not synchronized with
+// writers.
+func New(b store.Backend, market *fx.Market, opts Options) *Engine {
+	e := newEngine(b, market, opts)
+	e.rebuild()
+	b.SetObserver(e.fold)
+	return e
+}
+
+// NewReader builds an engine over a read-only store: rebuild only, no
+// observer (there is no write path to observe). The analysis-side open
+// of a recovered data directory uses this.
+func NewReader(st store.Reader, market *fx.Market, opts Options) *Engine {
+	e := newEngine(st, market, opts)
+	e.rebuild()
+	return e
+}
+
+func newEngine(st store.Reader, market *fx.Market, opts Options) *Engine {
+	if opts.VariationThreshold == 0 {
+		opts.VariationThreshold = DefaultVariationThreshold
+	}
+	if opts.Log == nil {
+		opts.Log = events.NewLog()
+	}
+	e := &Engine{
+		st:        st,
+		market:    market,
+		det:       analysis.NewDetector(market, opts.Detect),
+		threshold: opts.VariationThreshold,
+		log:       opts.Log,
+	}
+	for i := range e.shards {
+		e.shards[i].domains = make(map[string]*domainAgg)
+	}
+	return e
+}
+
+// Events returns the engine's event log.
+func (e *Engine) Events() *events.Log { return e.log }
+
+// Close seals the event log: live tails drain and disconnect. The
+// aggregates stay queryable; folds still apply (their events land in
+// history but wake nobody).
+func (e *Engine) Close() { e.log.Close() }
+
+// rebuild folds the store's current contents, batching the scan and
+// deferring detector recomputes so each touched product is judged once
+// at the end instead of once per batch.
+func (e *Engine) rebuild() {
+	const batchSize = 1024
+	touched := make(map[string]map[string]struct{}) // domain → SKUs with crawl rows
+	batch := make([]store.Observation, 0, batchSize)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		e.foldBatch(batch, touched)
+		batch = batch[:0]
+	}
+	for o := range e.st.Scan(store.Query{Round: -1}) {
+		batch = append(batch, o)
+		if len(batch) == batchSize {
+			flush()
+		}
+	}
+	flush()
+	// Deferred verdicts: one detector pass per touched product, then one
+	// flag evaluation per touched domain.
+	for domain, skus := range touched {
+		sh := &e.shards[shardIdx(domain)]
+		sh.mu.Lock()
+		d := sh.domains[domain]
+		for sku := range skus {
+			e.recomputeProduct(d, domain, sku)
+		}
+		e.evalFlags(d, domain)
+		sh.mu.Unlock()
+	}
+}
+
+// fold is the write observer: applied batches land here, after their
+// rows are visible to readers.
+func (e *Engine) fold(batch []store.Observation) {
+	e.foldBatch(batch, nil)
+}
+
+// foldBatch folds one batch. When deferTouched is non-nil (rebuild),
+// detector recomputes and flag evaluation are deferred: touched products
+// are recorded there instead. Otherwise (live writes) each touched
+// product's verdict is recomputed immediately — inside the domain's
+// shard lock, reading the store, so concurrent folds of one domain
+// serialize and the last one reads every applied batch.
+func (e *Engine) foldBatch(batch []store.Observation, deferTouched map[string]map[string]struct{}) {
+	if len(batch) == 0 {
+		return
+	}
+	e.folded.Add(uint64(len(batch)))
+	// Group the batch by domain, preserving order. Single-domain batches
+	// (a check's fan-out, a crawler product-round) take the fast path.
+	single := true
+	for i := 1; i < len(batch); i++ {
+		if batch[i].Domain != batch[0].Domain {
+			single = false
+			break
+		}
+	}
+	if single {
+		e.foldDomain(batch[0].Domain, batch, deferTouched)
+		return
+	}
+	byDomain := make(map[string][]store.Observation)
+	order := make([]string, 0, 4)
+	for _, o := range batch {
+		if _, seen := byDomain[o.Domain]; !seen {
+			order = append(order, o.Domain)
+		}
+		byDomain[o.Domain] = append(byDomain[o.Domain], o)
+	}
+	for _, domain := range order {
+		e.foldDomain(domain, byDomain[domain], deferTouched)
+	}
+}
+
+// foldDomain folds one domain's slice of a batch under its shard lock.
+func (e *Engine) foldDomain(domain string, obs []store.Observation, deferTouched map[string]map[string]struct{}) {
+	sh := &e.shards[shardIdx(domain)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	d := sh.domains[domain]
+	if d == nil {
+		d = &domainAgg{
+			bySource: make(map[string]*SourceCount),
+			groups:   make(map[string]*groupAgg),
+		}
+		sh.domains[domain] = d
+	}
+	d.cache = nil
+
+	var touched map[string]struct{} // SKUs whose crawl rows grew
+	for i := range obs {
+		o := &obs[i]
+		d.observations++
+		if o.OK {
+			d.okPrices++
+		}
+		sc := d.bySource[o.Source]
+		if sc == nil {
+			sc = &SourceCount{}
+			d.bySource[o.Source] = sc
+		}
+		sc.Total++
+		if o.OK {
+			sc.OK++
+		}
+		if o.Time.After(d.lastTime) {
+			d.lastTime = o.Time
+		}
+
+		g := d.groups[o.SKU]
+		if g == nil {
+			g = &groupAgg{maxLow: math.Inf(-1), minHigh: math.Inf(1)}
+			d.groups[o.SKU] = g
+		}
+		if o.OK {
+			if a, ok := o.Amount(); ok {
+				lo, hi := e.market.USDRange(a, o.Time)
+				g.quotes++
+				if lo > g.maxLow {
+					g.maxLow = lo
+				}
+				if hi < g.minHigh {
+					g.minHigh = hi
+				}
+				if !g.crossed {
+					if r, real := g.ratio(); real && r >= e.threshold {
+						g.crossed = true
+						e.log.Append(events.Event{
+							Time: o.Time, Type: events.TypeVariation,
+							Domain: domain, SKU: o.SKU, Ratio: r,
+						})
+					}
+				}
+			}
+		}
+		if o.Source == store.SourceCrawl {
+			g.crawl++
+			if touched == nil {
+				touched = make(map[string]struct{}, 4)
+			}
+			touched[o.SKU] = struct{}{}
+		}
+	}
+
+	if touched == nil {
+		return
+	}
+	if deferTouched != nil {
+		set := deferTouched[domain]
+		if set == nil {
+			set = make(map[string]struct{})
+			deferTouched[domain] = set
+		}
+		for sku := range touched {
+			set[sku] = struct{}{}
+		}
+		return
+	}
+	for sku := range touched {
+		e.recomputeProduct(d, domain, sku)
+	}
+	e.evalFlags(d, domain)
+}
+
+// famIdx returns a family's position in analysis.DetectableFamilies.
+func famIdx(f shop.StrategyFamily) int {
+	for i, df := range analysis.DetectableFamilies {
+		if df == f {
+			return i
+		}
+	}
+	return -1
+}
+
+// recomputeProduct re-judges one product from its crawl rows (read from
+// the store, under the caller-held shard lock) and diffs the verdict
+// into the domain's family tallies.
+func (e *Engine) recomputeProduct(d *domainAgg, domain, sku string) {
+	g := d.groups[sku]
+	rows := e.st.Filter(store.Query{Domain: domain, SKU: sku, Source: store.SourceCrawl, Round: -1})
+	newV := e.det.Product(rows)
+	oldV := g.verdict
+	for i, f := range analysis.DetectableFamilies {
+		o, n := oldV.Of(f), newV.Of(f)
+		if o.Eligible != n.Eligible {
+			if n.Eligible {
+				d.fam[i].eligible++
+			} else {
+				d.fam[i].eligible--
+			}
+		}
+		if o.Affected != n.Affected {
+			if n.Affected {
+				d.fam[i].affected++
+			} else {
+				d.fam[i].affected--
+			}
+		}
+	}
+	g.verdict = newV
+}
+
+// evalFlags re-applies the flag rule per family and emits a strategy
+// event for every verdict flip. Caller holds the domain's shard lock.
+func (e *Engine) evalFlags(d *domainAgg, domain string) {
+	for i, f := range analysis.DetectableFamilies {
+		ev := e.det.Evidence(f, d.fam[i].affected, d.fam[i].eligible)
+		if ev.Flagged == d.flagged[i] {
+			continue
+		}
+		d.flagged[i] = ev.Flagged
+		e.log.Append(events.Event{
+			Time: d.lastTime, Type: events.TypeStrategy,
+			Domain: domain, Family: string(f), Flagged: ev.Flagged,
+			Affected: ev.Affected, Eligible: ev.Eligible,
+		})
+	}
+}
+
+// DomainSummary returns the aggregate-backed report for a domain, or
+// ok=false when the domain has never been observed. Served from the
+// per-domain cache when no write touched the domain since the last
+// assembly.
+func (e *Engine) DomainSummary(domain string) (*DomainSummary, bool) {
+	sh := &e.shards[shardIdx(domain)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	d := sh.domains[domain]
+	if d == nil {
+		return nil, false
+	}
+	if d.cache != nil {
+		e.hits.Add(1)
+		return d.cache, true
+	}
+	e.rebuilds.Add(1)
+	d.cache = e.assemble(d, domain)
+	return d.cache, true
+}
+
+// assemble builds the summary from fold state, mirroring the full
+// report path's assembly (internal/api) operation for operation: the
+// same ratio multiset sorted the same way, the same median index, the
+// same family sort.
+func (e *Engine) assemble(d *domainAgg, domain string) *DomainSummary {
+	s := &DomainSummary{
+		Domain:       domain,
+		Observations: d.observations,
+		OKPrices:     d.okPrices,
+		BySource:     make(map[string]SourceCount, len(d.bySource)),
+	}
+	for src, sc := range d.bySource {
+		s.BySource[src] = *sc
+	}
+	s.Variation.Products = len(d.groups)
+	s.Products = s.Variation.Products
+	var ratios []float64
+	for _, g := range d.groups {
+		if r, real := g.ratio(); real {
+			s.Variation.Varied++
+			ratios = append(ratios, r)
+		}
+	}
+	if s.Variation.Products > 0 {
+		s.Variation.Extent = float64(s.Variation.Varied) / float64(s.Variation.Products)
+	}
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		s.Variation.MaxRatio = ratios[len(ratios)-1]
+		s.Variation.MedianRatio = ratios[len(ratios)/2]
+	}
+	fams := make([]string, 0, len(analysis.DetectableFamilies))
+	for _, f := range analysis.DetectableFamilies {
+		fams = append(fams, string(f))
+	}
+	sort.Strings(fams)
+	for _, name := range fams {
+		f := shop.StrategyFamily(name)
+		i := famIdx(f)
+		ev := e.det.Evidence(f, d.fam[i].affected, d.fam[i].eligible)
+		s.Families = append(s.Families, FamilyVerdict{
+			Family: name, Flagged: ev.Flagged,
+			Affected: ev.Affected, Eligible: ev.Eligible,
+			Share: ev.Affected01(),
+		})
+	}
+	return s
+}
+
+// StrategyReport returns the domain's strategy verdict off the
+// aggregates — the O(1) form of analysis.DetectStrategies for the
+// engine's detect options. A never-observed domain yields the same
+// all-zero evidence the full path yields.
+func (e *Engine) StrategyReport(domain string) analysis.StrategyReport {
+	rep := analysis.StrategyReport{
+		Domain:   domain,
+		Evidence: make(map[shop.StrategyFamily]analysis.FamilyEvidence, len(analysis.DetectableFamilies)),
+	}
+	sh := &e.shards[shardIdx(domain)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	d := sh.domains[domain]
+	for i, f := range analysis.DetectableFamilies {
+		var c famCount
+		if d != nil {
+			c = d.fam[i]
+		}
+		rep.Evidence[f] = e.det.Evidence(f, c.affected, c.eligible)
+	}
+	return rep
+}
+
+// Stats is the monitoring view of the engine, surfaced in the HTTP
+// stats payload's "analysis" block.
+type Stats struct {
+	// Domains is how many domains carry aggregates.
+	Domains int `json:"domains"`
+	// ObservationsFolded counts every observation folded in, rebuild
+	// included — equals the store's length when the engine saw every
+	// write.
+	ObservationsFolded uint64 `json:"observations_folded"`
+	// ReportHits and ReportRebuilds split DomainSummary calls into
+	// cache-served and reassembled.
+	ReportHits     uint64 `json:"report_hits"`
+	ReportRebuilds uint64 `json:"report_rebuilds"`
+	// Events is the event log's current length.
+	Events uint64 `json:"events"`
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		ObservationsFolded: e.folded.Load(),
+		ReportHits:         e.hits.Load(),
+		ReportRebuilds:     e.rebuilds.Load(),
+		Events:             e.log.Len(),
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		s.Domains += len(sh.domains)
+		sh.mu.Unlock()
+	}
+	return s
+}

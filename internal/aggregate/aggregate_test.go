@@ -1,0 +1,318 @@
+package aggregate_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sheriff/internal/aggregate"
+	"sheriff/internal/analysis"
+	"sheriff/internal/api"
+	"sheriff/internal/events"
+	"sheriff/internal/fx"
+	"sheriff/internal/store"
+)
+
+var day = time.Date(2013, 2, 1, 12, 0, 0, 0, time.UTC)
+
+// obs builds one crawl observation; units <= 0 marks a failed extraction.
+func obs(domain, sku, vp string, units int64, currency string, t time.Time) store.Observation {
+	return store.Observation{
+		Domain: domain, SKU: sku, VP: vp, Country: "US", City: "New York",
+		PriceUnits: units, Currency: currency, Time: t,
+		Round: -1, Source: store.SourceCrowd, OK: units > 0,
+	}
+}
+
+// fixture populates a store with a spread of domains, products,
+// currencies and failure rows — enough shape to exercise every fold
+// branch without a full world.
+func fixture(st store.Backend) {
+	var batch []store.Observation
+	for d := 0; d < 5; d++ {
+		domain := fmt.Sprintf("shop-%d.example", d)
+		for p := 0; p < 8; p++ {
+			sku := fmt.Sprintf("SKU-%d", p)
+			base := int64(1000 + 100*p)
+			batch = append(batch,
+				obs(domain, sku, "us-nyc", base, "USD", day),
+				obs(domain, sku, "uk-lon", base+int64(d*p)*37, "USD", day.Add(time.Hour)),
+				obs(domain, sku, "de-ber", base*2, "EUR", day.Add(2*time.Hour)),
+				obs(domain, sku, "br-sao", 0, "", day.Add(3*time.Hour)), // failed extraction
+			)
+		}
+	}
+	st.AddAll(batch)
+}
+
+// TestSummaryMatchesFullReport is the unit-level equivalence check: the
+// aggregate-backed summary must map onto the exact DomainReport the full
+// recompute path produces — same counters, same ratios byte for byte,
+// same family order. (The root-package differential test does this over
+// the full scenario matrix; this one keeps the contract cheap to check.)
+func TestSummaryMatchesFullReport(t *testing.T) {
+	market := fx.NewMarket(7)
+	st := store.New()
+	eng := aggregate.New(st, market, aggregate.Options{})
+	fixture(st)
+
+	for d := 0; d < 5; d++ {
+		domain := fmt.Sprintf("shop-%d.example", d)
+		want := api.FullDomainReport(st, market, domain)
+		sum, ok := eng.DomainSummary(domain)
+		if !ok {
+			t.Fatalf("DomainSummary(%q): domain missing from aggregates", domain)
+		}
+		got := api.DomainReport{
+			Domain:       sum.Domain,
+			Observations: sum.Observations,
+			OKPrices:     sum.OKPrices,
+			Products:     sum.Products,
+			Variation: api.VariationSummary{
+				Products: sum.Variation.Products, Varied: sum.Variation.Varied,
+				Extent: sum.Variation.Extent, MaxRatio: sum.Variation.MaxRatio,
+				MedianRatio: sum.Variation.MedianRatio,
+			},
+		}
+		if len(sum.BySource) > 0 {
+			got.BySource = make(map[string]api.SourceCount, len(sum.BySource))
+			for src, sc := range sum.BySource {
+				got.BySource[src] = api.SourceCount{Total: sc.Total, OK: sc.OK}
+			}
+		}
+		for _, f := range sum.Families {
+			got.Families = append(got.Families, api.FamilyVerdict{
+				Family: f.Family, Flagged: f.Flagged,
+				Affected: f.Affected, Eligible: f.Eligible, Share: f.Share,
+			})
+		}
+		if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+			t.Errorf("%s:\n aggregate %+v\n full      %+v", domain, got, want)
+		}
+	}
+}
+
+// TestUnknownDomain pins the absent-domain behaviour: no summary, and a
+// StrategyReport with the same all-zero evidence the full detector
+// returns for a domain it has never seen.
+func TestUnknownDomain(t *testing.T) {
+	market := fx.NewMarket(7)
+	st := store.New()
+	eng := aggregate.New(st, market, aggregate.Options{})
+
+	if _, ok := eng.DomainSummary("never.example"); ok {
+		t.Fatal("DomainSummary on an empty engine returned ok")
+	}
+	got := eng.StrategyReport("never.example")
+	want := analysis.DetectStrategies(st, market, "never.example", analysis.DetectOptions{})
+	if fmt.Sprintf("%+v", got.Evidence) != fmt.Sprintf("%+v", want.Evidence) {
+		t.Errorf("StrategyReport evidence:\n aggregate %+v\n full      %+v", got.Evidence, want.Evidence)
+	}
+}
+
+// TestReportCache checks the hit/rebuild accounting: repeated reads are
+// cache hits, a write to the domain invalidates exactly that domain.
+func TestReportCache(t *testing.T) {
+	market := fx.NewMarket(7)
+	st := store.New()
+	eng := aggregate.New(st, market, aggregate.Options{})
+	fixture(st)
+
+	for i := 0; i < 3; i++ {
+		if _, ok := eng.DomainSummary("shop-0.example"); !ok {
+			t.Fatal("summary missing")
+		}
+	}
+	s := eng.Stats()
+	if s.ReportRebuilds != 1 || s.ReportHits != 2 {
+		t.Fatalf("after 3 reads: rebuilds=%d hits=%d, want 1/2", s.ReportRebuilds, s.ReportHits)
+	}
+
+	// A write to shop-0 invalidates its cache; shop-1 stays cached.
+	if _, ok := eng.DomainSummary("shop-1.example"); !ok {
+		t.Fatal("summary missing")
+	}
+	st.AddAll([]store.Observation{obs("shop-0.example", "SKU-0", "fi-tam", 999, "USD", day)})
+	if _, ok := eng.DomainSummary("shop-0.example"); !ok {
+		t.Fatal("summary missing")
+	}
+	if _, ok := eng.DomainSummary("shop-1.example"); !ok {
+		t.Fatal("summary missing")
+	}
+	s = eng.Stats()
+	if s.ReportRebuilds != 3 { // shop-0 twice, shop-1 once
+		t.Fatalf("rebuilds=%d, want 3", s.ReportRebuilds)
+	}
+	if s.ReportHits != 3 { // shop-0 twice, shop-1 once
+		t.Fatalf("hits=%d, want 3", s.ReportHits)
+	}
+}
+
+// TestFoldedCounter checks ObservationsFolded tracks the store: rebuild
+// rows plus every observed write, under both construction orders.
+func TestFoldedCounter(t *testing.T) {
+	market := fx.NewMarket(7)
+	st := store.New()
+	fixture(st) // pre-populate: these rows arrive via rebuild
+	eng := aggregate.New(st, market, aggregate.Options{})
+	st.AddAll([]store.Observation{obs("late.example", "SKU-0", "us-nyc", 500, "USD", day)})
+
+	if got, want := eng.Stats().ObservationsFolded, uint64(st.Len()); got != want {
+		t.Fatalf("ObservationsFolded=%d, want store length %d", got, want)
+	}
+}
+
+// TestVariationEventExactlyOnce: the folded ratio is monotone, so the
+// threshold crossing fires one event per product group no matter how
+// many later rows widen the spread — and a rebuild from the same data
+// reproduces exactly the same event count.
+func TestVariationEventExactlyOnce(t *testing.T) {
+	market := fx.NewMarket(7)
+	st := store.New()
+	eng := aggregate.New(st, market, aggregate.Options{})
+
+	// Same product, ever-wider spread: one crossing, then two widenings.
+	st.AddAll([]store.Observation{obs("vary.example", "SKU-0", "us-nyc", 1000, "USD", day)})
+	st.AddAll([]store.Observation{obs("vary.example", "SKU-0", "uk-lon", 2000, "USD", day)})
+	st.AddAll([]store.Observation{obs("vary.example", "SKU-0", "de-ber", 4000, "USD", day)})
+	st.AddAll([]store.Observation{obs("vary.example", "SKU-0", "fi-tam", 8000, "USD", day)})
+
+	log := eng.Events()
+	var got []events.Event
+	for _, e := range log.After(0, 0) {
+		if e.Type == events.TypeVariation {
+			got = append(got, e)
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("variation events = %d, want exactly 1: %+v", len(got), got)
+	}
+	if got[0].Domain != "vary.example" || got[0].SKU != "SKU-0" || got[0].Ratio <= 1 {
+		t.Fatalf("bad event %+v", got[0])
+	}
+
+	// Rebuilding from the same store (the crash-recovery path) yields the
+	// same single crossing — the crash_smoke invariant.
+	fresh := aggregate.NewReader(st, market, aggregate.Options{})
+	var rebuilt int
+	for _, e := range fresh.Events().After(0, 0) {
+		if e.Type == events.TypeVariation {
+			rebuilt++
+		}
+	}
+	if rebuilt != 1 {
+		t.Fatalf("rebuilt variation events = %d, want 1", rebuilt)
+	}
+}
+
+// TestConcurrentFoldAndRead hammers the engine the way sheriffd does:
+// concurrent AddAll writers across colliding domains, report and
+// strategy readers, and a live event tail — the race detector (CI runs
+// -race) and the final equivalence check are the assertions.
+func TestConcurrentFoldAndRead(t *testing.T) {
+	market := fx.NewMarket(7)
+	st := store.New()
+	eng := aggregate.New(st, market, aggregate.Options{})
+
+	const writers, batches = 8, 40
+	domains := []string{"a.example", "b.example", "c.example"}
+
+	var writeWG, readWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: hammer summaries and strategy reports while folds run.
+	for r := 0; r < 4; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, d := range domains {
+					if sum, ok := eng.DomainSummary(d); ok && sum.Observations == 0 {
+						t.Error("published summary with zero observations")
+						return
+					}
+					eng.StrategyReport(d)
+				}
+			}
+		}()
+	}
+
+	// Tail: follow the event log concurrently.
+	tailDone := make(chan uint64)
+	go func() {
+		log := eng.Events()
+		sig, cancel := log.Subscribe()
+		defer cancel()
+		var cur uint64
+		for {
+			for _, e := range log.After(cur, 0) {
+				cur = e.Seq
+			}
+			select {
+			case <-sig:
+			case <-log.Done():
+				for _, e := range log.After(cur, 0) {
+					cur = e.Seq
+				}
+				tailDone <- cur
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for b := 0; b < batches; b++ {
+				domain := domains[(w+b)%len(domains)]
+				sku := fmt.Sprintf("SKU-%d", b%5)
+				units := int64(1000 + 100*w + 977*b)
+				batch := []store.Observation{
+					obs(domain, sku, fmt.Sprintf("vp-%d", w), units, "USD", day.Add(time.Duration(b)*time.Minute)),
+					{Domain: domain, SKU: sku, VP: "us-nyc", Country: "US", City: "New York",
+						PriceUnits: units + 50, Currency: "USD", Time: day.Add(time.Duration(b) * time.Minute),
+						Round: b % 7, Source: store.SourceCrawl, OK: true},
+				}
+				st.AddAll(batch)
+			}
+		}(w)
+	}
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+	eng.Close()
+	tailSeq := <-tailDone
+
+	if tailSeq != eng.Events().Len() {
+		t.Fatalf("tail drained to seq %d, log holds %d", tailSeq, eng.Events().Len())
+	}
+	if got, want := eng.Stats().ObservationsFolded, uint64(st.Len()); got != want {
+		t.Fatalf("ObservationsFolded=%d, want %d", got, want)
+	}
+	// Quiesced aggregates must equal full recomputation — the concurrency
+	// convergence contract.
+	for _, d := range domains {
+		want := api.FullDomainReport(st, market, d)
+		sum, ok := eng.DomainSummary(d)
+		if !ok {
+			t.Fatalf("domain %s missing", d)
+		}
+		if sum.Observations != want.Observations || sum.OKPrices != want.OKPrices ||
+			sum.Variation.MaxRatio != want.Variation.MaxRatio ||
+			sum.Variation.Varied != want.Variation.Varied {
+			t.Errorf("%s diverged:\n aggregate %+v\n full      %+v", d, sum, want)
+		}
+		gotRep := eng.StrategyReport(d)
+		wantRep := analysis.DetectStrategies(st, market, d, analysis.DetectOptions{})
+		if fmt.Sprintf("%+v", gotRep.Evidence) != fmt.Sprintf("%+v", wantRep.Evidence) {
+			t.Errorf("%s strategy diverged:\n aggregate %+v\n full      %+v", d, gotRep.Evidence, wantRep.Evidence)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"sheriff/internal/fx"
+	"sheriff/internal/store"
+)
+
+// obsAt builds one observation for the ratio tables; an empty currency
+// marks a failed extraction (OK=false).
+func obsAt(units int64, currency string, day time.Time) store.Observation {
+	o := store.Observation{
+		Domain: "shop.example", SKU: "SKU-1", VP: "us-nyc",
+		PriceUnits: units, Currency: currency, Time: day,
+		Round: -1, Source: store.SourceCrawl, OK: currency != "",
+	}
+	return o
+}
+
+// TestGroupRatioEdges pins the currency filter's behaviour on the
+// degenerate groups the fold path and the full path must both handle:
+// empty, single-observation, unknown-currency, zero-price and
+// mixed-currency groups.
+func TestGroupRatioEdges(t *testing.T) {
+	market := fx.NewMarket(1)
+	day := time.Date(2013, 2, 1, 12, 0, 0, 0, time.UTC)
+
+	cases := []struct {
+		name string
+		obs  []store.Observation
+		// wantVaries is the expected real-variation verdict; wantOne
+		// additionally pins the ratio to exactly 1 (the no-evidence value).
+		wantVaries bool
+		wantOne    bool
+	}{
+		{
+			name: "empty group", obs: nil,
+			wantVaries: false, wantOne: true,
+		},
+		{
+			name: "single observation",
+			obs: []store.Observation{
+				obsAt(4999, "USD", day),
+			},
+			wantVaries: false, wantOne: true,
+		},
+		{
+			name: "failed extractions only",
+			obs: []store.Observation{
+				obsAt(0, "", day), obsAt(0, "", day),
+			},
+			wantVaries: false, wantOne: true,
+		},
+		{
+			name: "unknown currency drops to single quote",
+			obs: []store.Observation{
+				obsAt(4999, "USD", day),
+				obsAt(9999, "XXX", day), // no such ISO code: filtered, not converted
+			},
+			wantVaries: false, wantOne: true,
+		},
+		{
+			name: "identical prices do not vary",
+			obs: []store.Observation{
+				obsAt(4999, "USD", day), obsAt(4999, "USD", day),
+			},
+			wantVaries: false, wantOne: true,
+		},
+		{
+			name: "zero-price rows yield no positive floor",
+			obs: []store.Observation{
+				obsAt(0, "USD", day), obsAt(0, "USD", day),
+			},
+			wantVaries: false, wantOne: true,
+		},
+		{
+			name: "zero against a real price is extreme variation",
+			// The zero row's half-minor-unit slack keeps the floor positive
+			// (no divide-toward-infinity), so a free item against $99.99 is
+			// reported as variation — enormous, but finite and real.
+			obs: []store.Observation{
+				obsAt(0, "USD", day), obsAt(9999, "USD", day),
+			},
+			wantVaries: true,
+		},
+		{
+			name: "clear same-currency variation",
+			obs: []store.Observation{
+				obsAt(4999, "USD", day), obsAt(9999, "USD", day),
+			},
+			wantVaries: true,
+		},
+		{
+			name: "mixed currency near parity is absorbed by the fixing band",
+			// ~50 USD vs ~50 EUR-cents-scaled to land inside the day's
+			// low/high fixing slack: the conservative filter must not call
+			// exchange-rate noise discrimination.
+			obs: []store.Observation{
+				obsAt(4999, "USD", day),
+				obsAt(localUnits(market, 4999, "EUR", day), "EUR", day),
+			},
+			wantVaries: false, wantOne: true,
+		},
+		{
+			name: "mixed currency with a genuine gap survives the filter",
+			obs: []store.Observation{
+				obsAt(4999, "USD", day),
+				obsAt(2*localUnits(market, 4999, "EUR", day), "EUR", day),
+			},
+			wantVaries: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ratio, varies := GroupRatio(market, tc.obs)
+			if varies != tc.wantVaries {
+				t.Fatalf("GroupRatio varies = %v, want %v (ratio %v)", varies, tc.wantVaries, ratio)
+			}
+			if tc.wantOne && ratio != 1 {
+				t.Fatalf("GroupRatio ratio = %v, want exactly 1", ratio)
+			}
+			if tc.wantVaries && ratio <= 1 {
+				t.Fatalf("GroupRatio ratio = %v, want > 1 for real variation", ratio)
+			}
+		})
+	}
+}
+
+// localUnits converts minor units of USD into the equivalent minor units
+// of another currency at the day's mid fixing — the "same price, shown
+// in the visitor's currency" case.
+func localUnits(market *fx.Market, usdUnits int64, code string, day time.Time) int64 {
+	a, _ := obsAt(usdUnits, "USD", day).Amount()
+	ta, _ := obsAt(0, code, day).Amount()
+	return market.Convert(a, ta.Currency, day).Units
+}

@@ -141,160 +141,230 @@ func vantageMeta() map[string]vpMeta {
 	return out
 }
 
-// DetectStrategies attributes a domain's crawl variation to strategy
-// families. It reads SourceCrawl observations only.
-func DetectStrategies(st store.Reader, market *fx.Market, domain string, opts DetectOptions) StrategyReport {
-	opts = opts.withDefaults()
-	meta := vantageMeta()
-	// Pair filters for the repetition tallies: geo compares only VPs that
-	// share a fingerprint across locations; fingerprint only VPs that
-	// share a location across fingerprints.
-	acceptGeo := func(a, b string) bool {
-		ma, mb := meta[a], meta[b]
-		return ma.location != mb.location && ma.fingerprint == mb.fingerprint
+// FamilyContribution is one product's contribution to a family's tally:
+// whether the product carried enough data to judge and, if so, whether
+// it shows the family's signature (Affected implies Eligible).
+type FamilyContribution struct {
+	Eligible, Affected bool
+}
+
+// ProductVerdict is one crawled product's per-family detector verdict —
+// the unit the incremental engine caches and diffs: a domain's family
+// tallies are exactly the sums of its products' contributions.
+type ProductVerdict struct {
+	Geo, Fingerprint, Disclosure, Temporal FamilyContribution
+}
+
+// Of returns the contribution for one detectable family.
+func (v ProductVerdict) Of(f shop.StrategyFamily) FamilyContribution {
+	switch f {
+	case shop.FamilyGeo:
+		return v.Geo
+	case shop.FamilyFingerprint:
+		return v.Fingerprint
+	case shop.FamilyDisclosure:
+		return v.Disclosure
+	case shop.FamilyTemporal:
+		return v.Temporal
 	}
-	acceptFingerprint := func(a, b string) bool {
-		ma, mb := meta[a], meta[b]
-		return ma.fingerprint != mb.fingerprint && ma.location == mb.location
+	return FamilyContribution{}
+}
+
+// Detector is the per-product strategy detector with its controls
+// resolved once: the vantage-point metadata, the pair filters and the
+// thresholds. DetectStrategies wraps it for whole-domain full
+// recomputation; the incremental engine (internal/aggregate) calls
+// Product per touched product and sums contributions itself — both paths
+// run the identical verdict code, which is what the equivalence contract
+// rests on.
+type Detector struct {
+	market *fx.Market
+	opts   DetectOptions
+	meta   map[string]vpMeta
+}
+
+// NewDetector builds a detector; zero-valued options take the defaults.
+func NewDetector(market *fx.Market, opts DetectOptions) *Detector {
+	return &Detector{market: market, opts: opts.withDefaults(), meta: vantageMeta()}
+}
+
+// Options returns the detector's resolved options.
+func (d *Detector) Options() DetectOptions { return d.opts }
+
+// acceptGeo admits pairs that share a fingerprint across locations.
+func (d *Detector) acceptGeo(a, b string) bool {
+	ma, mb := d.meta[a], d.meta[b]
+	return ma.location != mb.location && ma.fingerprint == mb.fingerprint
+}
+
+// acceptFingerprint admits pairs that share a location across
+// fingerprints.
+func (d *Detector) acceptFingerprint(a, b string) bool {
+	ma, mb := d.meta[a], d.meta[b]
+	return ma.fingerprint != mb.fingerprint && ma.location == mb.location
+}
+
+// Product judges one product from its crawl observations (any order;
+// rounds are partitioned internally). Observations of other sources must
+// not be passed.
+func (d *Detector) Product(obs []store.Observation) ProductVerdict {
+	meta, market := d.meta, d.market
+	rounds := byRound(obs)
+	keys := make([]int, 0, len(rounds))
+	for r := range rounds {
+		keys = append(keys, r)
+	}
+	sort.Ints(keys)
+
+	var (
+		geoElig, geoHits int
+		geoSides         = map[string]*pairVote{}
+		fpElig, fpHits   int
+		fpSides          = map[string]*pairVote{}
+		consensus        []int64 // per-round same-fingerprint USD consensus
+		okRounds         = map[string]int{}
+		failRounds       = map[string]int{} // persistent extraction failures
+	)
+
+	for _, rk := range keys {
+		group := rounds[rk]
+		byFP := map[string][]store.Observation{}  // fingerprint → OK obs
+		byLoc := map[string][]store.Observation{} // location → OK obs
+		for _, o := range group {
+			m, known := meta[o.VP]
+			if !known {
+				continue
+			}
+			if o.OK {
+				okRounds[o.VP]++
+				byFP[m.fingerprint] = append(byFP[m.fingerprint], o)
+				byLoc[m.location] = append(byLoc[m.location], o)
+			} else if strings.Contains(o.Err, "no price") {
+				failRounds[o.VP]++
+			}
+		}
+
+		// Geo: same fingerprint, multiple locations, currency filter.
+		geoEligible, geoVaries := false, false
+		for _, g := range byFP {
+			if spanLocations(g, meta) < 2 {
+				continue
+			}
+			geoEligible = true
+			if _, real := market.RealVariation(quotesOf(g)); real {
+				geoVaries = true
+				tallyPairVotes(market, g, geoSides, d.acceptGeo)
+			}
+		}
+		if geoEligible {
+			geoElig++
+			if geoVaries {
+				geoHits++
+			}
+		}
+
+		// Fingerprint: same location, multiple fingerprints. Same
+		// location means same display currency, so differing minor
+		// units are a real price difference, no filter needed.
+		fpEligible, fpVaries := false, false
+		for _, g := range byLoc {
+			if spanFingerprints(g, meta) < 2 {
+				continue
+			}
+			fpEligible = true
+			if unitsDiffer(g) {
+				fpVaries = true
+				tallyPairVotes(market, g, fpSides, d.acceptFingerprint)
+			}
+		}
+		if fpEligible {
+			fpElig++
+			if fpVaries {
+				fpHits++
+			}
+		}
+
+		// Temporal: consensus of the largest same-fingerprint group of
+		// USD vantage points, recorded only when internally uniform.
+		if units, ok := usdConsensus(byFP, meta); ok {
+			consensus = append(consensus, units)
+		}
 	}
 
+	var v ProductVerdict
+	if geoElig >= 3 {
+		v.Geo.Eligible = true
+		v.Geo.Affected = geoHits*2 > geoElig && sidesConsistent(geoSides)
+	}
+	if fpElig >= 3 {
+		v.Fingerprint.Eligible = true
+		v.Fingerprint.Affected = fpHits*2 > fpElig && sidesConsistent(fpSides)
+	}
+	if len(consensus) >= 3 {
+		v.Temporal.Eligible = true
+		for _, u := range consensus[1:] {
+			if u != consensus[0] {
+				v.Temporal.Affected = true
+				break
+			}
+		}
+	}
+	// Disclosure: a VP that failed extraction in >= MinFailRounds
+	// rounds and never succeeded, while another VP succeeded at least
+	// as often. Transient 503s re-roll per day and cannot sustain this.
+	maxOK := 0
+	for _, n := range okRounds {
+		if n > maxOK {
+			maxOK = n
+		}
+	}
+	if maxOK >= d.opts.MinFailRounds {
+		v.Disclosure.Eligible = true
+		for vp, fails := range failRounds {
+			if fails >= d.opts.MinFailRounds && okRounds[vp] == 0 {
+				v.Disclosure.Affected = true
+				break
+			}
+		}
+	}
+	return v
+}
+
+// Evidence applies the flag rule to one family's summed tallies. The
+// rule lives here so the full-recompute report and the aggregate-backed
+// report cannot diverge on it.
+func (d *Detector) Evidence(f shop.StrategyFamily, affected, eligible int) FamilyEvidence {
+	e := FamilyEvidence{Family: f, Affected: affected, Eligible: eligible}
+	e.Flagged = affected >= d.opts.MinProducts &&
+		eligible > 0 && float64(affected)/float64(eligible) >= d.opts.MinFraction
+	return e
+}
+
+// DetectStrategies attributes a domain's crawl variation to strategy
+// families. It reads SourceCrawl observations only — one Product verdict
+// per crawled product, summed and flagged by the Detector's rule.
+func DetectStrategies(st store.Reader, market *fx.Market, domain string, opts DetectOptions) StrategyReport {
+	d := NewDetector(market, opts)
 	type familyCount struct{ affected, eligible int }
 	counts := map[shop.StrategyFamily]*familyCount{}
 	for _, f := range DetectableFamilies {
 		counts[f] = &familyCount{}
 	}
-
 	for _, obs := range st.DomainGroups(domain, store.SourceCrawl) {
-		rounds := byRound(obs)
-		keys := make([]int, 0, len(rounds))
-		for r := range rounds {
-			keys = append(keys, r)
-		}
-		sort.Ints(keys)
-
-		var (
-			geoElig, geoHits int
-			geoSides         = map[string]*pairVote{}
-			fpElig, fpHits   int
-			fpSides          = map[string]*pairVote{}
-			consensus        []int64 // per-round same-fingerprint USD consensus
-			okRounds         = map[string]int{}
-			failRounds       = map[string]int{} // persistent extraction failures
-		)
-
-		for _, rk := range keys {
-			group := rounds[rk]
-			byFP := map[string][]store.Observation{}  // fingerprint → OK obs
-			byLoc := map[string][]store.Observation{} // location → OK obs
-			for _, o := range group {
-				m, known := meta[o.VP]
-				if !known {
-					continue
-				}
-				if o.OK {
-					okRounds[o.VP]++
-					byFP[m.fingerprint] = append(byFP[m.fingerprint], o)
-					byLoc[m.location] = append(byLoc[m.location], o)
-				} else if strings.Contains(o.Err, "no price") {
-					failRounds[o.VP]++
-				}
+		v := d.Product(obs)
+		for _, f := range DetectableFamilies {
+			c := v.Of(f)
+			if c.Eligible {
+				counts[f].eligible++
 			}
-
-			// Geo: same fingerprint, multiple locations, currency filter.
-			geoEligible, geoVaries := false, false
-			for _, g := range byFP {
-				if spanLocations(g, meta) < 2 {
-					continue
-				}
-				geoEligible = true
-				if _, real := market.RealVariation(quotesOf(g)); real {
-					geoVaries = true
-					tallyPairVotes(market, g, geoSides, acceptGeo)
-				}
-			}
-			if geoEligible {
-				geoElig++
-				if geoVaries {
-					geoHits++
-				}
-			}
-
-			// Fingerprint: same location, multiple fingerprints. Same
-			// location means same display currency, so differing minor
-			// units are a real price difference, no filter needed.
-			fpEligible, fpVaries := false, false
-			for _, g := range byLoc {
-				if spanFingerprints(g, meta) < 2 {
-					continue
-				}
-				fpEligible = true
-				if unitsDiffer(g) {
-					fpVaries = true
-					tallyPairVotes(market, g, fpSides, acceptFingerprint)
-				}
-			}
-			if fpEligible {
-				fpElig++
-				if fpVaries {
-					fpHits++
-				}
-			}
-
-			// Temporal: consensus of the largest same-fingerprint group of
-			// USD vantage points, recorded only when internally uniform.
-			if units, ok := usdConsensus(byFP, meta); ok {
-				consensus = append(consensus, units)
-			}
-		}
-
-		// Product verdicts.
-		if geoElig >= 3 {
-			counts[shop.FamilyGeo].eligible++
-			if geoHits*2 > geoElig && sidesConsistent(geoSides) {
-				counts[shop.FamilyGeo].affected++
-			}
-		}
-		if fpElig >= 3 {
-			counts[shop.FamilyFingerprint].eligible++
-			if fpHits*2 > fpElig && sidesConsistent(fpSides) {
-				counts[shop.FamilyFingerprint].affected++
-			}
-		}
-		if len(consensus) >= 3 {
-			counts[shop.FamilyTemporal].eligible++
-			for _, u := range consensus[1:] {
-				if u != consensus[0] {
-					counts[shop.FamilyTemporal].affected++
-					break
-				}
-			}
-		}
-		// Disclosure: a VP that failed extraction in >= MinFailRounds
-		// rounds and never succeeded, while another VP succeeded at least
-		// as often. Transient 503s re-roll per day and cannot sustain this.
-		maxOK := 0
-		for _, n := range okRounds {
-			if n > maxOK {
-				maxOK = n
-			}
-		}
-		if maxOK >= opts.MinFailRounds {
-			counts[shop.FamilyDisclosure].eligible++
-			for vp, fails := range failRounds {
-				if fails >= opts.MinFailRounds && okRounds[vp] == 0 {
-					counts[shop.FamilyDisclosure].affected++
-					break
-				}
+			if c.Affected {
+				counts[f].affected++
 			}
 		}
 	}
-
 	rep := StrategyReport{Domain: domain, Evidence: map[shop.StrategyFamily]FamilyEvidence{}}
 	for f, c := range counts {
-		e := FamilyEvidence{Family: f, Affected: c.affected, Eligible: c.eligible}
-		e.Flagged = c.affected >= opts.MinProducts &&
-			c.eligible > 0 && float64(c.affected)/float64(c.eligible) >= opts.MinFraction
-		rep.Evidence[f] = e
+		rep.Evidence[f] = d.Evidence(f, c.affected, c.eligible)
 	}
 	return rep
 }

@@ -4,7 +4,9 @@ import (
 	"net/http"
 	"sort"
 
+	"sheriff/internal/aggregate"
 	"sheriff/internal/analysis"
+	"sheriff/internal/fx"
 	"sheriff/internal/shop"
 	"sheriff/internal/store"
 )
@@ -68,13 +70,70 @@ func (s *Server) handleDomainReport(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.opts.Logger, rep)
 }
 
-// domainReport assembles the report off the store's domain indexes and
-// the analysis layer — O(domain's data), not O(dataset).
+// domainReport serves off the incremental engine's aggregates when one
+// is wired (O(products of the domain) at worst, cached between writes),
+// falling back to the full recompute otherwise. The two paths are
+// byte-identical by contract — the differential test in the root package
+// holds them together.
 func (s *Server) domainReport(domain string) DomainReport {
+	if s.analysis != nil {
+		return ReportFromEngine(s.analysis, domain)
+	}
+	return FullDomainReport(s.store, s.backend.Market(), domain)
+}
+
+// ReportFromEngine assembles the wire report off an incremental engine's
+// aggregates — the serving path, exported so the differential tests can
+// hold it against FullDomainReport without a server in between.
+func ReportFromEngine(e *aggregate.Engine, domain string) DomainReport {
+	sum, ok := e.DomainSummary(domain)
+	if !ok {
+		return DomainReport{Domain: domain}
+	}
+	return reportFromSummary(sum)
+}
+
+// reportFromSummary maps the engine's summary onto the wire shape,
+// field for field.
+func reportFromSummary(sum *aggregate.DomainSummary) DomainReport {
+	rep := DomainReport{
+		Domain:       sum.Domain,
+		Observations: sum.Observations,
+		OKPrices:     sum.OKPrices,
+		Products:     sum.Products,
+		Variation: VariationSummary{
+			Products:    sum.Variation.Products,
+			Varied:      sum.Variation.Varied,
+			Extent:      sum.Variation.Extent,
+			MaxRatio:    sum.Variation.MaxRatio,
+			MedianRatio: sum.Variation.MedianRatio,
+		},
+	}
+	if len(sum.BySource) > 0 {
+		rep.BySource = make(map[string]SourceCount, len(sum.BySource))
+		for src, sc := range sum.BySource {
+			rep.BySource[src] = SourceCount{Total: sc.Total, OK: sc.OK}
+		}
+	}
+	for _, f := range sum.Families {
+		rep.Families = append(rep.Families, FamilyVerdict{
+			Family: f.Family, Flagged: f.Flagged,
+			Affected: f.Affected, Eligible: f.Eligible,
+			Share: f.Share,
+		})
+	}
+	return rep
+}
+
+// FullDomainReport assembles the report by full recomputation off the
+// store's domain indexes and the analysis layer — O(domain's data) per
+// call. This is the reference path the aggregate-backed report must
+// match byte for byte; the differential tests call it directly.
+func FullDomainReport(st store.Reader, market *fx.Market, domain string) DomainReport {
 	rep := DomainReport{Domain: domain}
 
 	// Counts off one streaming pass over the domain's observations.
-	for o := range s.store.Scan(store.Query{Domain: domain, Round: -1}) {
+	for o := range st.Scan(store.Query{Domain: domain, Round: -1}) {
 		rep.Observations++
 		if o.OK {
 			rep.OKPrices++
@@ -95,9 +154,8 @@ func (s *Server) domainReport(domain string) DomainReport {
 
 	// Variation per product group, through the same GroupRatio the
 	// figures use (currency filter included).
-	market := s.backend.Market()
 	var ratios []float64
-	for _, group := range s.store.DomainGroups(domain, "") {
+	for _, group := range st.DomainGroups(domain, "") {
 		rep.Variation.Products++
 		if ratio, varies := analysis.GroupRatio(market, group); varies {
 			rep.Variation.Varied++
@@ -116,7 +174,7 @@ func (s *Server) domainReport(domain string) DomainReport {
 
 	// Strategy attribution: which discrimination families the fleet's
 	// structure pins the variation on.
-	verdict := analysis.DetectStrategies(s.store, market, domain, analysis.DetectOptions{})
+	verdict := analysis.DetectStrategies(st, market, domain, analysis.DetectOptions{})
 	fams := make([]string, 0, len(verdict.Evidence))
 	for f := range verdict.Evidence {
 		fams = append(fams, string(f))

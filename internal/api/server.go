@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sheriff/internal/aggregate"
 	"sheriff/internal/backend"
 	"sheriff/internal/store"
 )
@@ -39,6 +40,12 @@ type Options struct {
 	// Now is the wall clock the rate limiter refills on; nil uses
 	// time.Now. Injectable for tests.
 	Now func() time.Time
+	// Analysis is the incremental analysis engine. When set, domain
+	// reports are served from its per-domain aggregates (O(delta) instead
+	// of O(store)), /api/v1/events exposes its event log, and /api/v1/stats
+	// gains an "analysis" block. Nil falls back to full recomputation and
+	// an empty event history.
+	Analysis *aggregate.Engine
 }
 
 // Server is the versioned HTTP surface:
@@ -54,10 +61,11 @@ type Options struct {
 // responses stay byte-identical to the pre-v1 server (the beta extension
 // contract; frozen by golden test).
 type Server struct {
-	backend *backend.Backend
-	store   store.Reader
-	opts    Options
-	handler http.Handler
+	backend  *backend.Backend
+	store    store.Reader
+	opts     Options
+	analysis *aggregate.Engine
+	handler  http.Handler
 
 	// requests counts everything served; rateDenied what the limiter
 	// rejected. Both surface in /api/v1/stats.
@@ -79,7 +87,7 @@ func NewServer(b *backend.Backend, opts Options) *Server {
 		}
 	}
 	opts.AllowedOrigins = origins
-	s := &Server{backend: b, store: b.Store(), opts: opts}
+	s := &Server{backend: b, store: b.Store(), opts: opts, analysis: opts.Analysis}
 
 	mux := http.NewServeMux()
 	// v1 routes. Method checks live in the handlers so the miss is the
@@ -89,6 +97,7 @@ func NewServer(b *backend.Backend, opts Options) *Server {
 	mux.HandleFunc("/api/v1/domains/{domain}/report", s.handleDomainReport)
 	mux.HandleFunc("/api/v1/stats", s.handleStats)
 	mux.HandleFunc("/api/v1/anchors", s.handleAnchors)
+	mux.HandleFunc("/api/v1/events", s.handleEvents)
 	mux.HandleFunc("/api/v1/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, opts.Logger, errf(http.StatusNotFound, CodeNotFound,
 			"no such endpoint: %s", r.URL.Path))
@@ -308,8 +317,9 @@ type StatsResponse struct {
 		Hits   uint64 `json:"hits"`
 		Misses uint64 `json:"misses"`
 	} `json:"cache"`
-	Durable *store.DurableStats `json:"durable,omitempty"`
-	Server  struct {
+	Durable  *store.DurableStats `json:"durable,omitempty"`
+	Analysis *aggregate.Stats    `json:"analysis,omitempty"`
+	Server   struct {
 		Requests    uint64 `json:"requests"`
 		RateLimited uint64 `json:"rate_limited"`
 	} `json:"server"`
@@ -346,6 +356,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if d, ok := s.backend.Store().(*store.Durable); ok {
 		stats := d.Stats()
 		resp.Durable = &stats
+	}
+	if s.analysis != nil {
+		stats := s.analysis.Stats()
+		resp.Analysis = &stats
 	}
 	resp.Server.Requests = s.requests.Load()
 	if s.rateDenied != nil {

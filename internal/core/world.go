@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"time"
 
+	"sheriff/internal/aggregate"
 	"sheriff/internal/backend"
 	"sheriff/internal/fx"
 	"sheriff/internal/geo"
@@ -73,6 +74,12 @@ type World struct {
 	Store store.Backend
 	// Backend is the $heriff service.
 	Backend *backend.Backend
+	// Analysis is the incremental analysis engine: per-domain aggregates
+	// folded on every store write, an event log of threshold crossings and
+	// strategy flips. It attaches to Store at construction — a recovered
+	// durable backend is rebuilt into aggregates before the first campaign
+	// writes.
+	Analysis *aggregate.Engine
 	// Retailers maps every domain to its ground-truth retailer.
 	Retailers map[string]*shop.Retailer
 	// Crawled lists the 21 systematically crawled domains.
@@ -144,6 +151,7 @@ func NewWorld(opts WorldOptions) *World {
 	}
 
 	w.Backend = backend.New(w.Registry, w.Clock, w.Market, geo.VantagePoints(), w.Store)
+	w.Analysis = aggregate.New(w.Store, w.Market, aggregate.Options{})
 	return w
 }
 

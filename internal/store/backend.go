@@ -60,6 +60,10 @@ type Backend interface {
 	Add(o Observation)
 	// AddAll appends a batch, preserving batch order.
 	AddAll(os []Observation)
+	// SetObserver installs the write-path observer: fn receives every
+	// applied batch after its rows are visible to readers. Install before
+	// concurrent writers start; nil removes it.
+	SetObserver(fn Observer)
 }
 
 // Both engines implement the full Backend contract.

@@ -485,6 +485,13 @@ func (d *Durable) sweepExcept(keep uint64) error {
 // Add appends one observation durably.
 func (d *Durable) Add(o Observation) { d.AddAll([]Observation{o}) }
 
+// SetObserver installs the write-path observer on the underlying memory
+// engine — every durable AddAll applies through it, so one hook covers
+// both engines. Recovery runs before a caller can attach, so an engine
+// that needs the recovered rows must rebuild from the store's contents
+// first (aggregate.New does).
+func (d *Durable) SetObserver(fn Observer) { d.mem.SetObserver(fn) }
+
 // AddAll logs the batch shard by shard, then applies it to the memory
 // engine — identical sequence numbers on both sides, so recovery replays
 // the log into exactly the order live readers saw. Under FsyncAlways the

@@ -115,7 +115,16 @@ type Store struct {
 	// batches apply out of reservation order.
 	wmMu     sync.Mutex
 	inflight map[uint64]struct{}
+
+	// observer, when set, receives every applied batch (see SetObserver).
+	observer Observer
 }
+
+// Observer receives each applied batch on the writer's goroutine, after
+// the batch's rows are visible to readers and its reservation released —
+// the write-path fold hook the incremental analysis engine hangs off.
+// The slice is the caller's; treat it as read-only and do not retain it.
+type Observer func(batch []Observation)
 
 // New returns an empty store.
 func New() *Store {
@@ -126,14 +135,16 @@ func New() *Store {
 	return s
 }
 
-// Add appends one observation.
+// SetObserver installs the write-path observer (nil removes it). Install
+// before concurrent writers start — typically right after construction or
+// recovery — and fold the store's existing contents first: batches applied
+// while no observer is set are not replayed.
+func (s *Store) SetObserver(fn Observer) { s.observer = fn }
+
+// Add appends one observation. It routes through AddAll so the write
+// path — observer included — is one code path.
 func (s *Store) Add(o Observation) {
-	base := s.reserve(1)
-	sh := &s.shards[shardIdx(o.Domain)]
-	sh.mu.Lock()
-	sh.add(o, base+1)
-	sh.mu.Unlock()
-	s.applied(base)
+	s.AddAll([]Observation{o})
 }
 
 // AddAll appends a batch, preserving batch order in the store's global
@@ -186,10 +197,11 @@ func (s *Store) Watermark() uint64 {
 	return w
 }
 
-// addAllAt appends a batch under an already-reserved sequence base and
-// releases the reservation.
+// addAllAt appends a batch under an already-reserved sequence base,
+// releases the reservation, then hands the batch to the observer (if
+// any) — outside every shard lock, so an observer may freely read the
+// store.
 func (s *Store) addAllAt(os []Observation, base uint64) {
-	defer s.applied(base)
 	groups, single := groupByShard(os)
 	if single >= 0 {
 		// Fast path: single-shard batches (the common shape — one product
@@ -200,18 +212,22 @@ func (s *Store) addAllAt(os []Observation, base uint64) {
 			sh.add(os[i], base+uint64(i)+1)
 		}
 		sh.mu.Unlock()
-		return
+	} else {
+		for si := range groups {
+			if len(groups[si]) == 0 {
+				continue
+			}
+			sh := &s.shards[si]
+			sh.mu.Lock()
+			for _, i := range groups[si] {
+				sh.add(os[i], base+uint64(i)+1)
+			}
+			sh.mu.Unlock()
+		}
 	}
-	for si := range groups {
-		if len(groups[si]) == 0 {
-			continue
-		}
-		sh := &s.shards[si]
-		sh.mu.Lock()
-		for _, i := range groups[si] {
-			sh.add(os[i], base+uint64(i)+1)
-		}
-		sh.mu.Unlock()
+	s.applied(base)
+	if obs := s.observer; obs != nil {
+		obs(os)
 	}
 }
 

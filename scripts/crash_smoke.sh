@@ -89,6 +89,36 @@ durable_fsync() {
   curl -sf "http://$ADDR/api/stats" | python3 -c 'import json,sys; print(json.load(sys.stdin)["durable"]["fsync"])'
 }
 
+# variation_events counts the TypeVariation entries in the event history.
+# The folded group ratio is monotone, so each product group crosses the
+# threshold exactly once — the count must survive a kill -9 recovery
+# rebuild exactly.
+variation_events() {
+  curl -sf "http://$ADDR/api/v1/events" \
+    | python3 -c 'import json,sys; print(sum(1 for e in json.load(sys.stdin)["events"] if e["type"]=="variation"))'
+}
+
+# check_analysis cross-checks the incremental engine against the store on
+# a live server: every store row folded, and the event history parses
+# with strictly increasing sequence numbers.
+check_analysis() {
+  curl -sf "http://$ADDR/api/v1/stats" | python3 -c '
+import json,sys
+d = json.load(sys.stdin)
+a = d.get("analysis")
+assert a is not None, "stats missing the analysis block"
+folded, obs = a["observations_folded"], d["observations"]
+assert folded == obs, "folded %d != store %d" % (folded, obs)
+'
+  curl -sf "http://$ADDR/api/v1/events" | python3 -c '
+import json,sys
+evs = json.load(sys.stdin)["events"]
+seqs = [e["seq"] for e in evs]
+assert seqs == sorted(set(seqs)), "event seqs not strictly increasing"
+'
+  say "analysis block consistent (folded == observations, event seqs strict)"
+}
+
 say "phase 1: boot on an empty data dir"
 start_server
 [ "$(durable_fsync)" = "always" ] || { say "stats missing the durable block"; exit 1; }
@@ -103,6 +133,9 @@ say "phase 1: flush point = $flush_point observations"
 
 say "phase 1: v1 surface (loadgen drove POST /api/v1/checks through the SDK)"
 check_v1_surface
+check_analysis
+events_flush="$(variation_events)"
+say "phase 1: $events_flush variation events at the flush point"
 
 say "phase 1: kill -9 (quiesced) and restart"
 kill -9 "$srv_pid"
@@ -121,6 +154,14 @@ grep -q "recovered $flush_point observations" "$logfile" || {
   cat "$logfile"
   exit 1
 }
+
+say "phase 1: event history rebuilt from recovery"
+events_recovered="$(variation_events)"
+if [ "$events_recovered" -ne "$events_flush" ]; then
+  say "FAIL: recovery rebuilt $events_recovered variation events, flush point had $events_flush"
+  exit 1
+fi
+check_analysis
 
 say "phase 2: kill -9 mid-round"
 "$workdir/loadgen" -addr "http://$ADDR" -seed "$SEED" -longtail "$LONGTAIL" \
@@ -143,6 +184,12 @@ fi
 
 say "phase 2: v1 surface after torn-tail recovery"
 check_v1_surface
+check_analysis
+events_torn="$(variation_events)"
+if [ "$events_torn" -lt "$events_flush" ]; then
+  say "FAIL: torn-tail recovery lost variation events ($events_torn < $events_flush)"
+  exit 1
+fi
 
 say "phase 2: clean shutdown still works"
 kill -TERM "$srv_pid"
@@ -152,6 +199,11 @@ for _ in $(seq 1 50); do
 done
 grep -q "data dir flushed" "$logfile" || {
   say "FAIL: graceful drain did not flush the data dir"
+  cat "$logfile"
+  exit 1
+}
+grep -q "event log sealed" "$logfile" || {
+  say "FAIL: graceful drain did not seal the event log"
   cat "$logfile"
   exit 1
 }

@@ -24,13 +24,16 @@
 package sheriff
 
 import (
+	"sheriff/internal/aggregate"
 	"sheriff/internal/analysis"
 	"sheriff/internal/api"
 	"sheriff/internal/backend"
 	"sheriff/internal/core"
 	"sheriff/internal/crawler"
 	"sheriff/internal/crowd"
+	"sheriff/internal/events"
 	"sheriff/internal/extract"
+	"sheriff/internal/fx"
 	"sheriff/internal/geo"
 	"sheriff/internal/shop"
 	"sheriff/internal/store"
@@ -108,12 +111,21 @@ type API = api.Server
 type APIOptions = api.Options
 
 // NewAPI wraps a world's backend for HTTP serving with default options
-// (CORS open, 1 MiB bodies, no rate limit).
-func NewAPI(w *World) *API { return api.NewServer(w.Backend, api.Options{}) }
+// (CORS open, 1 MiB bodies, no rate limit). The world's incremental
+// analysis engine backs the domain-report and events endpoints.
+func NewAPI(w *World) *API { return NewAPIWithOptions(w, api.Options{}) }
 
 // NewAPIWithOptions is NewAPI with an explicit middleware configuration
-// (cmd/sheriffd wires its flags through this).
-func NewAPIWithOptions(w *World, opts APIOptions) *API { return api.NewServer(w.Backend, opts) }
+// (cmd/sheriffd wires its flags through this). Options.Analysis defaults
+// to the world's engine; set it explicitly to override (or leave the
+// engine out of a server on purpose — Options with a non-nil Analysis
+// are passed through untouched).
+func NewAPIWithOptions(w *World, opts APIOptions) *API {
+	if opts.Analysis == nil {
+		opts.Analysis = w.Analysis
+	}
+	return api.NewServer(w.Backend, opts)
+}
 
 // Wire shapes of the v1 API, aliased so the server and the client SDK
 // (sheriff/client) share one definition and cannot drift: a field added
@@ -131,9 +143,57 @@ type (
 	APISourceCount = api.SourceCount
 	// APIDomainReport is the per-domain variation + strategy report.
 	APIDomainReport = api.DomainReport
+	// APIEventsPage is one /api/v1/events history page.
+	APIEventsPage = api.EventsPage
 	// APIWireError is the typed error object inside the v1 envelope.
 	APIWireError = api.Error
 )
+
+// The incremental analysis engine: per-domain aggregates maintained as a
+// fold on every store write, so reports and strategy verdicts answer in
+// O(domains touched by the delta) instead of O(store), plus a typed
+// event log of variation-threshold crossings and strategy-family flips.
+// Every World carries one (World.Analysis); build one directly to attach
+// to a recovered read-only store.
+type (
+	// AnalysisEngine maintains the per-domain aggregates and event log.
+	AnalysisEngine = aggregate.Engine
+	// AnalysisOptions tunes the engine (detector options, variation
+	// threshold, an external event log).
+	AnalysisOptions = aggregate.Options
+	// AnalysisStats is the engine's counter block inside APIStats.
+	AnalysisStats = aggregate.Stats
+	// DomainSummary is one domain's aggregate snapshot.
+	DomainSummary = aggregate.DomainSummary
+	// Event is one analysis event: a product group's variation ratio
+	// crossing the threshold, or a strategy family flipping.
+	Event = events.Event
+	// EventLog is the append-only in-process event history.
+	EventLog = events.Log
+	// Market is the FX market aggregates convert through (World.Market).
+	Market = fx.Market
+)
+
+// Event types an EventLog carries.
+const (
+	EventVariation = events.TypeVariation
+	EventStrategy  = events.TypeStrategy
+)
+
+// NewAnalysisEngine attaches an incremental analysis engine to a store
+// backend: rebuilds aggregates from what the store already holds, then
+// folds every subsequent write. NewWorld does this for you; call it
+// directly when composing a custom backend.
+func NewAnalysisEngine(b StoreBackend, market *fx.Market, opts AnalysisOptions) *AnalysisEngine {
+	return aggregate.New(b, market, opts)
+}
+
+// NewAnalysisReader builds aggregates over a read-only store (e.g. one
+// recovered with OpenDataDirReadOnly) without attaching a write
+// observer.
+func NewAnalysisReader(st StoreReader, market *fx.Market, opts AnalysisOptions) *AnalysisEngine {
+	return aggregate.NewReader(st, market, opts)
+}
 
 // Anchor is a learned price-extraction anchor (path + context).
 type Anchor = extract.Anchor
