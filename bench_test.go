@@ -683,18 +683,21 @@ func BenchmarkDurableAddAll(b *testing.B) {
 }
 
 // BenchmarkRecovery measures opening a 50K-observation data directory in
-// its two extreme states: the whole dataset in the WAL tail (a kill -9
-// right after heavy writes) and the whole dataset compacted into
-// snapshot segments (a clean lifecycle). Sub-benchmark names are stable;
-// the size lives here in the comment, not in the name.
+// its extreme states: the whole dataset in the WAL tail (a kill -9
+// right after heavy writes), the dataset compacted into time-bucketed
+// snapshot segments — benchObservations spans 7 simulated days, so the
+// default 24h bucket yields 7 buckets with the 6 cold ones gzipped, and
+// recovery pays the decompression — and the same dataset compacted flat
+// into one uncompressed bucket for contrast. Sub-benchmark names are
+// stable; the size lives here in the comment, not in the name.
 func BenchmarkRecovery(b *testing.B) {
 	const rows = 50_000
-	prep := func(b *testing.B, compact bool) string {
+	prep := func(b *testing.B, opts store.DurableOptions, compact bool) string {
 		b.Helper()
 		dir := b.TempDir()
-		d, _, err := store.OpenDurable(dir, store.DurableOptions{
-			Fsync: store.FsyncNever, CompactWALBytes: -1,
-		})
+		opts.Fsync = store.FsyncNever
+		opts.CompactWALBytes = -1
+		d, _, err := store.OpenDurable(dir, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -718,10 +721,17 @@ func BenchmarkRecovery(b *testing.B) {
 	}
 	for _, mode := range []struct {
 		name    string
+		opts    store.DurableOptions
 		compact bool
-	}{{"wal-replay", false}, {"snapshot-load", true}} {
+	}{
+		{"wal-replay", store.DurableOptions{}, false},
+		{"snapshot-load", store.DurableOptions{}, true},
+		// A width whose epoch-aligned boundaries bracket the whole
+		// dataset, so the flat contrast really is one bucket.
+		{"snapshot-load-flat", store.DurableOptions{BucketDuration: 1000 * 24 * time.Hour}, true},
+	} {
 		b.Run(mode.name, func(b *testing.B) {
-			dir := prep(b, mode.compact)
+			dir := prep(b, mode.opts, mode.compact)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -731,6 +741,33 @@ func BenchmarkRecovery(b *testing.B) {
 				}
 				if st.Len() != rows || rep.Rows() != rows {
 					b.Fatalf("recovered %d rows, want %d", st.Len(), rows)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreScanTimeWindow measures a time-bounded ScanRange — the
+// v1 observations path with since/until — where the only filter is the
+// time window, so the store answers from bucket selection (one of the
+// dataset's 7 daily buckets scanned, 6 skipped) instead of walking the
+// full sequence range.
+func BenchmarkStoreScanTimeWindow(b *testing.B) {
+	day := time.Date(2013, 2, 1, 0, 0, 0, 0, time.UTC)
+	for _, size := range storeBenchSizes {
+		st := store.New()
+		st.AddAll(benchObservations(size.n))
+		q := store.Query{Round: -1, Since: day.AddDate(0, 0, 2), Until: day.AddDate(0, 0, 3)}
+		b.Run(size.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows := 0
+				for _, o := range st.ScanRange(q, 0, st.Watermark()) {
+					_ = o
+					rows++
+				}
+				if rows == 0 {
+					b.Fatal("empty window")
 				}
 			}
 		})

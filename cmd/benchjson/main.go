@@ -13,7 +13,12 @@
 // benchmark present in both regressed past the threshold on the gated
 // metric:
 //
-//	benchjson -compare [-metric ns/op] [-threshold 25] old.json new.json
+//	benchjson -compare [-metric ns/op] [-threshold 25] [-filter regex] old.json new.json
+//
+// -filter restricts the gate to benchmarks whose "pkg.name" identity
+// matches the regex, so one suite can carry gates at different
+// strictness: a loose catastrophic-only gate over everything plus a
+// tighter one over, say, the recovery benchmarks.
 //
 // Duplicate entries (from -count>1) are averaged per benchmark name
 // before any pairing, so the gate compares one mean per side. Pairing is
@@ -37,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -69,6 +75,7 @@ func main() {
 	compareMode := flag.Bool("compare", false, "compare two benchmark JSON files and fail on regressions")
 	metric := flag.String("metric", "ns/op", "metric to gate on in -compare mode")
 	threshold := flag.Float64("threshold", 25, "allowed regression in percent before -compare fails")
+	filter := flag.String("filter", "", "in -compare mode, gate only benchmarks whose pkg.name matches this regex")
 	flag.Parse()
 
 	if *compareMode {
@@ -85,6 +92,22 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
+		}
+		if *filter != "" {
+			re, err := regexp.Compile(*filter)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad -filter: %v\n", err)
+				os.Exit(2)
+			}
+			// Filtering both sides keeps the one-side-only report lists
+			// scoped to the gated set instead of flagging every benchmark
+			// the filter excluded.
+			filterDoc(oldDoc, re)
+			filterDoc(newDoc, re)
+			if len(oldDoc.Benchmarks) == 0 && len(newDoc.Benchmarks) == 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: -filter %q matches no benchmark in either document\n", *filter)
+				os.Exit(2)
+			}
 		}
 		rep := compare(oldDoc, newDoc, *metric, *threshold)
 		fmt.Print(rep.String())
@@ -107,6 +130,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// filterDoc drops benchmarks whose identity does not match re.
+func filterDoc(doc *Doc, re *regexp.Regexp) {
+	kept := doc.Benchmarks[:0]
+	for _, res := range doc.Benchmarks {
+		if re.MatchString(benchID{Pkg: res.Pkg, Name: res.Name}.String()) {
+			kept = append(kept, res)
+		}
+	}
+	doc.Benchmarks = kept
 }
 
 // readDoc loads a benchmark JSON artifact from disk.

@@ -12,6 +12,14 @@
 //
 //	sheriffd -addr :8080 -data-dir ./sheriff-data -fsync always
 //
+// Durable segments are keyed by time bucket (-bucket, default 24h of
+// simulated observation time). Cold buckets — all but the newest —
+// compress to gzip at each compaction, and retention prunes whole
+// buckets: -retain-age drops buckets older than the newest observation
+// minus the age, -retain-bytes evicts oldest-first to a disk budget.
+// Pruning is recorded in the manifest, so restarts recover only live
+// buckets and /api/v1/stats reports the cumulative totals.
+//
 // Endpoints (v1; see README "API reference" for the full table):
 //
 //	POST /api/v1/checks                    one check or {"checks":[...]} batch
@@ -68,6 +76,10 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	dataDir := flag.String("data-dir", "", "durable data directory (empty: in-memory, lost on exit)")
 	fsyncMode := flag.String("fsync", "always", "durable WAL flush policy: always, interval or never")
+	bucket := flag.Duration("bucket", 0, "time-bucket width in simulated observation time (default 24h)")
+	retainAge := flag.Duration("retain-age", 0, "prune buckets older than this vs the newest observation (0 = keep forever)")
+	retainBytes := flag.Int64("retain-bytes", 0, "prune oldest buckets until the snapshot fits this many bytes (0 = unlimited)")
+	compactWAL := flag.Int64("compact-wal-bytes", 0, "compact once the WAL exceeds this many bytes (default 32MiB)")
 	corsOrigins := flag.String("cors-origin", "*", "comma-separated CORS allowlist for the extension ('*' = any origin)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-client requests/second (0 = unlimited)")
 	rateBurst := flag.Int("rate-burst", 0, "rate-limit bucket depth (default: the rate)")
@@ -85,7 +97,13 @@ func main() {
 		if err != nil {
 			log.Fatalf("sheriffd: %v", err)
 		}
-		d, rep, err := sheriff.OpenDataDir(*dataDir, sheriff.DurableOptions{Fsync: policy})
+		d, rep, err := sheriff.OpenDataDir(*dataDir, sheriff.DurableOptions{
+			Fsync:           policy,
+			BucketDuration:  *bucket,
+			RetainAge:       *retainAge,
+			RetainBytes:     *retainBytes,
+			CompactWALBytes: *compactWAL,
+		})
 		if err != nil {
 			log.Fatalf("sheriffd: open %s: %v", *dataDir, err)
 		}

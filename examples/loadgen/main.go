@@ -42,6 +42,10 @@ func main() {
 	requests := flag.Int("requests", 0, "total checks (0 = 20 per user)")
 	rounds := flag.Int("rounds", 4, "synchronized rounds")
 	dataDir := flag.String("data-dir", "", "run the in-process server on a durable data dir (ignored with -addr)")
+	bucket := flag.Duration("bucket", 0, "durable time-bucket width (default 24h; with -data-dir)")
+	retainAge := flag.Duration("retain-age", 0, "durable retention age (0 = keep forever; with -data-dir)")
+	retainBytes := flag.Int64("retain-bytes", 0, "durable snapshot disk budget in bytes (0 = unlimited; with -data-dir)")
+	compactWAL := flag.Int64("compact-wal-bytes", 0, "durable WAL compaction trigger in bytes (default 32MiB; with -data-dir)")
 	flag.Parse()
 
 	// The local twin: against a live server it provides the users' eyes
@@ -50,7 +54,12 @@ func main() {
 	// the WAL write path end to end.
 	var backing sheriff.StoreBackend
 	if *dataDir != "" && *addr == "" {
-		d, rep, err := sheriff.OpenDataDir(*dataDir, sheriff.DurableOptions{})
+		d, rep, err := sheriff.OpenDataDir(*dataDir, sheriff.DurableOptions{
+			BucketDuration:  *bucket,
+			RetainAge:       *retainAge,
+			RetainBytes:     *retainBytes,
+			CompactWALBytes: *compactWAL,
+		})
 		if err != nil {
 			log.Fatalf("open %s: %v", *dataDir, err)
 		}

@@ -191,6 +191,11 @@ type Engine struct {
 	folded   atomic.Uint64 // observations folded (writes + rebuild)
 	hits     atomic.Uint64 // DomainSummary served from cache
 	rebuilds atomic.Uint64 // DomainSummary cache assemblies
+
+	// muted suppresses event emission during a Refold's rebuild: the
+	// refolded state diffs against the pre-refold state afterwards, so
+	// only real changes reach the log — never a replay of history.
+	muted atomic.Bool
 }
 
 // New builds an engine over an open backend: the store's existing
@@ -375,10 +380,12 @@ func (e *Engine) foldDomain(domain string, obs []store.Observation, deferTouched
 				if !g.crossed {
 					if r, real := g.ratio(); real && r >= e.threshold {
 						g.crossed = true
-						e.log.Append(events.Event{
-							Time: o.Time, Type: events.TypeVariation,
-							Domain: domain, SKU: o.SKU, Ratio: r,
-						})
+						if !e.muted.Load() {
+							e.log.Append(events.Event{
+								Time: o.Time, Type: events.TypeVariation,
+								Domain: domain, SKU: o.SKU, Ratio: r,
+							})
+						}
 					}
 				}
 			}
@@ -459,11 +466,98 @@ func (e *Engine) evalFlags(d *domainAgg, domain string) {
 			continue
 		}
 		d.flagged[i] = ev.Flagged
-		e.log.Append(events.Event{
-			Time: d.lastTime, Type: events.TypeStrategy,
-			Domain: domain, Family: string(f), Flagged: ev.Flagged,
-			Affected: ev.Affected, Eligible: ev.Eligible,
-		})
+		if !e.muted.Load() {
+			e.log.Append(events.Event{
+				Time: d.lastTime, Type: events.TypeStrategy,
+				Domain: domain, Family: string(f), Flagged: ev.Flagged,
+				Affected: ev.Affected, Eligible: ev.Eligible,
+			})
+		}
+	}
+}
+
+// Refold rebuilds every aggregate from the store's current contents —
+// the retention hook: after the durable engine prunes whole time buckets
+// from the store, the folded counters, ratios and verdicts must describe
+// the surviving rows, exactly as a fresh fold of them would. The durable
+// engine calls this under its exclusive write gate (no concurrent
+// folds); concurrent readers may observe partially rebuilt aggregates
+// for the duration, the same transient a process restart has always
+// shown.
+//
+// Event history is not replayed: the rebuild runs muted, then the new
+// state diffs against the old — a variation threshold a surviving group
+// already crossed stays crossed (no duplicate event, even though the
+// pruned rows may have been what crossed it), and a strategy verdict is
+// emitted only for domains whose flag actually flipped because evidence
+// was pruned away.
+func (e *Engine) Refold() {
+	// Capture what must survive or diff, then clear every shard.
+	type oldDomain struct {
+		crossed  map[string]struct{}
+		flagged  [4]bool
+		lastTime time.Time
+	}
+	old := make(map[string]*oldDomain)
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for domain, d := range sh.domains {
+			od := &oldDomain{flagged: d.flagged, lastTime: d.lastTime}
+			for sku, g := range d.groups {
+				if g.crossed {
+					if od.crossed == nil {
+						od.crossed = make(map[string]struct{})
+					}
+					od.crossed[sku] = struct{}{}
+				}
+			}
+			old[domain] = od
+		}
+		sh.domains = make(map[string]*domainAgg)
+		sh.mu.Unlock()
+	}
+	// The fold counter restarts with the aggregates, keeping the
+	// "folded == store length" invariant the stats surface promises.
+	e.folded.Store(0)
+
+	e.muted.Store(true)
+	e.rebuild()
+	e.muted.Store(false)
+
+	// Carry sticky state forward and emit only real changes. Pruning
+	// removes rows, so the old domain set covers the new one.
+	for domain, od := range old {
+		sh := &e.shards[shardIdx(domain)]
+		sh.mu.Lock()
+		d := sh.domains[domain]
+		var newFlagged [4]bool
+		when := od.lastTime
+		if d != nil {
+			for sku := range od.crossed {
+				if g := d.groups[sku]; g != nil {
+					g.crossed = true
+				}
+			}
+			newFlagged = d.flagged
+			when = d.lastTime
+		}
+		for i, f := range analysis.DetectableFamilies {
+			if od.flagged[i] == newFlagged[i] {
+				continue
+			}
+			var c famCount
+			if d != nil {
+				c = d.fam[i]
+			}
+			ev := e.det.Evidence(f, c.affected, c.eligible)
+			e.log.Append(events.Event{
+				Time: when, Type: events.TypeStrategy,
+				Domain: domain, Family: string(f), Flagged: newFlagged[i],
+				Affected: ev.Affected, Eligible: ev.Eligible,
+			})
+		}
+		sh.mu.Unlock()
 	}
 }
 

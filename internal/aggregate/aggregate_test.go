@@ -2,6 +2,7 @@ package aggregate_test
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -28,7 +29,11 @@ func obs(domain, sku, vp string, units int64, currency string, t time.Time) stor
 // fixture populates a store with a spread of domains, products,
 // currencies and failure rows — enough shape to exercise every fold
 // branch without a full world.
-func fixture(st store.Backend) {
+func fixture(st store.Backend) { fixtureAt(st, day) }
+
+// fixtureAt is fixture with the observation times anchored at `when`, so
+// multi-day datasets (the retention tests) reuse the same shape.
+func fixtureAt(st store.Backend, when time.Time) {
 	var batch []store.Observation
 	for d := 0; d < 5; d++ {
 		domain := fmt.Sprintf("shop-%d.example", d)
@@ -36,10 +41,10 @@ func fixture(st store.Backend) {
 			sku := fmt.Sprintf("SKU-%d", p)
 			base := int64(1000 + 100*p)
 			batch = append(batch,
-				obs(domain, sku, "us-nyc", base, "USD", day),
-				obs(domain, sku, "uk-lon", base+int64(d*p)*37, "USD", day.Add(time.Hour)),
-				obs(domain, sku, "de-ber", base*2, "EUR", day.Add(2*time.Hour)),
-				obs(domain, sku, "br-sao", 0, "", day.Add(3*time.Hour)), // failed extraction
+				obs(domain, sku, "us-nyc", base, "USD", when),
+				obs(domain, sku, "uk-lon", base+int64(d*p)*37, "USD", when.Add(time.Hour)),
+				obs(domain, sku, "de-ber", base*2, "EUR", when.Add(2*time.Hour)),
+				obs(domain, sku, "br-sao", 0, "", when.Add(3*time.Hour)), // failed extraction
 			)
 		}
 	}
@@ -313,6 +318,63 @@ func TestConcurrentFoldAndRead(t *testing.T) {
 		wantRep := analysis.DetectStrategies(st, market, d, analysis.DetectOptions{})
 		if fmt.Sprintf("%+v", gotRep.Evidence) != fmt.Sprintf("%+v", wantRep.Evidence) {
 			t.Errorf("%s strategy diverged:\n aggregate %+v\n full      %+v", d, gotRep.Evidence, wantRep.Evidence)
+		}
+	}
+}
+
+// TestRefoldMatchesFreshFold is the retention counterpart of the
+// equivalence test above: after a durable checkpoint prunes whole time
+// buckets (firing the engine's Refold through the prune hook), the
+// rebuilt aggregates must be indistinguishable from an engine freshly
+// folded over the surviving rows — same per-domain summaries, same
+// strategy verdicts, same folded counter.
+func TestRefoldMatchesFreshFold(t *testing.T) {
+	market := fx.NewMarket(7)
+	d, _, err := store.OpenDurable(t.TempDir(), store.DurableOptions{
+		Fsync:           store.FsyncNever,
+		CompactWALBytes: -1,
+		BucketDuration:  24 * time.Hour,
+		// Newest rows land 3h into day 2; minus 24h cuts inside day 1, so
+		// day 0 is pruned and days 1-2 survive.
+		RetainAge: 24 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	eng := aggregate.New(d, market, aggregate.Options{})
+	d.SetPruneHook(eng.Refold)
+
+	for k := 0; k < 3; k++ {
+		fixtureAt(d, day.AddDate(0, 0, k))
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().PrunedRows; got == 0 {
+		t.Fatal("checkpoint pruned nothing; the test exercises no refold")
+	}
+	if folded := eng.Stats().ObservationsFolded; folded != uint64(d.Len()) {
+		t.Fatalf("folded %d != surviving rows %d", folded, d.Len())
+	}
+
+	fresh := aggregate.NewReader(d, market, aggregate.Options{})
+	for i := 0; i < 5; i++ {
+		domain := fmt.Sprintf("shop-%d.example", i)
+		got, okGot := eng.DomainSummary(domain)
+		want, okWant := fresh.DomainSummary(domain)
+		if okGot != okWant {
+			t.Fatalf("%s: refolded ok=%v, fresh fold ok=%v", domain, okGot, okWant)
+		}
+		if !okGot {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: refolded summary diverges from fresh fold:\n got %+v\nwant %+v",
+				domain, got, want)
+		}
+		if gr, wr := eng.StrategyReport(domain), fresh.StrategyReport(domain); !reflect.DeepEqual(gr, wr) {
+			t.Errorf("%s: refolded strategy report diverges:\n got %+v\nwant %+v", domain, gr, wr)
 		}
 	}
 }

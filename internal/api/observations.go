@@ -8,6 +8,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"sheriff/internal/store"
 )
@@ -100,6 +101,25 @@ func parseObservationsQuery(values url.Values) (q store.Query, limit int, after 
 				"bad ok %q (want true/false)", v).withDetail(convErr)
 		}
 		q.OnlyOK = b
+	}
+	// since/until bound observation time as [since, until), RFC 3339.
+	// Unbounded scans walk indexes; a time range with no narrower filter
+	// pushes down to time-bucket selection in the store.
+	if v := values.Get("since"); v != "" {
+		t, convErr := time.Parse(time.RFC3339, v)
+		if convErr != nil {
+			return q, 0, 0, errf(http.StatusBadRequest, CodeBadRequest,
+				"bad since %q (want RFC 3339)", v).withDetail(convErr)
+		}
+		q.Since = t
+	}
+	if v := values.Get("until"); v != "" {
+		t, convErr := time.Parse(time.RFC3339, v)
+		if convErr != nil {
+			return q, 0, 0, errf(http.StatusBadRequest, CodeBadRequest,
+				"bad until %q (want RFC 3339)", v).withDetail(convErr)
+		}
+		q.Until = t
 	}
 	limit = defaultPageSize
 	if v := values.Get("limit"); v != "" {

@@ -319,7 +319,11 @@ type StatsResponse struct {
 	} `json:"cache"`
 	Durable  *store.DurableStats `json:"durable,omitempty"`
 	Analysis *aggregate.Stats    `json:"analysis,omitempty"`
-	Server   struct {
+	// Scan reports the store's time-range pushdown counters when the
+	// backing store exposes them (both engines do): how many (shard,
+	// bucket) partitions time-bounded scans walked versus skipped.
+	Scan   *store.ScanStats `json:"scan,omitempty"`
+	Server struct {
 		Requests    uint64 `json:"requests"`
 		RateLimited uint64 `json:"rate_limited"`
 	} `json:"server"`
@@ -356,6 +360,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if d, ok := s.backend.Store().(*store.Durable); ok {
 		stats := d.Stats()
 		resp.Durable = &stats
+	}
+	if sc, ok := s.backend.Store().(interface{ ScanStats() store.ScanStats }); ok {
+		stats := sc.ScanStats()
+		resp.Scan = &stats
 	}
 	if s.analysis != nil {
 		stats := s.analysis.Stats()

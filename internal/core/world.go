@@ -152,6 +152,12 @@ func NewWorld(opts WorldOptions) *World {
 
 	w.Backend = backend.New(w.Registry, w.Clock, w.Market, geo.VantagePoints(), w.Store)
 	w.Analysis = aggregate.New(w.Store, w.Market, aggregate.Options{})
+	if d, ok := w.Store.(*store.Durable); ok {
+		// Retention prunes whole time buckets out of the store; the folded
+		// aggregates must follow, or reports would keep counting rows the
+		// dataset no longer holds.
+		d.SetPruneHook(w.Analysis.Refold)
+	}
 	return w
 }
 

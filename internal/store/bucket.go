@@ -1,0 +1,161 @@
+package store
+
+// Time buckets partition the dataset for the storage lifecycle: durable
+// segments are keyed by (time bucket, generation), retention prunes
+// whole buckets, and time-bounded queries push their range predicate
+// down to bucket selection instead of scanning every row. A bucket is
+// the half-open interval [start, start+width) in simulated observation
+// time — the paper's campaigns run on the world clock, so retention and
+// slicing follow that clock, never the wall clock of the host.
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBucketSeconds is the default bucket width: one simulated day.
+// The crawler advances one round per day and the crowd harness steps its
+// clock a day per round barrier, so daily buckets line up with campaign
+// structure.
+const DefaultBucketSeconds = 24 * 60 * 60
+
+// bucketOf maps an observation time to its bucket start (unix seconds,
+// floor division so pre-epoch times bucket correctly).
+func bucketOf(t time.Time, secs int64) int64 {
+	u := t.Unix()
+	b := u / secs
+	if u%secs < 0 {
+		b--
+	}
+	return b * secs
+}
+
+// ScanStats counts time-range pushdown decisions: how many bucket
+// partitions a time-bounded scan visited versus skipped outright. The
+// unit is one (shard, bucket) partition per scan — a skipped partition
+// is data a cold segment would have held that the query never touched,
+// which is what makes pushdown assertable from /api/v1/stats. Unbounded
+// scans bump neither counter.
+type ScanStats struct {
+	// SegmentsScanned counts partitions a time-bounded scan walked.
+	SegmentsScanned uint64 `json:"segments_scanned"`
+	// SegmentsSkipped counts partitions whose bucket fell entirely
+	// outside the query's time range.
+	SegmentsSkipped uint64 `json:"segments_skipped"`
+}
+
+// ScanStats snapshots the pushdown counters.
+func (s *Store) ScanStats() ScanStats {
+	return ScanStats{
+		SegmentsScanned: s.segScanned.Load(),
+		SegmentsSkipped: s.segSkipped.Load(),
+	}
+}
+
+// BucketSeconds reports the store's bucket width.
+func (s *Store) BucketSeconds() int64 { return s.bucketSecs }
+
+// maxUnixUpdate lifts the newest-observation clock to u.
+func maxUnixUpdate(a *atomic.Int64, u int64) {
+	for {
+		cur := a.Load()
+		if cur >= u || a.CompareAndSwap(cur, u) {
+			return
+		}
+	}
+}
+
+// activeBucket is the newest bucket holding data — the one retention
+// never prunes and compression never touches. ok is false on an empty
+// store.
+func (s *Store) activeBucket() (int64, bool) {
+	u := s.maxUnix.Load()
+	if u == noObservations {
+		return 0, false
+	}
+	b := u / s.bucketSecs
+	if u%s.bucketSecs < 0 {
+		b--
+	}
+	return b * s.bucketSecs, true
+}
+
+// bucketRows counts rows per bucket across every shard.
+func (s *Store) bucketRows() map[int64]int {
+	counts := make(map[int64]int)
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		for b, refs := range sh.byBucket {
+			counts[b] += len(refs)
+		}
+		sh.mu.RUnlock()
+	}
+	return counts
+}
+
+// dumpBucket feeds one bucket's observations to emit in global sequence
+// order (k-way merge of the shards' bucket posting lists), with each
+// row's sequence number — the segment writer's core. Every shard read
+// lock is held for the duration; emit must not call back into the store.
+func (s *Store) dumpBucket(start int64, emit func(uint64, *Observation) error) error {
+	for si := range s.shards {
+		s.shards[si].mu.RLock()
+		defer s.shards[si].mu.RUnlock()
+	}
+	var lists [][]gref
+	for si := range s.shards {
+		if refs := orderedBySeq(s.shards[si].byBucket[start]); len(refs) > 0 {
+			lists = append(lists, refs)
+		}
+	}
+	return mergeEmit(lists, emit)
+}
+
+// rebucket rebuilds every shard's bucket index at a new width. Only for
+// single-threaded use (open paths), before concurrent access starts.
+func (s *Store) rebucket(secs int64) {
+	s.bucketSecs = secs
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.byBucket = make(map[int64][]gref)
+		for _, r := range sh.order {
+			b := bucketOf(r.obs().Time, secs)
+			sh.byBucket[b] = append(sh.byBucket[b], r)
+		}
+	}
+}
+
+// rebuildWithout builds a fresh store holding every row except those in
+// the dropped buckets, preserving each surviving row's original sequence
+// number — live cursors keep meaning the same rows, holes in the
+// sequence space are invisible to every read path. The sequence counter,
+// observer hook and scan counters carry over. The caller must exclude
+// writers (the durable engine holds its write gate); concurrent readers
+// of the old store are safe — it is never mutated.
+func (s *Store) rebuildWithout(dropped map[int64]struct{}) (*Store, uint64) {
+	ns := newBucketed(s.bucketSecs)
+	var prunedRows uint64
+	err := s.dumpOrdered(func(seq uint64, o *Observation) error {
+		if _, drop := dropped[bucketOf(o.Time, s.bucketSecs)]; drop {
+			prunedRows++
+			return nil
+		}
+		ns.addDirect(*o, seq)
+		return nil
+	})
+	_ = err // the emit above never fails
+	ns.seq.Store(s.seq.Load())
+	ns.observer = s.observer
+	ns.segScanned.Store(s.segScanned.Load())
+	ns.segSkipped.Store(s.segSkipped.Load())
+	return ns, prunedRows
+}
+
+// addDirect appends one row under an explicit, caller-owned sequence
+// number, bypassing reservation. Single-threaded rebuild use only.
+func (s *Store) addDirect(o Observation, seq uint64) {
+	sh := &s.shards[shardIdx(o.Domain)]
+	sh.add(o, seq, bucketOf(o.Time, s.bucketSecs))
+	maxUnixUpdate(&s.maxUnix, o.Time.Unix())
+}

@@ -1,0 +1,302 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bucketBase is 2013-01-10 00:00 UTC — exactly on a 24h bucket boundary
+// (unix 1357776000 is divisible by 86400), so "day k" below is bucket k.
+var bucketBase = time.Date(2013, 1, 10, 0, 0, 0, 0, time.UTC)
+
+// dayBatch builds perDay observations inside simulated day `day`, spread
+// over enough domains that every shard holding data holds every day.
+func dayBatch(day, perDay int) []Observation {
+	out := make([]Observation, perDay)
+	for i := range out {
+		domain := fmt.Sprintf("www.shop%02d.example", i%32)
+		out[i] = Observation{
+			Domain: domain, SKU: fmt.Sprintf("P-%d", i%10),
+			VP: fmt.Sprintf("vp-%d", i%6), Country: "US", City: "Boston",
+			PriceUnits: int64(1000 + day*100 + i), Currency: "USD",
+			Time:  bucketBase.Add(time.Duration(day)*24*time.Hour + time.Duration(i)*time.Second),
+			Round: -1, Source: SourceCrowd, OK: true,
+		}
+	}
+	return out
+}
+
+// TestRetentionPruneTable drives the retention edge cases through a real
+// checkpoint: each case writes `days` daily buckets, compacts, and
+// checks what survived — in memory, in the manifest, and after both a
+// writable re-open and a read-only one (pruned buckets must never be
+// replayed again, and the pruning totals must persist).
+func TestRetentionPruneTable(t *testing.T) {
+	const perDay = 50
+	cases := []struct {
+		name       string
+		days       int
+		opts       DurableOptions
+		wantRows   int
+		wantPruned int // buckets
+		wantPrRows uint64
+	}{
+		// A checkpoint over an empty store: no buckets to write, none to
+		// prune, and the empty manifest must re-open cleanly.
+		{name: "empty-store", days: 0, opts: DurableOptions{RetainBytes: 1}},
+		// A byte budget no bucket can fit: everything but the active
+		// bucket is evicted, the active bucket itself is untouchable.
+		{name: "prune-all-but-active", days: 6, opts: DurableOptions{RetainBytes: 1},
+			wantRows: perDay, wantPruned: 5, wantPrRows: 5 * perDay},
+		// The budget is smaller than the one bucket that exists: nothing
+		// to evict (the active bucket is never a victim), nothing pruned.
+		{name: "budget-smaller-than-one-bucket", days: 1, opts: DurableOptions{RetainBytes: 1},
+			wantRows: perDay},
+		// Age cutoff: newest observation is early on day 5; minus 48h
+		// lands inside day 3, so days 0-2 (whose whole range is older)
+		// go and days 3-5 stay.
+		{name: "age-cutoff", days: 6, opts: DurableOptions{RetainAge: 48 * time.Hour},
+			wantRows: 3 * perDay, wantPruned: 3, wantPrRows: 3 * perDay},
+		// An age wider than the dataset: retention is on (checkpoints at
+		// every rollover) but never finds a victim.
+		{name: "age-keeps-all", days: 4, opts: DurableOptions{RetainAge: 30 * 24 * time.Hour},
+			wantRows: 4 * perDay},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			opts := tc.opts
+			opts.Fsync = FsyncNever
+			opts.CompactWALBytes = -1
+			opts.BucketDuration = 24 * time.Hour
+			d, _ := openDurable(t, dir, opts)
+			for day := 0; day < tc.days; day++ {
+				d.AddAll(dayBatch(day, perDay))
+			}
+			if err := d.Compact(); err != nil {
+				t.Fatalf("compact: %v", err)
+			}
+			if got := d.Len(); got != tc.wantRows {
+				t.Fatalf("live rows after prune = %d, want %d", got, tc.wantRows)
+			}
+			st := d.Stats()
+			if int(st.PrunedBuckets) != tc.wantPruned || st.PrunedRows != tc.wantPrRows {
+				t.Fatalf("pruned totals = %d buckets / %d rows, want %d / %d",
+					st.PrunedBuckets, st.PrunedRows, tc.wantPruned, tc.wantPrRows)
+			}
+			if err := d.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+
+			// Re-open writable: recovery must replay only live buckets and
+			// keep the cumulative pruning totals.
+			d2, rep := openDurable(t, dir, opts)
+			if d2.Len() != tc.wantRows {
+				t.Fatalf("writable re-open recovered %d rows, want %d", d2.Len(), tc.wantRows)
+			}
+			if rep.PrunedBuckets != uint64(tc.wantPruned) || rep.PrunedRows != tc.wantPrRows {
+				t.Fatalf("re-open report pruned %d buckets / %d rows, want %d / %d",
+					rep.PrunedBuckets, rep.PrunedRows, tc.wantPruned, tc.wantPrRows)
+			}
+			if err := d2.Close(); err != nil {
+				t.Fatalf("re-close: %v", err)
+			}
+
+			ro, roRep, err := OpenReadOnly(dir)
+			if err != nil {
+				t.Fatalf("read-only open: %v", err)
+			}
+			if ro.Len() != tc.wantRows || roRep.PrunedBuckets != uint64(tc.wantPruned) {
+				t.Fatalf("read-only recovered %d rows / %d pruned buckets, want %d / %d",
+					ro.Len(), roRep.PrunedBuckets, tc.wantRows, tc.wantPruned)
+			}
+		})
+	}
+}
+
+// TestScanRangeTimeWindowPushdown asserts the cold-bucket skip with the
+// store's own counters: a query bounded to one day must scan only that
+// day's bucket lists and skip every other bucket unopened. The fixture
+// reuses one domain set across days, so every shard that holds data
+// holds all seven buckets — making the scanned:skipped ratio exact.
+func TestScanRangeTimeWindowPushdown(t *testing.T) {
+	const days, perDay = 7, 160
+	st := New()
+	for day := 0; day < days; day++ {
+		st.AddAll(dayBatch(day, perDay))
+	}
+	q := Query{
+		Round: -1,
+		Since: bucketBase.Add(6 * 24 * time.Hour),
+		Until: bucketBase.Add(7 * 24 * time.Hour),
+	}
+	before := st.ScanStats()
+	rows := 0
+	for _, o := range st.ScanRange(q, 0, st.Watermark()) {
+		if o.Time.Before(q.Since) || !o.Time.Before(q.Until) {
+			t.Fatalf("row at %v outside [%v, %v)", o.Time, q.Since, q.Until)
+		}
+		rows++
+	}
+	after := st.ScanStats()
+	if rows != perDay {
+		t.Fatalf("window returned %d rows, want %d", rows, perDay)
+	}
+	scanned := after.SegmentsScanned - before.SegmentsScanned
+	skipped := after.SegmentsSkipped - before.SegmentsSkipped
+	if scanned == 0 || scanned > 16 {
+		t.Fatalf("scanned %d bucket lists, want 1..16 (one bucket across the shards)", scanned)
+	}
+	if skipped != uint64(days-1)*scanned {
+		t.Fatalf("skipped %d bucket lists, want exactly %d (the %d cold buckets of each scanned shard)",
+			skipped, uint64(days-1)*scanned, days-1)
+	}
+}
+
+// coldSegment returns the path and row count of one compressed segment.
+func coldSegment(t *testing.T, dir string) (string, int) {
+	t.Helper()
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range man.Buckets {
+		if !b.Compressed {
+			continue
+		}
+		return filepath.Join(dir, b.Segments[0].Name), b.Rows
+	}
+	t.Fatal("no compressed bucket in the manifest")
+	return "", 0
+}
+
+// TestCompressedSegmentDamage covers recovery over damaged cold
+// segments: a truncated gzip stream yields the rows decoded before the
+// tear (shortfall counted as lost), and a destroyed header loses exactly
+// that segment's rows — in both cases recovery proceeds instead of
+// refusing the directory.
+func TestCompressedSegmentDamage(t *testing.T) {
+	const days, perDay = 3, 40
+	build := func(t *testing.T) string {
+		dir := t.TempDir()
+		d, _ := openDurable(t, dir, DurableOptions{
+			Fsync: FsyncNever, CompactWALBytes: -1, BucketDuration: 24 * time.Hour,
+		})
+		for day := 0; day < days; day++ {
+			d.AddAll(dayBatch(day, perDay))
+		}
+		if err := d.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	t.Run("truncated-stream", func(t *testing.T) {
+		dir := build(t)
+		seg, rows := coldSegment(t, dir)
+		info, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(seg, info.Size()/2); err != nil {
+			t.Fatal(err)
+		}
+		st, rep, err := OpenReadOnly(dir)
+		if err != nil {
+			t.Fatalf("open over truncated gzip: %v", err)
+		}
+		if rep.SegmentRowsLost == 0 || rep.SegmentRowsLost > rows {
+			t.Fatalf("lost %d rows, want 1..%d", rep.SegmentRowsLost, rows)
+		}
+		if st.Len()+rep.SegmentRowsLost != days*perDay {
+			t.Fatalf("recovered %d + lost %d != written %d", st.Len(), rep.SegmentRowsLost, days*perDay)
+		}
+	})
+
+	t.Run("destroyed-header", func(t *testing.T) {
+		dir := build(t)
+		seg, rows := coldSegment(t, dir)
+		if err := os.WriteFile(seg, []byte("not gzip at all"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, rep, err := OpenReadOnly(dir)
+		if err != nil {
+			t.Fatalf("open over destroyed gzip header: %v", err)
+		}
+		if rep.SegmentRowsLost != rows {
+			t.Fatalf("lost %d rows, want the whole segment (%d)", rep.SegmentRowsLost, rows)
+		}
+		if st.Len() != days*perDay-rows {
+			t.Fatalf("recovered %d rows, want %d", st.Len(), days*perDay-rows)
+		}
+	})
+}
+
+// TestSweepRemovesOrphans plants the debris an interrupted compaction
+// can leave — a segment from an uncommitted generation, a torn manifest
+// temp file, a stale-generation WAL — and asserts the next open removes
+// all of it while keeping every manifest-named file.
+func TestSweepRemovesOrphans(t *testing.T) {
+	dir := t.TempDir()
+	opts := DurableOptions{Fsync: FsyncNever, CompactWALBytes: -1, BucketDuration: 24 * time.Hour}
+	d, _ := openDurable(t, dir, opts)
+	for day := 0; day < 3; day++ {
+		d.AddAll(dayBatch(day, 30))
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	orphans := []string{
+		segmentFile(99, bucketOf(bucketBase, 86400), 0, false),
+		segmentFile(99, bucketOf(bucketBase, 86400), 1, true),
+		manifestName + ".tmp",
+		"wal-00000042-03.log",
+	}
+	for _, name := range orphans {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("debris"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d2, _ := openDurable(t, dir, opts)
+	defer d2.Close()
+	if d2.Len() != 90 {
+		t.Fatalf("recovered %d rows, want 90", d2.Len())
+	}
+	for _, name := range orphans {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived the sweep (err=%v)", name, err)
+		}
+	}
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range man.Buckets {
+		for _, s := range b.Segments {
+			if _, err := os.Stat(filepath.Join(dir, s.Name)); err != nil {
+				t.Fatalf("manifest-named segment %s missing after sweep: %v", s.Name, err)
+			}
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s survived", e.Name())
+		}
+	}
+}

@@ -17,7 +17,7 @@ import (
 
 // Durable is the crash-safe observation backend: the in-memory sharded
 // engine for every query, fronted on the write path by a per-shard
-// write-ahead log and compacted periodically into segmented JSONL
+// write-ahead log and compacted periodically into time-bucketed JSONL
 // snapshots. A Durable answers every Reader query exactly as the memory
 // engine does (the memory engine IS its read path), and a process that
 // dies — kill -9 included — loses at most the log tail that was not yet
@@ -25,20 +25,32 @@ import (
 //
 // On-disk layout of a data directory:
 //
-//	MANIFEST.json             commit record: generation, rows, segments
-//	seg-<gen>-<idx>.jsonl     snapshot segments, plain JSONL in order
-//	wal-<gen>-<shard>.log     per-shard logs of post-snapshot batches
+//	MANIFEST.json                      commit record: generation, buckets, prune totals
+//	seg-<gen>-b<bucket>-<idx>.jsonl    active-bucket segments, JSONL {seq, obs} rows
+//	seg-<gen>-b<bucket>-<idx>.jsonl.gz cold-bucket segments, same rows gzipped
+//	wal-<gen>-<shard>.log              per-shard logs of post-snapshot batches
 //
-// Opening a directory recovers it: the manifest's segments load first,
-// then the logs' complete records replay in admission order. If replay
-// folded anything in (or anything was torn or lost), the recovered state
-// is committed as a fresh generation, so the process starts from a clean
-// snapshot, empty logs and a contiguous sequence space; a clean restart
-// — empty logs, intact segments — reuses the committed generation and
-// skips the O(dataset) rewrite. Torn log tails and truncated segments
-// are tolerated and reported, never fatal.
+// Segments are keyed by time bucket (simulated observation time, fixed
+// width): the storage lifecycle works bucket-at-a-time. Every bucket
+// except the newest one holding data is cold and written compressed;
+// retention prunes whole cold buckets — by age against the dataset's own
+// clock, or oldest-first to fit a disk budget — and a pruned bucket is
+// simply absent from the next committed manifest, so recovery and
+// read-only opens replay only live buckets with no special cases.
+//
+// Opening a directory recovers it: the manifest's bucket segments load
+// first, then the logs' complete records; both carry their original
+// sequence numbers, so one global sort re-merges them into exact
+// admission order. If replay folded anything in (or anything was torn,
+// lost, or due for retention/compression), the recovered state is
+// committed as a fresh generation; a clean restart reuses the committed
+// generation and skips the O(dataset) rewrite. Torn log tails and
+// truncated segments are tolerated and reported, never fatal.
 type Durable struct {
-	mem  *Store
+	// mem is the read path. It is swapped wholesale when retention prunes
+	// buckets (under the exclusive writeGate), so readers load it once per
+	// operation and never see a half-pruned store.
+	mem  atomic.Pointer[Store]
 	dir  string
 	opts DurableOptions
 
@@ -50,10 +62,27 @@ type Durable struct {
 	closed    bool
 	gen       uint64
 	snapRows  uint64
+	// snapBuckets/snapCompressed/snapBytes describe the committed
+	// snapshot's bucket layout; bucketBytes maps bucket start to its
+	// committed on-disk size (how age-pruned buckets get byte-accounted).
+	snapBuckets    int
+	snapCompressed int
+	snapBytes      int64
+	bucketBytes    map[int64]int64
+	// pruned accumulates retention's work, mirrored to the manifest.
+	pruned PruneTotals
+	// pruneHook, when set, runs under the exclusive gate after a
+	// checkpoint prunes buckets — derived state (the analysis engine's
+	// aggregates) rebuilds from the pruned store before writers resume.
+	pruneHook func()
 	wals      [numShards]walShardFile
 
 	walBytes atomic.Int64
 	synced   atomic.Uint64
+	// rollBucket tracks the newest active bucket seen, so a batch that
+	// advances the dataset into a new bucket can trigger a retention
+	// checkpoint even when WAL growth alone would not.
+	rollBucket atomic.Int64
 
 	compacting atomic.Bool
 
@@ -141,6 +170,19 @@ type DurableOptions struct {
 	// exceed this many bytes (default 32 MiB; negative disables automatic
 	// compaction — Compact can still be called).
 	CompactWALBytes int64
+	// BucketDuration is the time-bucket width segments, retention and
+	// time-range pushdown partition by, in simulated observation time
+	// (default 24h). Reopening a directory at a different width rebuckets
+	// and rewrites the snapshot once.
+	BucketDuration time.Duration
+	// RetainAge, when positive, prunes buckets whose entire range is
+	// older than the newest observation minus RetainAge — the dataset's
+	// own clock, never the host's. The active bucket is never pruned.
+	RetainAge time.Duration
+	// RetainBytes, when positive, prunes oldest-first at each checkpoint
+	// until the snapshot fits the budget. The active bucket always
+	// survives, so the budget is respected only down to one bucket.
+	RetainBytes int64
 }
 
 // withDefaults fills unset options.
@@ -154,8 +196,23 @@ func (o DurableOptions) withDefaults() DurableOptions {
 	if o.CompactWALBytes == 0 {
 		o.CompactWALBytes = 32 << 20
 	}
+	if o.BucketDuration <= 0 {
+		o.BucketDuration = DefaultBucketSeconds * time.Second
+	}
 	return o
 }
+
+// bucketSeconds is the configured width in whole seconds (minimum 1).
+func (o DurableOptions) bucketSeconds() int64 {
+	secs := int64(o.BucketDuration / time.Second)
+	if secs <= 0 {
+		secs = 1
+	}
+	return secs
+}
+
+// retentionOn reports whether any pruning rule is configured.
+func (o DurableOptions) retentionOn() bool { return o.RetainAge > 0 || o.RetainBytes > 0 }
 
 // RecoveryReport describes what opening a data directory found: how much
 // of the dataset came from the snapshot, how much replayed from the log
@@ -165,6 +222,10 @@ type RecoveryReport struct {
 	Generation uint64 `json:"generation"`
 	// SnapshotRows is the observation count loaded from segments.
 	SnapshotRows int `json:"snapshot_rows"`
+	// SnapshotBuckets counts the live buckets loaded; CompressedBuckets
+	// of them were cold (gzipped).
+	SnapshotBuckets   int `json:"snapshot_buckets"`
+	CompressedBuckets int `json:"compressed_buckets,omitempty"`
 	// SegmentRowsLost counts snapshot rows unrecoverable from truncated
 	// or missing segments.
 	SegmentRowsLost int `json:"segment_rows_lost,omitempty"`
@@ -174,6 +235,11 @@ type RecoveryReport struct {
 	WALRows    int `json:"wal_rows"`
 	// WALBytesDiscarded counts torn-tail bytes dropped during replay.
 	WALBytesDiscarded int64 `json:"wal_bytes_discarded,omitempty"`
+	// PrunedBuckets and PrunedRows report retention's cumulative work as
+	// the manifest records it — rows absent here were dropped on purpose,
+	// not lost.
+	PrunedBuckets uint64 `json:"pruned_buckets,omitempty"`
+	PrunedRows    uint64 `json:"pruned_rows,omitempty"`
 	// LiveOwner reports that a writer held the directory's lock during a
 	// read-only open: a torn-looking log tail is then most likely the
 	// owner's in-flight append, not crash damage.
@@ -187,6 +253,12 @@ func (r RecoveryReport) Rows() int { return r.SnapshotRows + r.WALRows }
 func (r RecoveryReport) String() string {
 	s := fmt.Sprintf("recovered %d observations (snapshot %d + wal %d, generation %d)",
 		r.Rows(), r.SnapshotRows, r.WALRows, r.Generation)
+	if r.SnapshotBuckets > 0 {
+		s += fmt.Sprintf(", %d buckets (%d compressed)", r.SnapshotBuckets, r.CompressedBuckets)
+	}
+	if r.PrunedBuckets > 0 {
+		s += fmt.Sprintf(", retention pruned %d buckets (%d rows) to date", r.PrunedBuckets, r.PrunedRows)
+	}
 	if r.SegmentRowsLost > 0 {
 		s += fmt.Sprintf(", %d snapshot rows lost to truncation", r.SegmentRowsLost)
 	}
@@ -219,13 +291,22 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, RecoveryReport, err
 		lock.Close()
 		return nil, rep, err
 	}
-	d := &Durable{mem: mem, dir: dir, opts: opts, gen: man.Generation, lock: lock}
+	width := opts.bucketSeconds()
+	if mem.bucketSecs != width {
+		mem.rebucket(width)
+	}
+	d := &Durable{dir: dir, opts: opts, gen: man.Generation, lock: lock}
+	d.mem.Store(mem)
+	d.pruned = man.Pruned
 	// When recovery folded nothing in — no log records, no torn bytes,
-	// no lost rows — the committed snapshot already IS the recovered
-	// state, and rewriting it would put an O(dataset) segment dump on
-	// every clean restart's boot path. Reuse the generation instead; a
-	// recovery that replayed or lost anything checkpoints as usual.
-	clean := rep.WALRecords == 0 && rep.WALBytesDiscarded == 0 && rep.SegmentRowsLost == 0
+	// no lost rows — and the committed snapshot needs no lifecycle work
+	// (same bucket width, cold buckets compressed, no retention due),
+	// that snapshot already IS the recovered state, and rewriting it
+	// would put an O(dataset) segment dump on every clean restart's boot
+	// path. Reuse the generation instead; anything else checkpoints.
+	clean := rep.WALRecords == 0 && rep.WALBytesDiscarded == 0 && rep.SegmentRowsLost == 0 &&
+		(man.BucketSeconds == 0 || man.BucketSeconds == width) &&
+		!d.lifecycleDue(man, mem)
 	if clean {
 		err = d.reuseGenerationLocked(man)
 	} else {
@@ -235,12 +316,50 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, RecoveryReport, err
 		lock.Close()
 		return nil, rep, err
 	}
+	if b, ok := d.mem.Load().activeBucket(); ok {
+		d.rollBucket.Store(b)
+	} else {
+		d.rollBucket.Store(noObservations)
+	}
 	if opts.Fsync == FsyncInterval {
 		d.stopSync = make(chan struct{})
 		d.syncDone = make(chan struct{})
 		go d.syncLoop()
 	}
 	return d, rep, nil
+}
+
+// lifecycleDue reports whether the committed snapshot needs a checkpoint
+// for lifecycle reasons alone: a cold bucket left uncompressed, a bucket
+// past the retention age, or a snapshot over the disk budget.
+func (d *Durable) lifecycleDue(man *manifest, mem *Store) bool {
+	active, hasData := mem.activeBucket()
+	if !hasData {
+		return false
+	}
+	for _, b := range man.Buckets {
+		if b.Start != active && !b.Compressed && b.Rows > 0 {
+			return true
+		}
+	}
+	if d.opts.RetainAge > 0 {
+		cutoff := mem.maxUnix.Load() - int64(d.opts.RetainAge/time.Second)
+		for _, b := range man.Buckets {
+			if b.Start != active && b.Start+man.BucketSeconds <= cutoff {
+				return true
+			}
+		}
+	}
+	if d.opts.RetainBytes > 0 && len(man.Buckets) > 1 {
+		var total int64
+		for _, b := range man.Buckets {
+			total += b.Bytes
+		}
+		if total > d.opts.RetainBytes {
+			return true
+		}
+	}
+	return false
 }
 
 // OpenReadOnly recovers a data directory into a plain in-memory store
@@ -271,33 +390,45 @@ func OpenReadOnly(dir string) (*Store, RecoveryReport, error) {
 	}
 }
 
-// recoverDir rebuilds the dataset a directory holds: manifest segments
-// first, then the log tail's complete records merged back into admission
-// order by their recorded sequence numbers. The rebuilt store renumbers
-// sequences contiguously — order is what recovery preserves, and order
-// is all any read path consumes.
+// recoverDir rebuilds the dataset a directory holds: the manifest's live
+// buckets plus the log tail's complete records, all carrying their
+// original sequence numbers, merged by one global sort back into exact
+// admission order. The rebuilt store renumbers sequences contiguously —
+// order is what recovery preserves, and order is all any read path
+// consumes. Pruned buckets are simply absent from the manifest: nothing
+// here ever sees them.
 func recoverDir(dir string) (*Store, *manifest, RecoveryReport, error) {
 	man, err := readManifest(dir)
 	if err != nil {
 		return nil, nil, RecoveryReport{}, err
 	}
-	rep := RecoveryReport{Generation: man.Generation}
-	mem := New()
-	for _, info := range man.Segments {
-		lost, err := loadSegment(dir, info, mem)
-		if err != nil {
-			return nil, nil, rep, err
+	rep := RecoveryReport{
+		Generation:    man.Generation,
+		PrunedBuckets: man.Pruned.Buckets,
+		PrunedRows:    man.Pruned.Rows,
+	}
+	mem := newBucketed(man.BucketSeconds)
+	var pending []seqObs
+	for _, b := range man.Buckets {
+		rep.SnapshotBuckets++
+		if b.Compressed {
+			rep.CompressedBuckets++
 		}
-		rep.SegmentRowsLost += lost
-		rep.SnapshotRows += info.Rows - lost
+		for _, info := range b.Segments {
+			lost, err := loadSegment(dir, info, &pending)
+			if err != nil {
+				return nil, nil, rep, err
+			}
+			rep.SegmentRowsLost += lost
+			rep.SnapshotRows += info.Rows - lost
+		}
 	}
 
-	// Replay: gather every complete record across the per-shard logs,
-	// re-merge individual observations by the sequence numbers the
-	// records carry (concurrent batches interleave across shards), and
-	// apply in that order. Only rows logged after the snapshot qualify;
-	// the snapshot cut renumbered to 1..Rows, so logged rows are > Rows.
-	var pending []seqObs
+	// Replay: gather every complete record across the per-shard logs.
+	// Only rows logged after the snapshot qualify: the manifest records
+	// the sequence counter at its commit (MaxSeq), and every later batch
+	// reserved above it. Retention can leave holes below MaxSeq, which is
+	// why the cut is the counter, not the row count.
 	for shard := 0; shard < numShards; shard++ {
 		f, err := os.Open(filepath.Join(dir, walFile(man.Generation, shard)))
 		if errors.Is(err, fs.ErrNotExist) {
@@ -318,8 +449,9 @@ func recoverDir(dir string) (*Store, *manifest, RecoveryReport, error) {
 		for _, rec := range recs {
 			rep.WALRecords++
 			for i := range rec.Obs {
-				if rec.Seqs[i] > man.Rows {
+				if rec.Seqs[i] > man.MaxSeq {
 					pending = append(pending, seqObs{seq: rec.Seqs[i], obs: rec.Obs[i]})
+					rep.WALRows++
 				}
 			}
 		}
@@ -334,26 +466,29 @@ func recoverDir(dir string) (*Store, *manifest, RecoveryReport, error) {
 		}
 	}
 	mem.AddAll(batch)
-	rep.WALRows = len(pending)
 	return mem, man, rep, nil
 }
 
 // checkpointLocked commits the memory engine's current state as a new
-// generation — segments, manifest, fresh empty logs — and removes every
-// file of older generations (crashed-compaction orphans included). The
-// caller holds writeGate exclusively, or is still single-threaded in
+// generation — bucket segments, manifest, fresh empty logs — applying
+// the storage lifecycle as it goes: every live bucket rewrites under the
+// new generation (no file ever carries over, which keeps the sweep
+// trivially safe), cold buckets compress, age-expired buckets are
+// skipped outright, and the disk budget evicts oldest-first. The caller
+// holds writeGate exclusively, or is still single-threaded in
 // OpenDurable.
 //
 // The manifest rename is the commit point, and the in-memory generation
 // state must never desync from it: every fallible step is staged BEFORE
 // the commit (a failure aborts with the old generation fully intact and
 // only orphan files on disk), and everything after the commit is either
-// infallible (handle swaps, counter resets) or best-effort cleanup whose
-// failure is recorded, not allowed to leave d.gen behind the committed
-// manifest — a desync would make later batches log into files recovery
-// never reads, and a re-used generation number would truncate committed
-// segments.
+// infallible (handle swaps, counter resets, the in-memory prune) or
+// best-effort cleanup whose failure is recorded, not allowed to leave
+// d.gen behind the committed manifest — a desync would make later
+// batches log into files recovery never reads, and a re-used generation
+// number would truncate committed segments.
 func (d *Durable) checkpointLocked() error {
+	mem := d.mem.Load()
 	newGen := d.gen + 1
 
 	// Stage the new generation's logs and segments. commitManifest's
@@ -376,16 +511,76 @@ func (d *Durable) checkpointLocked() error {
 		}
 		fresh[shard] = f
 	}
-	infos, rows, err := writeSegments(d.dir, newGen, d.mem, d.opts.SegmentBytes)
-	if err != nil {
-		return abort(err)
+
+	// Bucket plan: live buckets oldest-first, age-expired ones pruned
+	// before a byte is written (their last committed size is what the
+	// byte accounting can know).
+	counts := mem.bucketRows()
+	active, hasData := mem.activeBucket()
+	starts := make([]int64, 0, len(counts))
+	for b := range counts {
+		starts = append(starts, b)
 	}
-	if err := commitManifest(d.dir, &manifest{
-		Version:    manifestVersion,
-		Generation: newGen,
-		Rows:       rows,
-		Segments:   infos,
-	}); err != nil {
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	pruned := d.pruned
+	victims := make(map[int64]struct{})
+	if d.opts.RetainAge > 0 && hasData {
+		cutoff := mem.maxUnix.Load() - int64(d.opts.RetainAge/time.Second)
+		for _, b := range starts {
+			if b != active && b+mem.bucketSecs <= cutoff {
+				victims[b] = struct{}{}
+				pruned.Buckets++
+				pruned.Rows += uint64(counts[b])
+				pruned.Bytes += uint64(d.bucketBytes[b])
+			}
+		}
+	}
+
+	var infos []bucketInfo
+	var rows uint64
+	for _, b := range starts {
+		if _, dead := victims[b]; dead {
+			continue
+		}
+		info, err := writeBucket(d.dir, newGen, mem, b, b != active, d.opts.SegmentBytes)
+		if err != nil {
+			return abort(err)
+		}
+		infos = append(infos, info)
+		rows += uint64(info.Rows)
+	}
+
+	// Disk budget: evict oldest-first until the snapshot fits; the
+	// active bucket survives regardless. Evicted buckets were already
+	// written — their files are uncommitted orphans the sweep removes.
+	if d.opts.RetainBytes > 0 {
+		var total int64
+		for _, info := range infos {
+			total += info.Bytes
+		}
+		for len(infos) > 1 && total > d.opts.RetainBytes && infos[0].Start != active {
+			ev := infos[0]
+			infos = infos[1:]
+			total -= ev.Bytes
+			rows -= uint64(ev.Rows)
+			victims[ev.Start] = struct{}{}
+			pruned.Buckets++
+			pruned.Rows += uint64(ev.Rows)
+			pruned.Bytes += uint64(ev.Bytes)
+		}
+	}
+
+	man := &manifest{
+		Version:       manifestVersion,
+		Generation:    newGen,
+		Rows:          rows,
+		MaxSeq:        mem.seq.Load(),
+		BucketSeconds: mem.bucketSecs,
+		Buckets:       infos,
+		Pruned:        pruned,
+	}
+	if err := commitManifest(d.dir, man); err != nil {
 		return abort(err)
 	}
 
@@ -401,33 +596,62 @@ func (d *Durable) checkpointLocked() error {
 	}
 	d.gen = newGen
 	d.snapRows = rows
+	d.snapBuckets = len(infos)
+	d.snapCompressed = 0
+	d.snapBytes = 0
+	d.bucketBytes = make(map[int64]int64, len(infos))
+	for _, info := range infos {
+		if info.Compressed {
+			d.snapCompressed++
+		}
+		d.snapBytes += info.Bytes
+		d.bucketBytes[info.Start] = info.Bytes
+	}
+	d.pruned = pruned
 	d.walBytes.Store(0)
+
+	if len(victims) > 0 {
+		// Prune memory to match the commit: a fresh store holding every
+		// surviving row under its original sequence number, swapped in
+		// whole. Readers mid-iteration keep the old store — it is never
+		// mutated — and every later read sees only live buckets.
+		ns, _ := mem.rebuildWithout(victims)
+		d.mem.Store(ns)
+		mem = ns
+	}
 	// The committed snapshot holds the entire in-memory state — rows a
 	// failed append had dropped from the log included — so the watermark
 	// is truthful again and may resume advancing (the sticky Err stays
 	// for reporting).
-	d.synced.Store(d.mem.seq.Load())
+	d.synced.Store(mem.seq.Load())
 	d.failed.Store(false)
 
-	// Cleanup is best-effort: stale files of other generations are inert
-	// (recovery trusts only the manifest) and the next checkpoint sweeps
-	// whatever this one could not.
+	if len(victims) > 0 && d.pruneHook != nil {
+		// Writers are quiesced by the gate; derived state rebuilds from
+		// the pruned store before appends resume.
+		d.pruneHook()
+	}
+
+	// Cleanup is best-effort: stale files of other generations — and this
+	// generation's budget-evicted buckets — are inert (recovery trusts
+	// only the manifest) and the next checkpoint sweeps whatever this one
+	// could not.
 	for _, f := range old {
 		if f != nil {
 			f.Close()
 		}
 	}
-	if err := d.sweepExcept(newGen); err != nil {
+	if err := d.sweepExcept(newGen, man); err != nil {
 		d.fail(err)
 	}
 	return nil
 }
 
 // reuseGenerationLocked adopts the committed generation as-is: recovery
-// loaded exactly the snapshot (every log was empty or absent), so the
-// only work is opening the generation's logs for appending and sweeping
-// other generations' orphans. Only called from OpenDurable, still
-// single-threaded.
+// loaded exactly the snapshot (every log was empty or absent) and no
+// lifecycle work is due, so the only work is opening the generation's
+// logs for appending and sweeping other generations' orphans. Only
+// called from OpenDurable, still single-threaded.
 func (d *Durable) reuseGenerationLocked(man *manifest) error {
 	for shard := range d.wals {
 		f, err := os.OpenFile(filepath.Join(d.dir, walFile(man.Generation, shard)),
@@ -452,27 +676,50 @@ func (d *Durable) reuseGenerationLocked(man *manifest) error {
 	}
 	d.gen = man.Generation
 	d.snapRows = man.Rows
-	d.synced.Store(d.mem.seq.Load())
-	if err := d.sweepExcept(man.Generation); err != nil {
+	d.snapBuckets = len(man.Buckets)
+	d.snapCompressed = 0
+	d.snapBytes = 0
+	d.bucketBytes = make(map[int64]int64, len(man.Buckets))
+	for _, b := range man.Buckets {
+		if b.Compressed {
+			d.snapCompressed++
+		}
+		d.snapBytes += b.Bytes
+		d.bucketBytes[b.Start] = b.Bytes
+	}
+	d.pruned = man.Pruned
+	d.synced.Store(d.mem.Load().seq.Load())
+	if err := d.sweepExcept(man.Generation, man); err != nil {
 		d.fail(err)
 	}
 	return nil
 }
 
-// sweepExcept removes segment and log files of any generation other than
-// keep, plus a stale manifest temp file.
-func (d *Durable) sweepExcept(keep uint64) error {
+// sweepExcept removes segment files the manifest does not name (other
+// generations' files, aborted-pass orphans, budget-evicted buckets), log
+// files of any generation other than keep, and a stale manifest temp
+// file.
+func (d *Durable) sweepExcept(keep uint64, man *manifest) error {
+	live := make(map[string]struct{})
+	for _, b := range man.Buckets {
+		for _, seg := range b.Segments {
+			live[seg.Name] = struct{}{}
+		}
+	}
 	entries, err := os.ReadDir(d.dir)
 	if err != nil {
 		return fmt.Errorf("store: sweep data dir: %w", err)
 	}
-	segKeep := fmt.Sprintf("seg-%08d-", keep)
 	walKeep := fmt.Sprintf("wal-%08d-", keep)
 	for _, e := range entries {
 		name := e.Name()
-		stale := name == manifestName+".tmp" ||
-			(strings.HasPrefix(name, "seg-") && !strings.HasPrefix(name, segKeep)) ||
-			(strings.HasPrefix(name, "wal-") && !strings.HasPrefix(name, walKeep))
+		stale := name == manifestName+".tmp"
+		if strings.HasPrefix(name, "seg-") {
+			_, ok := live[name]
+			stale = !ok
+		} else if strings.HasPrefix(name, "wal-") {
+			stale = !strings.HasPrefix(name, walKeep)
+		}
 		if stale {
 			if err := os.Remove(filepath.Join(d.dir, name)); err != nil {
 				return fmt.Errorf("store: sweep %s: %w", name, err)
@@ -489,8 +736,18 @@ func (d *Durable) Add(o Observation) { d.AddAll([]Observation{o}) }
 // engine — every durable AddAll applies through it, so one hook covers
 // both engines. Recovery runs before a caller can attach, so an engine
 // that needs the recovered rows must rebuild from the store's contents
-// first (aggregate.New does).
-func (d *Durable) SetObserver(fn Observer) { d.mem.SetObserver(fn) }
+// first (aggregate.New does). The hook survives retention's store swap.
+func (d *Durable) SetObserver(fn Observer) { d.mem.Load().SetObserver(fn) }
+
+// SetPruneHook installs fn to run — under the exclusive write gate, with
+// writers quiesced — after a checkpoint prunes buckets, so derived state
+// can rebuild from the pruned store before appends resume. Install
+// before concurrent writers start; nil removes it.
+func (d *Durable) SetPruneHook(fn func()) {
+	d.writeGate.Lock()
+	d.pruneHook = fn
+	d.writeGate.Unlock()
+}
 
 // AddAll logs the batch shard by shard, then applies it to the memory
 // engine — identical sequence numbers on both sides, so recovery replays
@@ -508,7 +765,8 @@ func (d *Durable) AddAll(os_ []Observation) {
 		d.fail(fmt.Errorf("store: AddAll: %w", errClosed))
 		return
 	}
-	base := d.mem.reserve(len(os_))
+	mem := d.mem.Load()
+	base := mem.reserve(len(os_))
 
 	var touched [numShards]bool
 	groups, single := groupByShard(os_)
@@ -554,7 +812,7 @@ func (d *Durable) AddAll(os_ []Observation) {
 		}
 	}
 
-	d.mem.addAllAt(os_, base)
+	mem.addAllAt(os_, base)
 
 	if t := d.opts.CompactWALBytes; t > 0 && d.walBytes.Load() >= t {
 		// The trigger upgrades to the exclusive gate on its own
@@ -562,6 +820,31 @@ func (d *Durable) AddAll(os_ []Observation) {
 		// itself pauses every writer for the O(dataset) segment rewrite
 		// (see Compact). Size CompactWALBytes accordingly.
 		go d.tryCompact()
+	} else if d.opts.retentionOn() {
+		// Retention is evaluated at checkpoints, so a batch that rolls
+		// the dataset into a new active bucket triggers one even when
+		// WAL growth alone would not — the previous bucket just went
+		// cold and may now be compressible or prunable.
+		if b, ok := mem.activeBucket(); ok {
+			prev := d.rollBucket.Load()
+			if b > prev && d.rollBucket.CompareAndSwap(prev, b) && prev != noObservations {
+				go d.tryCompact()
+			}
+		}
+	}
+}
+
+// tryCompact runs at most one compaction at a time; extra triggers while
+// one is running are dropped (the running pass absorbs their bytes).
+func (d *Durable) tryCompact() {
+	if !d.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	defer d.compacting.Store(false)
+	// A trigger that lost the race against Close is not a failure; the
+	// un-compacted log replays on the next open.
+	if err := d.Compact(); err != nil && !errors.Is(err, errClosed) {
+		d.fail(err)
 	}
 }
 
@@ -594,20 +877,6 @@ func (d *Durable) logRecord(shard int, seqs []uint64, obs []Observation) bool {
 	}
 	d.walBytes.Add(int64(len(buf)))
 	return true
-}
-
-// tryCompact runs at most one compaction at a time; extra triggers while
-// one is running are dropped (the running pass absorbs their bytes).
-func (d *Durable) tryCompact() {
-	if !d.compacting.CompareAndSwap(false, true) {
-		return
-	}
-	defer d.compacting.Store(false)
-	// A trigger that lost the race against Close is not a failure; the
-	// un-compacted log replays on the next open.
-	if err := d.Compact(); err != nil && !errors.Is(err, errClosed) {
-		d.fail(err)
-	}
 }
 
 // advanceSynced lifts the durable watermark to seq, never lowering it.
@@ -649,11 +918,12 @@ func (d *Durable) syncAllLocked() {
 			return
 		}
 	}
-	d.advanceSynced(d.mem.seq.Load())
+	d.advanceSynced(d.mem.Load().seq.Load())
 }
 
-// Compact commits the current state as a fresh snapshot generation and
-// empties the logs. Writers pause for the duration.
+// Compact commits the current state as a fresh snapshot generation —
+// applying retention and cold-bucket compression — and empties the logs.
+// Writers pause for the duration.
 func (d *Durable) Compact() error {
 	d.writeGate.Lock()
 	defer d.writeGate.Unlock()
@@ -734,6 +1004,22 @@ type DurableStats struct {
 	Generation uint64 `json:"generation"`
 	// SnapshotRows is the committed snapshot's observation count.
 	SnapshotRows uint64 `json:"snapshot_rows"`
+	// SnapshotBuckets is the committed snapshot's live bucket count;
+	// CompressedBuckets of them are cold (gzipped); SnapshotBytes is
+	// their total on-disk size.
+	SnapshotBuckets   int   `json:"snapshot_buckets"`
+	CompressedBuckets int   `json:"compressed_buckets"`
+	SnapshotBytes     int64 `json:"snapshot_bytes"`
+	// BucketSeconds is the time-bucket width.
+	BucketSeconds int64 `json:"bucket_seconds"`
+	// RetainAgeSeconds and RetainBytes echo the retention knobs (0 = off).
+	RetainAgeSeconds int64 `json:"retain_age_seconds,omitempty"`
+	RetainBytes      int64 `json:"retain_bytes,omitempty"`
+	// PrunedBuckets, PrunedRows and PrunedBytes accumulate what retention
+	// has dropped over the directory's lifetime.
+	PrunedBuckets uint64 `json:"pruned_buckets"`
+	PrunedRows    uint64 `json:"pruned_rows"`
+	PrunedBytes   uint64 `json:"pruned_bytes"`
 	// WALBytes is the current generation's total log size.
 	WALBytes int64 `json:"wal_bytes"`
 	// SyncedSeq is the durable watermark. It is exact whenever no AddAll
@@ -748,41 +1034,60 @@ type DurableStats struct {
 func (d *Durable) Stats() DurableStats {
 	d.writeGate.RLock()
 	gen, rows := d.gen, d.snapRows
+	buckets, compressed, bytes := d.snapBuckets, d.snapCompressed, d.snapBytes
+	pruned := d.pruned
 	d.writeGate.RUnlock()
 	return DurableStats{
-		Dir:          d.dir,
-		Fsync:        d.opts.Fsync.String(),
-		Generation:   gen,
-		SnapshotRows: rows,
-		WALBytes:     d.walBytes.Load(),
-		SyncedSeq:    d.synced.Load(),
+		Dir:               d.dir,
+		Fsync:             d.opts.Fsync.String(),
+		Generation:        gen,
+		SnapshotRows:      rows,
+		SnapshotBuckets:   buckets,
+		CompressedBuckets: compressed,
+		SnapshotBytes:     bytes,
+		BucketSeconds:     d.mem.Load().BucketSeconds(),
+		RetainAgeSeconds:  int64(d.opts.RetainAge / time.Second),
+		RetainBytes:       d.opts.RetainBytes,
+		PrunedBuckets:     pruned.Buckets,
+		PrunedRows:        pruned.Rows,
+		PrunedBytes:       pruned.Bytes,
+		WALBytes:          d.walBytes.Load(),
+		SyncedSeq:         d.synced.Load(),
 	}
 }
 
 // The Reader surface delegates to the memory engine — the durable store's
 // read path IS the sharded in-memory engine, so queries cost exactly what
-// they cost before durability existed.
+// they cost before durability existed. The pointer is loaded once per
+// call: a concurrent retention swap never splits one operation across
+// two stores.
 
-func (d *Durable) Len() int                           { return d.mem.Len() }
-func (d *Durable) LenOK() int                         { return d.mem.LenOK() }
-func (d *Durable) LenSource(source string) (int, int) { return d.mem.LenSource(source) }
-func (d *Durable) LenVP(vp string) int                { return d.mem.LenVP(vp) }
-func (d *Durable) Scan(q Query) iter.Seq[Observation] { return d.mem.Scan(q) }
+func (d *Durable) Len() int                           { return d.mem.Load().Len() }
+func (d *Durable) LenOK() int                         { return d.mem.Load().LenOK() }
+func (d *Durable) LenSource(source string) (int, int) { return d.mem.Load().LenSource(source) }
+func (d *Durable) LenVP(vp string) int                { return d.mem.Load().LenVP(vp) }
+func (d *Durable) Scan(q Query) iter.Seq[Observation] { return d.mem.Load().Scan(q) }
 func (d *Durable) ScanRange(q Query, after, upto uint64) iter.Seq2[uint64, Observation] {
-	return d.mem.ScanRange(q, after, upto)
+	return d.mem.Load().ScanRange(q, after, upto)
 }
-func (d *Durable) Watermark() uint64            { return d.mem.Watermark() }
-func (d *Durable) Filter(q Query) []Observation { return d.mem.Filter(q) }
-func (d *Durable) All() []Observation           { return d.mem.All() }
-func (d *Durable) Domains() []string            { return d.mem.Domains() }
-func (d *Durable) Products(domain string) []Key { return d.mem.Products(domain) }
+func (d *Durable) Watermark() uint64            { return d.mem.Load().Watermark() }
+func (d *Durable) Filter(q Query) []Observation { return d.mem.Load().Filter(q) }
+func (d *Durable) All() []Observation           { return d.mem.Load().All() }
+func (d *Durable) Domains() []string            { return d.mem.Load().Domains() }
+func (d *Durable) Products(domain string) []Key { return d.mem.Load().Products(domain) }
 func (d *Durable) GroupByProduct(source string) map[Key][]Observation {
-	return d.mem.GroupByProduct(source)
+	return d.mem.Load().GroupByProduct(source)
 }
 func (d *Durable) Groups(source string) iter.Seq2[Key, []Observation] {
-	return d.mem.Groups(source)
+	return d.mem.Load().Groups(source)
 }
 func (d *Durable) DomainGroups(domain, source string) iter.Seq2[Key, []Observation] {
-	return d.mem.DomainGroups(domain, source)
+	return d.mem.Load().DomainGroups(domain, source)
 }
-func (d *Durable) WriteJSONL(w io.Writer) error { return d.mem.WriteJSONL(w) }
+func (d *Durable) WriteJSONL(w io.Writer) error { return d.mem.Load().WriteJSONL(w) }
+
+// ScanStats snapshots the time-range pushdown counters (see Store.ScanStats).
+func (d *Durable) ScanStats() ScanStats { return d.mem.Load().ScanStats() }
+
+// BucketSeconds reports the engine's time-bucket width.
+func (d *Durable) BucketSeconds() int64 { return d.mem.Load().BucketSeconds() }

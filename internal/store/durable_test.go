@@ -229,8 +229,12 @@ func TestDurableTornWALTail(t *testing.T) {
 // rest of the snapshot and the whole log tail still load.
 func TestDurableTruncatedSegment(t *testing.T) {
 	dir := t.TempDir()
-	// Tiny segments force a multi-segment snapshot.
-	opts := DurableOptions{Fsync: FsyncNever, SegmentBytes: 4096, CompactWALBytes: -1}
+	// Tiny segments force a multi-segment snapshot; one huge bucket keeps
+	// every segment in the (uncompressed) active bucket, so truncation
+	// hits plain JSONL mid-row. Compressed-segment damage has its own
+	// test in bucket_test.go.
+	opts := DurableOptions{Fsync: FsyncNever, SegmentBytes: 4096, CompactWALBytes: -1,
+		BucketDuration: 1000 * 24 * time.Hour}
 	d, _ := openDurable(t, dir, opts)
 	obs := seedObservations(11, 600)
 	d.AddAll(obs)
@@ -247,11 +251,15 @@ func TestDurableTruncatedSegment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(man.Segments) < 3 {
-		t.Fatalf("want a multi-segment snapshot, got %d segments", len(man.Segments))
+	if len(man.Buckets) != 1 {
+		t.Fatalf("want one bucket, got %d", len(man.Buckets))
+	}
+	segs := man.Buckets[0].Segments
+	if len(segs) < 3 {
+		t.Fatalf("want a multi-segment snapshot, got %d segments", len(segs))
 	}
 	// Truncate the middle segment mid-row.
-	victim := man.Segments[1]
+	victim := segs[1]
 	if err := os.Truncate(filepath.Join(dir, victim.Name), victim.Bytes/2); err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +370,14 @@ func TestDurableCleanReopenSkipsRewrite(t *testing.T) {
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
-	seg := filepath.Join(dir, segmentFile(1, 0))
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Buckets) == 0 || len(man.Buckets[0].Segments) == 0 {
+		t.Fatalf("committed manifest names no segments: %+v", man)
+	}
+	seg := filepath.Join(dir, man.Buckets[0].Segments[0].Name)
 	before, err := os.Stat(seg)
 	if err != nil {
 		t.Fatal(err)

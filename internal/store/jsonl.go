@@ -18,33 +18,45 @@ import (
 func (s *Store) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	err := s.dumpOrdered(func(o *Observation) error { return enc.Encode(o) })
+	err := s.dumpOrdered(func(_ uint64, o *Observation) error { return enc.Encode(o) })
 	if err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
-// dumpOrdered holds every shard's read lock and feeds each observation to
-// emit in global sequence order — the shared core of WriteJSONL and the
-// durable engine's snapshot writer. The callback must not call back into
-// the store (every lock is held).
-func (s *Store) dumpOrdered(emit func(*Observation) error) error {
+// dumpOrdered holds every shard's read lock and feeds each observation
+// (with its sequence number) to emit in global sequence order — the
+// shared core of WriteJSONL, the retention rebuild and the durable
+// engine's snapshot writer. The callback must not call back into the
+// store (every lock is held).
+func (s *Store) dumpOrdered(emit func(uint64, *Observation) error) error {
 	for si := range s.shards {
 		s.shards[si].mu.RLock()
 		defer s.shards[si].mu.RUnlock()
 	}
-	h := make(shardHeap, 0, numShards)
+	var lists [][]gref
 	for si := range s.shards {
 		if order := orderedBySeq(s.shards[si].order); len(order) > 0 {
-			h = append(h, shardCursor{order: order, seq: order[0].seq()})
+			lists = append(lists, order)
 		}
+	}
+	return mergeEmit(lists, emit)
+}
+
+// mergeEmit k-way merges seq-ordered gref lists and feeds each row to
+// emit in global sequence order. Callers hold the shard locks covering
+// every list.
+func mergeEmit(lists [][]gref, emit func(uint64, *Observation) error) error {
+	h := make(shardHeap, 0, len(lists))
+	for _, order := range lists {
+		h = append(h, shardCursor{order: order, seq: order[0].seq()})
 	}
 	heap.Init(&h)
 
 	for n := 0; h.Len() > 0; n++ {
 		cur := h[0]
-		if err := emit(cur.order[cur.pos].obs()); err != nil {
+		if err := emit(cur.seq, cur.order[cur.pos].obs()); err != nil {
 			return fmt.Errorf("store: encode observation %d: %w", n, err)
 		}
 		if next := cur.pos + 1; next < len(cur.order) {

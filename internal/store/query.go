@@ -3,6 +3,7 @@ package store
 import (
 	"iter"
 	"sort"
+	"time"
 )
 
 // Query filters observations. Zero-valued fields match everything.
@@ -19,6 +20,13 @@ type Query struct {
 	Round int
 	// OnlyOK drops failed extractions.
 	OnlyOK bool
+	// Since and Until bound the observation time: [Since, Until) —
+	// Since inclusive, Until exclusive, zero values unbounded. On scans
+	// with no narrower index, the range pushes down to time-bucket
+	// selection: buckets entirely outside the range are skipped without
+	// touching a row (see ScanStats).
+	Since time.Time
+	Until time.Time
 }
 
 // match reports whether an observation satisfies the query.
@@ -41,6 +49,33 @@ func (q Query) match(o *Observation) bool {
 	if q.OnlyOK && !o.OK {
 		return false
 	}
+	if !q.Since.IsZero() && o.Time.Before(q.Since) {
+		return false
+	}
+	if !q.Until.IsZero() && !o.Time.Before(q.Until) {
+		return false
+	}
+	return true
+}
+
+// timeBounded reports whether the query carries a time range at all.
+func (q Query) timeBounded() bool { return !q.Since.IsZero() || !q.Until.IsZero() }
+
+// bucketOverlaps reports whether the bucket [start, start+secs) can hold
+// rows in the query's time range.
+func (q Query) bucketOverlaps(start, secs int64) bool {
+	if !q.Since.IsZero() && start+secs <= q.Since.Unix() {
+		return false // bucket ends before the range starts
+	}
+	if !q.Until.IsZero() {
+		u := q.Until.Unix()
+		// Until is exclusive; a bucket starting at or past it holds only
+		// rows >= Until — unless Until has sub-second precision, which
+		// reaches u's second itself.
+		if start >= u && !(start == u && q.Until.Nanosecond() > 0) {
+			return false
+		}
+	}
 	return true
 }
 
@@ -53,15 +88,17 @@ type seqObs struct {
 
 // collect gathers the shard's matching observations under its read lock,
 // choosing the narrowest index for the query: a product's source posting,
-// a product group, a domain order, a source order, or the shard order.
-func (sh *shard) collect(q Query, out []seqObs) []seqObs {
-	return sh.collectRange(q, 0, ^uint64(0), out)
+// a product group, a domain order, a source order, a time-bucket
+// selection, or the shard order.
+func (s *Store) collect(si int, q Query, out []seqObs) []seqObs {
+	return s.collectRange(si, q, 0, ^uint64(0), out)
 }
 
 // collectRange is collect restricted to sequence numbers in
 // (after, upto] — the windowed form the streaming/pagination layer uses
 // to bound how much one gather materializes.
-func (sh *shard) collectRange(q Query, after, upto uint64, out []seqObs) []seqObs {
+func (s *Store) collectRange(si int, q Query, after, upto uint64, out []seqObs) []seqObs {
+	sh := &s.shards[si]
 	inWindow := func(seq uint64) bool { return seq > after && seq <= upto }
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -95,6 +132,28 @@ func (sh *shard) collectRange(q Query, after, upto uint64, out []seqObs) []seqOb
 		order = di.order
 	case q.Source != "":
 		order = sh.bySource[q.Source]
+	case q.timeBounded():
+		// Time-range pushdown: with no narrower index to walk, the range
+		// predicate selects whole bucket partitions instead of testing
+		// every row — a cold bucket outside the range is never touched.
+		// Rows re-sort by sequence at the Scan/ScanRange layer, so bucket
+		// visit order is free.
+		for b, refs := range sh.byBucket {
+			if !q.bucketOverlaps(b, s.bucketSecs) {
+				s.segSkipped.Add(1)
+				continue
+			}
+			s.segScanned.Add(1)
+			for _, r := range refs {
+				if !inWindow(r.seq()) {
+					continue
+				}
+				if o := r.obs(); q.match(o) {
+					out = append(out, seqObs{seq: r.seq(), obs: *o})
+				}
+			}
+		}
+		return out
 	default:
 		order = sh.order
 	}
@@ -119,10 +178,10 @@ func (s *Store) Scan(q Query) iter.Seq[Observation] {
 	return func(yield func(Observation) bool) {
 		var rows []seqObs
 		if q.Domain != "" {
-			rows = s.shards[shardIdx(q.Domain)].collect(q, nil)
+			rows = s.collect(int(shardIdx(q.Domain)), q, nil)
 		} else {
 			for si := range s.shards {
-				rows = s.shards[si].collect(q, rows)
+				rows = s.collect(si, q, rows)
 			}
 		}
 		// Index orders follow shard append order, which is sequence order
@@ -153,10 +212,10 @@ func (s *Store) ScanRange(q Query, after, upto uint64) iter.Seq2[uint64, Observa
 		}
 		var rows []seqObs
 		if q.Domain != "" {
-			rows = s.shards[shardIdx(q.Domain)].collectRange(q, after, upto, nil)
+			rows = s.collectRange(int(shardIdx(q.Domain)), q, after, upto, nil)
 		} else {
 			for si := range s.shards {
-				rows = s.shards[si].collectRange(q, after, upto, rows)
+				rows = s.collectRange(si, q, after, upto, rows)
 			}
 		}
 		sort.Slice(rows, func(a, b int) bool { return rows[a].seq < rows[b].seq })

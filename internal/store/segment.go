@@ -2,6 +2,7 @@ package store
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,16 +10,28 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
-// A snapshot is the dataset at one instant, compacted out of the WAL into
-// plain JSON Lines — the exact bytes WriteJSONL emits, split into bounded
-// segments so no single file grows without limit and a truncated tail
-// costs at most one segment's worth of rows. The manifest is the commit
-// record: a snapshot exists only once MANIFEST.json names its segments,
-// and the manifest is replaced atomically (write temp, fsync, rename,
-// fsync directory), so a crash mid-compaction leaves the previous
-// generation fully intact and the half-written files orphaned.
+// A snapshot is the dataset at one instant, compacted out of the WAL
+// into segments keyed by time bucket: each bucket's rows are written as
+// JSON Lines (one {"seq","obs"} row per observation, in sequence order),
+// split into bounded segments so no single file grows without limit and
+// a truncated tail costs at most one segment's worth of rows. Cold
+// buckets — every bucket except the newest one holding data — are
+// gzip-compressed; the reader decompresses transparently. Rows carry
+// their sequence numbers so recovery can re-merge buckets back into
+// exact admission order, which keeps the recovered dataset byte-
+// identical to what live readers saw.
+//
+// The manifest is the commit record: a snapshot exists only once
+// MANIFEST.json names its buckets and segments, and the manifest is
+// replaced atomically (write temp, fsync, rename, fsync directory), so
+// a crash mid-compaction leaves the previous generation fully intact
+// and the half-written files orphaned. Retention is recorded there too:
+// a pruned bucket is simply absent from the committed manifest, and the
+// cumulative prune totals ride along so restarts keep reporting what
+// retention has dropped.
 
 // manifestName is the data directory's commit record.
 const manifestName = "MANIFEST.json"
@@ -31,11 +44,32 @@ type manifest struct {
 	// WAL file names embed it, so stale files of other generations are
 	// recognizable orphans.
 	Generation uint64 `json:"generation"`
-	// Rows is the snapshot's observation count — rows are stored in
-	// sequence order and renumbered 1..Rows at snapshot time, so every
-	// WAL record of this generation has sequence numbers > Rows.
+	// Rows is the snapshot's total observation count across buckets.
 	Rows uint64 `json:"rows"`
-	// Segments lists the snapshot files in sequence order.
+	// MaxSeq is the sequence counter at commit time: every WAL record of
+	// this generation carries sequence numbers > MaxSeq. (Retention can
+	// leave holes below it, so MaxSeq can exceed Rows.)
+	MaxSeq uint64 `json:"max_seq"`
+	// BucketSeconds is the bucket width segments are keyed by.
+	BucketSeconds int64 `json:"bucket_seconds"`
+	// Buckets lists the live buckets, oldest first.
+	Buckets []bucketInfo `json:"buckets"`
+	// Pruned accumulates what retention has dropped over the directory's
+	// lifetime — recovery reports it, stats surface it.
+	Pruned PruneTotals `json:"pruned,omitempty"`
+}
+
+// bucketInfo describes one live bucket's segments.
+type bucketInfo struct {
+	// Start is the bucket's inclusive start, unix seconds; the bucket
+	// covers [Start, Start+BucketSeconds).
+	Start int64 `json:"start"`
+	// Rows and Bytes total the bucket's segments.
+	Rows  int   `json:"rows"`
+	Bytes int64 `json:"bytes"`
+	// Compressed marks a cold (gzipped) bucket.
+	Compressed bool `json:"compressed,omitempty"`
+	// Segments lists the bucket's files in sequence order.
 	Segments []segmentInfo `json:"segments"`
 }
 
@@ -47,12 +81,26 @@ type segmentInfo struct {
 	Bytes int64  `json:"bytes"`
 }
 
-// manifestVersion is the current on-disk format.
-const manifestVersion = 1
+// PruneTotals accumulates retention's work across the directory's life.
+type PruneTotals struct {
+	// Buckets, Rows and Bytes count what pruning dropped, cumulatively.
+	Buckets uint64 `json:"buckets"`
+	Rows    uint64 `json:"rows"`
+	Bytes   uint64 `json:"bytes"`
+}
 
-// segmentFile names generation gen's idx-th snapshot segment.
-func segmentFile(gen uint64, idx int) string {
-	return fmt.Sprintf("seg-%08d-%05d.jsonl", gen, idx)
+// manifestVersion is the current on-disk format: 2 re-keyed segments by
+// time bucket (v1 kept one flat segment list).
+const manifestVersion = 2
+
+// segmentFile names one snapshot segment: generation, bucket start,
+// index within the bucket, with .gz marking a compressed cold bucket.
+func segmentFile(gen uint64, bucket int64, idx int, compressed bool) string {
+	name := fmt.Sprintf("seg-%08d-b%d-%05d.jsonl", gen, bucket, idx)
+	if compressed {
+		name += ".gz"
+	}
+	return name
 }
 
 // walFile names generation gen's log for one shard.
@@ -126,18 +174,29 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// writeSegments dumps src as a new generation's snapshot segments, each
-// at most segBytes of JSONL (a row never splits: segments rotate on the
-// boundary after the limit is crossed). Every segment is fsynced before
-// the caller commits the manifest that names it.
-func writeSegments(dir string, gen uint64, src *Store, segBytes int64) ([]segmentInfo, uint64, error) {
+// segRow is the on-disk row: the observation plus the sequence number
+// it held when written, so recovery can interleave buckets back into
+// admission order.
+type segRow struct {
+	Seq uint64      `json:"seq"`
+	Obs Observation `json:"obs"`
+}
+
+// writeBucket dumps one bucket of src as generation gen's segments, each
+// at most segBytes on disk (a row never splits: segments rotate on the
+// boundary after the limit is crossed; for compressed buckets the limit
+// applies to compressed bytes). Every segment is fsynced before the
+// caller commits the manifest that names it. Files are created under
+// their final names — an aborted pass leaves orphans of an uncommitted
+// generation, which the post-commit sweep (or the next open) removes.
+func writeBucket(dir string, gen uint64, src *Store, bucket int64, compressed bool, segBytes int64) (bucketInfo, error) {
+	info := bucketInfo{Start: bucket, Compressed: compressed}
 	var (
-		infos []segmentInfo
-		f     *os.File
-		bw    *bufio.Writer
-		enc   *json.Encoder
-		cur   segmentInfo
-		rows  uint64
+		f   *os.File
+		gz  *gzip.Writer
+		bw  *bufio.Writer
+		enc *json.Encoder
+		cur segmentInfo
 	)
 	closeCurrent := func() error {
 		if f == nil {
@@ -147,10 +206,11 @@ func writeSegments(dir string, gen uint64, src *Store, segBytes int64) ([]segmen
 			f.Close()
 			return fmt.Errorf("store: flush segment %s: %w", cur.Name, err)
 		}
-		size, err := f.Seek(0, io.SeekCurrent)
-		if err != nil {
-			f.Close()
-			return fmt.Errorf("store: size segment %s: %w", cur.Name, err)
+		if gz != nil {
+			if err := gz.Close(); err != nil {
+				f.Close()
+				return fmt.Errorf("store: close gzip %s: %w", cur.Name, err)
+			}
 		}
 		if err := f.Sync(); err != nil {
 			f.Close()
@@ -159,41 +219,55 @@ func writeSegments(dir string, gen uint64, src *Store, segBytes int64) ([]segmen
 		if err := f.Close(); err != nil {
 			return fmt.Errorf("store: close segment %s: %w", cur.Name, err)
 		}
-		cur.Bytes = size
-		infos = append(infos, cur)
-		f, bw, enc = nil, nil, nil
+		info.Bytes += cur.Bytes
+		info.Segments = append(info.Segments, cur)
+		f, gz, bw, enc = nil, nil, nil, nil
 		return nil
 	}
-	emit := func(o *Observation) error {
+	emit := func(seq uint64, o *Observation) error {
 		if f != nil && cur.Bytes >= segBytes {
 			if err := closeCurrent(); err != nil {
 				return err
 			}
 		}
 		if f == nil {
-			cur = segmentInfo{Name: segmentFile(gen, len(infos))}
+			cur = segmentInfo{Name: segmentFile(gen, bucket, len(info.Segments), compressed)}
 			var err error
 			f, err = os.OpenFile(filepath.Join(dir, cur.Name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 			if err != nil {
 				return fmt.Errorf("store: create segment %s: %w", cur.Name, err)
 			}
-			bw = bufio.NewWriter(&countingWriter{w: f, n: &cur.Bytes})
+			// cur.Bytes counts what lands in the file (compressed bytes
+			// for cold buckets), which is what rotation and the disk
+			// budget care about. The json.Encoder always feeds the bufio
+			// layer; the gzip layer, when present, sits between it and
+			// the counter.
+			counted := io.Writer(&countingWriter{w: f, n: &cur.Bytes})
+			if compressed {
+				// BestSpeed: the dump already costs O(dataset); the cold
+				// data is mostly-redundant JSON, which compresses well at
+				// any level.
+				gz, _ = gzip.NewWriterLevel(counted, gzip.BestSpeed)
+				bw = bufio.NewWriter(gz)
+			} else {
+				bw = bufio.NewWriter(counted)
+			}
 			enc = json.NewEncoder(bw)
 		}
-		rows++
+		info.Rows++
 		cur.Rows++
-		return enc.Encode(o)
+		return enc.Encode(segRow{Seq: seq, Obs: *o})
 	}
-	if err := src.dumpOrdered(emit); err != nil {
+	if err := src.dumpBucket(bucket, emit); err != nil {
 		if f != nil {
 			f.Close()
 		}
-		return nil, 0, err
+		return bucketInfo{}, err
 	}
 	if err := closeCurrent(); err != nil {
-		return nil, 0, err
+		return bucketInfo{}, err
 	}
-	return infos, rows, nil
+	return info, nil
 }
 
 // countingWriter tracks bytes written so segment rotation can trigger on
@@ -209,11 +283,14 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// loadSegment streams one snapshot segment into dst, tolerating a
-// truncated tail: complete rows load, the first broken row ends the
-// segment, and the shortfall against the manifest's expectation is
-// returned as lost rows. A missing file loses the whole segment.
-func loadSegment(dir string, info segmentInfo, dst *Store) (lost int, err error) {
+// loadSegment streams one snapshot segment's (seq, observation) rows
+// into dst, tolerating a truncated tail: complete rows load, the first
+// broken row ends the segment, and the shortfall against the manifest's
+// expectation is returned as lost rows. A missing file — or a compressed
+// segment whose gzip header is gone — loses the whole segment. The .gz
+// suffix picks the transparent-decompression path, so callers never care
+// whether a bucket was cold when written.
+func loadSegment(dir string, info segmentInfo, dst *[]seqObs) (lost int, err error) {
 	f, err := os.Open(filepath.Join(dir, info.Name))
 	if errors.Is(err, fs.ErrNotExist) {
 		return info.Rows, nil
@@ -223,24 +300,29 @@ func loadSegment(dir string, info segmentInfo, dst *Store) (lost int, err error)
 	}
 	defer f.Close()
 
-	dec := json.NewDecoder(bufio.NewReader(f))
-	batch := make([]Observation, 0, readBatch)
+	var r io.Reader = bufio.NewReader(f)
+	if strings.HasSuffix(info.Name, ".gz") {
+		gz, err := gzip.NewReader(r)
+		if err != nil {
+			// Header never made it to disk: the crash artifact form of a
+			// compressed segment. Nothing is recoverable from it.
+			return info.Rows, nil
+		}
+		defer gz.Close()
+		r = gz
+	}
+	dec := json.NewDecoder(r)
 	rows := 0
 	for {
-		var o Observation
-		if err := dec.Decode(&o); err != nil {
+		var row segRow
+		if err := dec.Decode(&row); err != nil {
 			// EOF is the clean end; anything else is the torn tail of a
 			// segment that lost its last write — keep what decoded.
 			break
 		}
 		rows++
-		batch = append(batch, o)
-		if len(batch) == readBatch {
-			dst.AddAll(batch)
-			batch = batch[:0]
-		}
+		*dst = append(*dst, seqObs{seq: row.Seq, obs: row.Obs})
 	}
-	dst.AddAll(batch)
 	if rows < info.Rows {
 		return info.Rows - rows, nil
 	}

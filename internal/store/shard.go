@@ -82,6 +82,10 @@ type shard struct {
 	okBySource map[string]int
 	// byVP counts observations per vantage point.
 	byVP map[string]int
+	// byBucket lists observations per time bucket (keyed by bucket
+	// start, unix seconds) in append order — the unit durable segments,
+	// retention and time-range pushdown partition by.
+	byBucket map[int64][]gref
 }
 
 // init readies the shard's maps.
@@ -91,12 +95,14 @@ func (sh *shard) init() {
 	sh.bySource = make(map[string][]gref)
 	sh.okBySource = make(map[string]int)
 	sh.byVP = make(map[string]int)
+	sh.byBucket = make(map[int64][]gref)
 }
 
-// add appends one observation and updates every index. Caller holds mu.
-// Groups address observations with int32 positions; at ~2 billion
-// observations per product the store must grow a wider posting type.
-func (sh *shard) add(o Observation, seq uint64) {
+// add appends one observation and updates every index; bucket is the
+// observation's time bucket start. Caller holds mu. Groups address
+// observations with int32 positions; at ~2 billion observations per
+// product the store must grow a wider posting type.
+func (sh *shard) add(o Observation, seq uint64, bucket int64) {
 	k := Key{Domain: o.Domain, SKU: o.SKU}
 	g := sh.groups[k]
 	if g == nil {
@@ -120,6 +126,7 @@ func (sh *shard) add(o Observation, seq uint64) {
 	di.skus[o.SKU] = struct{}{}
 
 	sh.bySource[o.Source] = append(sh.bySource[o.Source], r)
+	sh.byBucket[bucket] = append(sh.byBucket[bucket], r)
 	sh.byVP[o.VP]++
 	if o.OK {
 		sh.ok++

@@ -107,6 +107,20 @@ type Store struct {
 	seq    atomic.Uint64
 	shards [numShards]shard
 
+	// bucketSecs is the time-bucket width the per-shard bucket indexes
+	// are keyed by — the partition unit of durable segments, retention
+	// and time-range pushdown. Fixed at construction.
+	bucketSecs int64
+	// maxUnix tracks the newest observation time seen (unix seconds);
+	// noObservations while empty. Retention ages buckets against this
+	// simulated clock, never the host's.
+	maxUnix atomic.Int64
+
+	// segScanned and segSkipped count time-range pushdown decisions
+	// (see ScanStats).
+	segScanned atomic.Uint64
+	segSkipped atomic.Uint64
+
 	// wmMu guards inflight: the bases of batches whose sequence numbers
 	// are reserved but not yet fully applied to the shards. The applied
 	// watermark (Watermark) is the largest sequence below every in-flight
@@ -120,15 +134,29 @@ type Store struct {
 	observer Observer
 }
 
+// noObservations is maxUnix's empty-store sentinel: below any real
+// observation time, including zero time.Time values.
+const noObservations = int64(-1 << 62)
+
 // Observer receives each applied batch on the writer's goroutine, after
 // the batch's rows are visible to readers and its reservation released —
 // the write-path fold hook the incremental analysis engine hangs off.
 // The slice is the caller's; treat it as read-only and do not retain it.
 type Observer func(batch []Observation)
 
-// New returns an empty store.
+// New returns an empty store with the default (daily) bucket width.
 func New() *Store {
-	s := &Store{inflight: make(map[uint64]struct{})}
+	return newBucketed(DefaultBucketSeconds)
+}
+
+// newBucketed returns an empty store partitioned at the given bucket
+// width (seconds).
+func newBucketed(bucketSecs int64) *Store {
+	if bucketSecs <= 0 {
+		bucketSecs = DefaultBucketSeconds
+	}
+	s := &Store{bucketSecs: bucketSecs, inflight: make(map[uint64]struct{})}
+	s.maxUnix.Store(noObservations)
 	for i := range s.shards {
 		s.shards[i].init()
 	}
@@ -202,6 +230,12 @@ func (s *Store) Watermark() uint64 {
 // any) — outside every shard lock, so an observer may freely read the
 // store.
 func (s *Store) addAllAt(os []Observation, base uint64) {
+	newest := noObservations
+	for i := range os {
+		if u := os[i].Time.Unix(); u > newest {
+			newest = u
+		}
+	}
 	groups, single := groupByShard(os)
 	if single >= 0 {
 		// Fast path: single-shard batches (the common shape — one product
@@ -209,7 +243,7 @@ func (s *Store) addAllAt(os []Observation, base uint64) {
 		sh := &s.shards[single]
 		sh.mu.Lock()
 		for i := range os {
-			sh.add(os[i], base+uint64(i)+1)
+			sh.add(os[i], base+uint64(i)+1, bucketOf(os[i].Time, s.bucketSecs))
 		}
 		sh.mu.Unlock()
 	} else {
@@ -220,11 +254,12 @@ func (s *Store) addAllAt(os []Observation, base uint64) {
 			sh := &s.shards[si]
 			sh.mu.Lock()
 			for _, i := range groups[si] {
-				sh.add(os[i], base+uint64(i)+1)
+				sh.add(os[i], base+uint64(i)+1, bucketOf(os[i].Time, s.bucketSecs))
 			}
 			sh.mu.Unlock()
 		}
 	}
+	maxUnixUpdate(&s.maxUnix, newest)
 	s.applied(base)
 	if obs := s.observer; obs != nil {
 		obs(os)

@@ -13,7 +13,15 @@
 # succeeds with at least the phase-1 flush point intact and a consistent
 # /api/stats.
 #
+# Phase 3 (compaction kill): on a multi-bucket data dir with a tiny
+# -compact-wal-bytes, every few checks trigger a checkpoint that
+# rewrites and gzip-recompresses the cold buckets. kill -9 under that
+# load lands inside or between compactions; restart must recover to the
+# committed manifest + WAL tail and leave no orphans — every seg-* file
+# named in the manifest, no *.tmp, no stale-generation WALs.
+#
 # Run from the repository root: ./scripts/crash_smoke.sh
+# On failure, set SMOKE_ARTIFACT_DIR to keep the data dirs + server log.
 set -euo pipefail
 
 ADDR="${ADDR:-127.0.0.1:8317}"
@@ -26,7 +34,14 @@ logfile="$workdir/sheriffd.log"
 srv_pid=""
 
 cleanup() {
+  status=$?
   [ -n "$srv_pid" ] && kill -9 "$srv_pid" 2>/dev/null || true
+  if [ "$status" -ne 0 ] && [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$SMOKE_ARTIFACT_DIR/crash"
+    cp -r "$workdir"/data* "$SMOKE_ARTIFACT_DIR/crash/" 2>/dev/null || true
+    cp "$logfile" "$SMOKE_ARTIFACT_DIR/crash/" 2>/dev/null || true
+    echo "== crash-smoke: kept artifacts in $SMOKE_ARTIFACT_DIR/crash"
+  fi
   rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -37,9 +52,10 @@ say "building sheriffd and loadgen"
 go build -o "$workdir/sheriffd" ./cmd/sheriffd
 go build -o "$workdir/loadgen" ./examples/loadgen
 
+# start_server [extra sheriffd flags...] boots on $datadir.
 start_server() {
   "$workdir/sheriffd" -addr "$ADDR" -seed "$SEED" -longtail "$LONGTAIL" \
-    -data-dir "$datadir" -fsync always >>"$logfile" 2>&1 &
+    -data-dir "$datadir" -fsync always "$@" >>"$logfile" 2>&1 &
   srv_pid=$!
   for _ in $(seq 1 150); do
     if curl -sf "http://$ADDR/api/stats" >/dev/null 2>&1; then
@@ -209,4 +225,61 @@ grep -q "event log sealed" "$logfile" || {
 }
 srv_pid=""
 
-say "PASS (flush point $flush_point, post-crash $recovered2)"
+say "phase 3: seed a multi-bucket dir (6 simulated days, cold buckets gzipped)"
+datadir="$workdir/data3"
+"$workdir/loadgen" -data-dir "$datadir" -seed "$SEED" -longtail "$LONGTAIL" \
+  -users 6 -rounds 6 -retain-bytes 10000000 >/dev/null 2>&1
+
+say "phase 3: kill -9 under constant compaction (compact-wal-bytes=32768)"
+start_server -compact-wal-bytes 32768
+seeded="$(observations)"
+[ "$seeded" -gt 0 ] || { say "phase 3 seed dir recovered empty"; exit 1; }
+"$workdir/loadgen" -addr "http://$ADDR" -seed "$SEED" -longtail "$LONGTAIL" \
+  -users 6 -rounds 50 -requests 3000 >/dev/null 2>&1 &
+load_pid=$!
+sleep 2
+kill -9 "$srv_pid"
+wait "$srv_pid" 2>/dev/null || true
+wait "$load_pid" 2>/dev/null || true
+
+say "phase 3: restart over the interrupted compaction"
+start_server -compact-wal-bytes 32768
+recovered3="$(observations)"
+say "phase 3: recovered = $recovered3 observations (seeded $seeded)"
+if [ "$recovered3" -lt "$seeded" ]; then
+  say "FAIL: compaction kill lost seeded data ($recovered3 < $seeded)"
+  cat "$logfile"
+  exit 1
+fi
+check_v1_surface
+check_analysis
+
+say "phase 3: no orphans — the directory holds exactly what the manifest names"
+python3 - "$datadir" <<'EOF'
+import json, os, sys
+
+datadir = sys.argv[1]
+man = json.load(open(os.path.join(datadir, "MANIFEST.json")))
+named = {s["name"] for b in man["buckets"] for s in b["segments"]}
+files = os.listdir(datadir)
+for f in files:
+    assert not f.endswith(".tmp"), "orphaned temp file %s" % f
+    if f.startswith("seg-"):
+        assert f in named, "segment %s not named in the manifest" % f
+    if f.startswith("wal-"):
+        assert f.startswith("wal-%08d-" % man["generation"]), \
+            "stale-generation WAL %s (generation %d)" % (f, man["generation"])
+assert any(f.endswith(".gz") for f in files), "no compressed cold segment survived"
+print("== crash-smoke: %d segments, generation %d, no orphans"
+      % (len(named), man["generation"]))
+EOF
+
+say "phase 3: clean shutdown"
+kill -TERM "$srv_pid"
+for _ in $(seq 1 50); do
+  kill -0 "$srv_pid" 2>/dev/null || break
+  sleep 0.2
+done
+srv_pid=""
+
+say "PASS (flush point $flush_point, post-crash $recovered2, post-compaction-kill $recovered3)"
