@@ -26,6 +26,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"sheriff"
@@ -43,12 +44,23 @@ type Options struct {
 	BaseBackoff time.Duration
 	// UserAgent identifies the client in server logs.
 	UserAgent string
+	// MaxFollowerLag bounds how stale a follower's answer may be (in
+	// sequence numbers, per the X-Sheriff-Lag response header) before a
+	// read routed to it falls back to the primary (default 8192). Only
+	// meaningful on clients built with WithFollowers.
+	MaxFollowerLag uint64
 }
 
-// Client talks to one sheriffd. Safe for concurrent use.
+// Client talks to one sheriffd — or, when built with WithFollowers, to a
+// primary plus read replicas. Safe for concurrent use.
 type Client struct {
 	base string
 	opts Options
+
+	// followers are the read-replica base URLs GETs round-robin across
+	// (next is the rotation counter); writes always go to base.
+	followers []string
+	next      atomic.Uint64
 }
 
 // New builds a client for the server at baseURL (scheme://host[:port],
@@ -66,7 +78,26 @@ func New(baseURL string, opts Options) *Client {
 	if opts.UserAgent == "" {
 		opts.UserAgent = "sheriff-client/1"
 	}
+	if opts.MaxFollowerLag == 0 {
+		opts.MaxFollowerLag = 8192
+	}
 	return &Client{base: strings.TrimRight(baseURL, "/"), opts: opts}
+}
+
+// WithFollowers returns a client that routes idempotent GETs across the
+// given read replicas round-robin, with writes (and every fallback)
+// going to the primary. A follower that is unreachable, failing
+// server-side, or reporting replication lag above Options.MaxFollowerLag
+// is skipped for that call — the primary answers instead, in the same
+// attempt. The receiver is unchanged.
+func (c *Client) WithFollowers(urls ...string) *Client {
+	nc := &Client{base: c.base, opts: c.opts}
+	for _, u := range urls {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			nc.followers = append(nc.followers, u)
+		}
+	}
+	return nc
 }
 
 // APIError is a structured v1 error: the typed code and message from the
@@ -133,6 +164,9 @@ func (c *Client) backoffDelay(attempt int, retryAfter string) time.Duration {
 // do runs one HTTP call with retries and returns the response on any
 // 2xx. Non-2xx responses are decoded into *APIError (legacy text errors
 // degrade to an APIError with an empty Code). The caller owns the body.
+// On a follower-routing client, idempotent GETs try a follower first and
+// fall back to the primary within the same attempt when the follower is
+// down, failing, or too far behind.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, accept string) (*http.Response, error) {
 	idempotent := method == http.MethodGet
 	var lastErr error
@@ -149,22 +183,20 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, accep
 			case <-time.After(c.backoffDelay(attempt-1, retryAfter)):
 			}
 		}
-		var rd io.Reader
-		if body != nil {
-			rd = bytes.NewReader(body)
+		base := c.base
+		if idempotent && len(c.followers) > 0 {
+			base = c.followers[int(c.next.Add(1)-1)%len(c.followers)]
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
-		if err != nil {
-			return nil, err
+		resp, err := c.send(ctx, base, method, path, body, accept)
+		if base != c.base && !followerUsable(resp, err, c.opts.MaxFollowerLag) {
+			// The follower cannot answer this call (unreachable, 5xx, or
+			// lagging past the freshness bound): ask the primary now —
+			// the caller should not pay a backoff for replica staleness.
+			if resp != nil {
+				resp.Body.Close()
+			}
+			resp, err = c.send(ctx, c.base, method, path, body, accept)
 		}
-		req.Header.Set("User-Agent", c.opts.UserAgent)
-		if body != nil {
-			req.Header.Set("Content-Type", "application/json")
-		}
-		if accept != "" {
-			req.Header.Set("Accept", accept)
-		}
-		resp, err := c.opts.HTTPClient.Do(req)
 		if err != nil {
 			// Transport failure: retry only when the request could not
 			// have mutated anything (GET) or the context still stands and
@@ -187,6 +219,41 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, accep
 		}
 	}
 	return nil, lastErr
+}
+
+// send issues one request against the given base URL.
+func (c *Client) send(ctx context.Context, base, method, path string, body []byte, accept string) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("User-Agent", c.opts.UserAgent)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	return c.opts.HTTPClient.Do(req)
+}
+
+// followerUsable reports whether a follower's answer may be served:
+// reachable, no server-side failure, and fresh enough per the
+// X-Sheriff-Lag header every sheriffd response carries. Client-side
+// statuses (404, 400...) are real answers — a follower saying not_found
+// is as authoritative as the primary saying it.
+func followerUsable(resp *http.Response, err error, maxLag uint64) bool {
+	if err != nil || resp.StatusCode >= 500 {
+		return false
+	}
+	if lag, perr := strconv.ParseUint(resp.Header.Get("X-Sheriff-Lag"), 10, 64); perr == nil && lag > maxLag {
+		return false
+	}
+	return true
 }
 
 // decodeAPIError turns a non-2xx response into an *APIError — the v1

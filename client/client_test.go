@@ -479,3 +479,146 @@ func TestClientEventsHistoryAndTail(t *testing.T) {
 		t.Fatal("tail did not end after engine close")
 	}
 }
+
+// TestClientFollowerRouting: a follower-routing client sends idempotent
+// GETs round-robin to the replicas and every write to the primary.
+func TestClientFollowerRouting(t *testing.T) {
+	var primaryGets, primaryPosts, followerGets atomic.Int32
+	statsBody := `{"checks":0,"observations":0,"ok_prices":0,"domains":0,"cache":{"hits":0,"misses":0},"server":{"requests":0,"rate_limited":0}}`
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			primaryPosts.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"domain":"x","sku":"1","prices":[],"ratio":1,"varies":false}`)
+			return
+		}
+		primaryGets.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, statsBody)
+	}))
+	defer primary.Close()
+	follower := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		followerGets.Add(1)
+		w.Header().Set("X-Sheriff-Role", "follower")
+		w.Header().Set("X-Sheriff-Lag", "0")
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, statsBody)
+	}))
+	defer follower.Close()
+
+	cl := client.New(primary.URL, client.Options{}).WithFollowers(follower.URL)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Stats(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.Check(ctx, sheriff.CheckRequest{URL: "http://x/product/1", Highlight: "$1"}); err != nil {
+		t.Fatal(err)
+	}
+	if g := followerGets.Load(); g != 3 {
+		t.Fatalf("follower saw %d GETs, want 3", g)
+	}
+	if g, p := primaryGets.Load(), primaryPosts.Load(); g != 0 || p != 1 {
+		t.Fatalf("primary saw %d GETs / %d POSTs, want 0 / 1", g, p)
+	}
+}
+
+// TestClientFollowerFallback: a follower that is lagging past the bound,
+// failing server-side, or unreachable is skipped within the same attempt
+// and the primary answers — no retry budget or backoff spent.
+func TestClientFollowerFallback(t *testing.T) {
+	statsBody := `{"checks":9,"observations":0,"ok_prices":0,"domains":0,"cache":{"hits":0,"misses":0},"server":{"requests":0,"rate_limited":0}}`
+	var primaryGets atomic.Int32
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		primaryGets.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, statsBody)
+	}))
+	defer primary.Close()
+
+	cases := []struct {
+		name    string
+		handler http.HandlerFunc
+		close   bool
+	}{
+		{name: "lagging", handler: func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("X-Sheriff-Lag", "999999")
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"checks":0,"observations":0,"ok_prices":0,"domains":0,"cache":{"hits":0,"misses":0},"server":{"requests":0,"rate_limited":0}}`)
+		}},
+		{name: "5xx", handler: func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusInternalServerError)
+		}},
+		{name: "unreachable", handler: func(w http.ResponseWriter, r *http.Request) {}, close: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			primaryGets.Store(0)
+			follower := httptest.NewServer(tc.handler)
+			if tc.close {
+				follower.Close()
+			} else {
+				defer follower.Close()
+			}
+			cl := client.New(primary.URL, client.Options{MaxAttempts: 1}).WithFollowers(follower.URL)
+			stats, err := cl.Stats(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Checks != 9 {
+				t.Fatalf("stats = %+v (not the primary's answer)", stats)
+			}
+			if g := primaryGets.Load(); g != 1 {
+				t.Fatalf("primary saw %d GETs, want 1 fallback", g)
+			}
+		})
+	}
+}
+
+// TestClientFollowerAuthoritative4xx: a 4xx from a follower is a real
+// answer, not a reason to re-ask the primary.
+func TestClientFollowerAuthoritative4xx(t *testing.T) {
+	var primaryGets atomic.Int32
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		primaryGets.Add(1)
+	}))
+	defer primary.Close()
+	follower := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Sheriff-Lag", "0")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":{"code":"not_found","message":"no such domain"}}`)
+	}))
+	defer follower.Close()
+
+	cl := client.New(primary.URL, client.Options{MaxAttempts: 1}).WithFollowers(follower.URL)
+	_, err := cl.DomainReport(context.Background(), "never.seen")
+	if !client.IsCode(err, "not_found") {
+		t.Fatalf("err = %v, want follower's not_found", err)
+	}
+	if g := primaryGets.Load(); g != 0 {
+		t.Fatalf("primary saw %d GETs, want 0 (follower 4xx is authoritative)", g)
+	}
+}
+
+// TestClientReadOnlyError: a write sent to a follower node comes back as
+// the typed read_only code the SDK can branch on.
+func TestClientReadOnlyError(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Location", "http://primary:8317"+r.URL.RequestURI())
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusForbidden)
+		fmt.Fprint(w, `{"error":{"code":"read_only","message":"this node is a read-only follower; send writes to the primary","detail":"primary: http://primary:8317"}}`)
+	}))
+	defer stub.Close()
+
+	cl := client.New(stub.URL, client.Options{})
+	_, err := cl.Check(context.Background(), sheriff.CheckRequest{URL: "http://x/product/1", Highlight: "$1"})
+	if !client.IsCode(err, "read_only") {
+		t.Fatalf("err = %v, want read_only", err)
+	}
+	var ae *client.APIError
+	if !asAPIError(err, &ae) || ae.StatusCode != http.StatusForbidden || ae.Detail != "primary: http://primary:8317" {
+		t.Fatalf("APIError = %+v", ae)
+	}
+}

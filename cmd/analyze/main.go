@@ -16,7 +16,10 @@
 // -remote pulls the dataset from a running sheriffd through the typed
 // SDK (GET /api/v1/observations as an NDJSON stream, decoded row by row
 // into a local store), so analysis runs against a live service without
-// file access to its data directory.
+// file access to its data directory. With -followers the pull prefers
+// the listed read replicas (comma-separated base URLs), falling back to
+// -remote when a replica is down or lagging — analysis load stays off
+// the primary.
 //
 // The -seed flag must match the seed the dataset was collected under so
 // that currency conversions use the same exchange-rate fixings.
@@ -40,6 +43,7 @@ func main() {
 	data := flag.String("data", "dataset.jsonl", "dataset path (JSONL)")
 	dataDir := flag.String("data-dir", "", "durable data directory to open read-only (overrides -data)")
 	remote := flag.String("remote", "", "base URL of a live sheriffd to pull the dataset from (overrides -data and -data-dir)")
+	followers := flag.String("followers", "", "comma-separated read-replica base URLs to pull from instead of -remote (primary is the fallback)")
 	fig := flag.String("fig", "all", "figure: 1,2,3,4,5,6,7,8,9,10 or all")
 	domain := flag.String("domain", "", "domain for figures 6 and 8")
 	level := flag.String("level", "city", "granularity for figure 8: city or country")
@@ -50,6 +54,9 @@ func main() {
 	var st *store.Store
 	if *remote != "" {
 		cl := client.New(*remote, client.Options{})
+		if *followers != "" {
+			cl = cl.WithFollowers(strings.Split(*followers, ",")...)
+		}
 		var err error
 		st, err = cl.FetchDataset(context.Background(), client.ObservationsQuery{})
 		if err != nil {

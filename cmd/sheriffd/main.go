@@ -31,10 +31,25 @@
 //	GET  /                                 human-readable service description
 //
 // plus the legacy aliases /api/check, /api/anchors and /api/stats (the
-// beta extension contract, byte-identical responses). Errors on v1
-// travel as {"error":{"code","message","detail"}}. The middleware stack
-// is tunable: -cors-origin restricts cross-origin callers, -rate-limit
+// beta extension contract, byte-identical responses; each reply carries
+// Deprecation/Sunset lifecycle headers — set the Sunset date with
+// -legacy-sunset). Errors on v1 travel as
+// {"error":{"code","message","detail"}}. The middleware stack is
+// tunable: -cors-origin restricts cross-origin callers, -rate-limit
 // enables a per-client token bucket, -max-body caps request bodies.
+//
+// Cluster mode: a second sheriffd started with -follow streams the
+// primary's WAL over GET /api/v1/replication/wal and serves the same v1
+// read surface off an identical in-memory dataset:
+//
+//	sheriffd -addr :8318 -follow http://localhost:8317 -seed 1
+//
+// The follower is read-only (writes answer 403 {"error":{"code":
+// "read_only"}} with a Location pointing at the primary), resumes from
+// its last applied sequence after any disconnect, reports its role and
+// lag in /api/v1/stats, and gates /api/v1/readyz on -ready-max-lag.
+// Start it with the same -seed and -longtail as the primary so both
+// nodes simulate the same world.
 //
 // Example check (the user at 10.0.1.50 highlighted "$49.99"):
 //
@@ -85,7 +100,25 @@ func main() {
 	rateBurst := flag.Int("rate-burst", 0, "rate-limit bucket depth (default: the rate)")
 	trustProxy := flag.Bool("trust-proxy", false, "rate-limit by the first X-Forwarded-For hop (only behind a proxy that sets it)")
 	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
+	follow := flag.String("follow", "", "run as a read-only follower of the primary at this base URL (e.g. http://primary:8317)")
+	readyMaxLag := flag.Uint64("ready-max-lag", 0, "follower readiness bound: /api/v1/readyz reports unready past this replication lag (default 8192)")
+	legacySunset := flag.String("legacy-sunset", "", "Sunset date advertised on the legacy /api/check|anchors|stats aliases (YYYY-MM-DD or RFC3339)")
 	flag.Parse()
+
+	if *follow != "" && *dataDir != "" {
+		log.Fatalf("sheriffd: -follow and -data-dir are mutually exclusive (followers hold the replicated dataset in memory and re-sync from the primary on restart)")
+	}
+	var sunset time.Time
+	if *legacySunset != "" {
+		t, err := time.Parse("2006-01-02", *legacySunset)
+		if err != nil {
+			t, err = time.Parse(time.RFC3339, *legacySunset)
+		}
+		if err != nil {
+			log.Fatalf("sheriffd: -legacy-sunset %q: want YYYY-MM-DD or RFC3339", *legacySunset)
+		}
+		sunset = t
+	}
 
 	// With -data-dir the store outlives the process: recover whatever the
 	// previous run left (a clean stop and a kill -9 recover the same way),
@@ -111,14 +144,33 @@ func main() {
 		durable, backingStore = d, d
 	}
 
+	// Follower mode: the local store is an empty in-memory engine the
+	// replication stream fills under the primary's sequence numbers; the
+	// analysis engine folds replicated batches exactly as the primary
+	// folded the original writes, so reports and events match.
+	var follower *sheriff.Follower
+	if *follow != "" {
+		st := sheriff.NewStore()
+		backingStore = st
+		follower = sheriff.NewFollower(*follow, st, sheriff.FollowerOptions{Logf: log.Printf})
+	}
+
 	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: *seed, LongTail: *longtail, Store: backingStore})
-	api := sheriff.NewAPIWithOptions(w, sheriff.APIOptions{
+	apiOpts := sheriff.APIOptions{
 		AllowedOrigins:    strings.Split(*corsOrigins, ","),
 		MaxBodyBytes:      *maxBody,
 		RateLimit:         *rateLimit,
 		RateBurst:         *rateBurst,
 		TrustProxyHeaders: *trustProxy,
-	})
+		ReadyMaxLag:       *readyMaxLag,
+		LegacySunset:      sunset,
+	}
+	if follower != nil {
+		apiOpts.ReadOnly = true
+		apiOpts.PrimaryURL = follower.Primary()
+		apiOpts.Follower = follower
+	}
+	api := sheriff.NewAPIWithOptions(w, apiOpts)
 
 	mux := http.NewServeMux()
 	mux.Handle("/api/", api)
@@ -131,6 +183,9 @@ func main() {
 			return
 		}
 		fmt.Fprintf(rw, "$heriff backend\n\n")
+		if follower != nil {
+			fmt.Fprintf(rw, "role            read-only follower of %s\n", follower.Primary())
+		}
 		fmt.Fprintf(rw, "world seed      %d\n", *seed)
 		fmt.Fprintf(rw, "domains         %d (%d crawl targets)\n", w.DomainCount(), len(w.Crawled))
 		fmt.Fprintf(rw, "vantage points  %d\n", len(sheriff.VantagePoints()))
@@ -139,7 +194,9 @@ func main() {
 		fmt.Fprintf(rw, "GET  /api/v1/domains/{domain}/report\n")
 		fmt.Fprintf(rw, "GET  /api/v1/anchors\nGET  /api/v1/stats\n")
 		fmt.Fprintf(rw, "GET  /api/v1/events[?after=&limit=]  (live tail with Accept: application/x-ndjson or text/event-stream)\n")
-		fmt.Fprintf(rw, "legacy: POST /api/check  GET /api/anchors  GET /api/stats\n")
+		fmt.Fprintf(rw, "GET  /api/v1/healthz  GET /api/v1/readyz\n")
+		fmt.Fprintf(rw, "GET  /api/v1/replication/wal?after=N[&follow=true]  (WAL stream for -follow replicas)\n")
+		fmt.Fprintf(rw, "legacy: POST /api/check  GET /api/anchors  GET /api/stats  (deprecated; see Sunset header)\n")
 		fmt.Fprintf(rw, "\ntry a product: http://%s/product/%s\n",
 			w.Crawled[0], w.Retailers[w.Crawled[0]].Catalog().Products()[0].SKU)
 	})
@@ -162,12 +219,28 @@ func main() {
 	// history, it just wakes nobody — so no event observed by the store
 	// is ever dropped by a drain.
 	srv.RegisterOnShutdown(func() { w.Analysis.Close() })
+	// Tailing replication streams (follow=true) likewise pin the drain:
+	// Stop releases them so followers disconnect and resume elsewhere.
+	srv.RegisterOnShutdown(api.Stop)
 
 	// Signal-driven graceful shutdown: on SIGINT/SIGTERM stop accepting,
 	// drain in-flight checks for up to -drain, then exit. A second signal
 	// kills the process the usual way (the handler is reset once fired).
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// The follower engine reconnects through transient failures on its
+	// own; only a fatal divergence (epoch change, lost history) surfaces
+	// here, and that needs an operator, not a retry.
+	replc := make(chan error, 1)
+	if follower != nil {
+		go func() {
+			if err := follower.Run(ctx); err != nil {
+				replc <- err
+			}
+		}()
+		log.Printf("sheriffd: following %s (read-only replica)", follower.Primary())
+	}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -179,6 +252,8 @@ func main() {
 	select {
 	case err := <-errc:
 		log.Fatalf("sheriffd: serve: %v", err)
+	case err := <-replc:
+		log.Fatalf("sheriffd: replication failed: %v", err)
 	case <-ctx.Done():
 		stop()
 		log.Printf("sheriffd: signal received, draining for up to %v", *drain)

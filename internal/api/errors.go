@@ -48,6 +48,10 @@ const (
 	CodeUpstream = "upstream_error"
 	// CodeInternal marks a server-side bug (a recovered panic included).
 	CodeInternal = "internal"
+	// CodeReadOnly marks a write attempted against a read-only follower;
+	// the response's Location header and the error detail point at the
+	// primary that accepts writes.
+	CodeReadOnly = "read_only"
 )
 
 // Error is the structured error of the v1 contract. It implements error

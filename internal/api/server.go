@@ -8,11 +8,13 @@ import (
 	"net/netip"
 	"net/url"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"sheriff/internal/aggregate"
 	"sheriff/internal/backend"
+	"sheriff/internal/replica"
 	"sheriff/internal/store"
 )
 
@@ -46,6 +48,21 @@ type Options struct {
 	// gains an "analysis" block. Nil falls back to full recomputation and
 	// an empty event history.
 	Analysis *aggregate.Engine
+	// ReadOnly rejects every write endpoint with the typed read_only
+	// envelope — follower mode. PrimaryURL, when set, rides along in the
+	// rejection's Location header and error detail.
+	ReadOnly   bool
+	PrimaryURL string
+	// Follower is the replication engine this server fronts; it feeds the
+	// stats replication block, the readiness probe and the role headers.
+	// Nil means the node is a primary.
+	Follower *replica.Follower
+	// ReadyMaxLag is the lag (in sequence numbers) past which a
+	// follower's /api/v1/readyz flips unready (default 8192).
+	ReadyMaxLag uint64
+	// LegacySunset, when set, is the retirement date the legacy aliases
+	// advertise in their Sunset header.
+	LegacySunset time.Time
 }
 
 // Server is the versioned HTTP surface:
@@ -65,7 +82,17 @@ type Server struct {
 	store    store.Reader
 	opts     Options
 	analysis *aggregate.Engine
+	follower *replica.Follower
 	handler  http.Handler
+
+	// start anchors the health probes' uptime; epoch is the process
+	// replication identity a memory-engine primary streams under (a
+	// durable primary uses its directory's committed epoch instead).
+	start time.Time
+	epoch uint64
+	// stop releases tailing replication streams on shutdown (see Stop).
+	stop     chan struct{}
+	stopOnce sync.Once
 
 	// requests counts everything served; rateDenied what the limiter
 	// rejected. Both surface in /api/v1/stats.
@@ -87,7 +114,16 @@ func NewServer(b *backend.Backend, opts Options) *Server {
 		}
 	}
 	opts.AllowedOrigins = origins
-	s := &Server{backend: b, store: b.Store(), opts: opts, analysis: opts.Analysis}
+	if opts.ReadyMaxLag == 0 {
+		opts.ReadyMaxLag = 8192
+	}
+	s := &Server{
+		backend: b, store: b.Store(), opts: opts, analysis: opts.Analysis,
+		follower: opts.Follower,
+		start:    time.Now(),
+		epoch:    store.NewReplicationEpoch(),
+		stop:     make(chan struct{}),
+	}
 
 	mux := http.NewServeMux()
 	// v1 routes. Method checks live in the handlers so the miss is the
@@ -98,13 +134,18 @@ func NewServer(b *backend.Backend, opts Options) *Server {
 	mux.HandleFunc("/api/v1/stats", s.handleStats)
 	mux.HandleFunc("/api/v1/anchors", s.handleAnchors)
 	mux.HandleFunc("/api/v1/events", s.handleEvents)
+	mux.HandleFunc("/api/v1/replication/wal", s.handleReplicationWAL)
+	mux.HandleFunc("/api/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/api/v1/readyz", s.handleReadyz)
 	mux.HandleFunc("/api/v1/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, opts.Logger, errf(http.StatusNotFound, CodeNotFound,
 			"no such endpoint: %s", r.URL.Path))
 	})
 	// Legacy aliases: the pre-v1 handlers, verbatim. backend.API still
-	// owns them so the old wire bytes cannot drift by accident.
-	legacy := backend.NewAPI(b)
+	// owns them so the old wire bytes cannot drift by accident; the
+	// wrapper adds only lifecycle headers (and the follower-side write
+	// rejection), never body changes.
+	legacy := s.legacyHeaders(backend.NewAPI(b))
 	mux.Handle("/api/check", legacy)
 	mux.Handle("/api/anchors", legacy)
 	mux.Handle("/api/stats", legacy)
@@ -113,7 +154,7 @@ func NewServer(b *backend.Backend, opts Options) *Server {
 	// caller must still receive the ACAO header, or the browser hides
 	// the 429 envelope and Retry-After behind an opaque CORS error.
 	mws := []Middleware{s.countRequests, RequestID(), Logging(opts.Logger), Recover(opts.Logger),
-		CORS(opts.AllowedOrigins)}
+		CORS(opts.AllowedOrigins), s.roleHeaders}
 	if opts.RateLimit > 0 {
 		rl := newRateLimiter(opts.RateLimit, opts.RateBurst, opts.TrustProxyHeaders, opts.Now)
 		s.rateDenied = &rl.denied
@@ -197,6 +238,10 @@ const maxBatchChecks = 64
 // results and errors.
 func (s *Server) handleChecks(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	if s.opts.ReadOnly {
+		s.writeReadOnly(w, r)
 		return
 	}
 	body, err := io.ReadAll(r.Body)
@@ -319,6 +364,10 @@ type StatsResponse struct {
 	} `json:"cache"`
 	Durable  *store.DurableStats `json:"durable,omitempty"`
 	Analysis *aggregate.Stats    `json:"analysis,omitempty"`
+	// Replication reports the node's cluster role and stream state —
+	// present on every node, so "is this a follower, and how far behind"
+	// is one stats call on either side.
+	Replication *ReplicationStats `json:"replication,omitempty"`
 	// Scan reports the store's time-range pushdown counters when the
 	// backing store exposes them (both engines do): how many (shard,
 	// bucket) partitions time-bounded scans walked versus skipped.
@@ -369,6 +418,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		stats := s.analysis.Stats()
 		resp.Analysis = &stats
 	}
+	repl := s.replicationStats()
+	resp.Replication = &repl
 	resp.Server.Requests = s.requests.Load()
 	if s.rateDenied != nil {
 		resp.Server.RateLimited = s.rateDenied.Load()

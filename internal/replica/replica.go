@@ -1,0 +1,294 @@
+// Package replica implements the follower side of WAL-shipping
+// replication: a Follower connects to a primary's replication endpoint,
+// streams CRC-framed WAL batches, and applies them into a local store
+// under the primary's sequence numbers. The connection is pull-based and
+// resumable — the follower reconnects with ?after=<last applied seq>
+// after any disconnect, so a crash, a server-side write timeout or a
+// network cut all heal the same way. See DESIGN.md §11 for the protocol.
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sheriff/internal/store"
+)
+
+// Target is what a follower applies into: the memory engine's
+// replication surface (satisfied by *store.Store).
+type Target interface {
+	// ApplyAt applies one replicated batch under its original sequence
+	// numbers.
+	ApplyAt(seqs []uint64, obs []store.Observation) error
+	// Watermark is the largest fully applied sequence — the resume
+	// cursor after a restart.
+	Watermark() uint64
+}
+
+// Fatal stream errors: Run returns them instead of reconnecting,
+// because retrying cannot help and applying further frames could mix
+// two distinct histories.
+var (
+	// ErrEpochChanged marks a primary whose replication epoch differs
+	// from the one this follower first synced from — a replaced or reset
+	// primary. The follower must be restarted empty to re-sync.
+	ErrEpochChanged = errors.New("replica: primary replication epoch changed")
+	// ErrDiverged marks a primary whose watermark is behind what this
+	// follower already applied — the primary lost acknowledged writes.
+	ErrDiverged = errors.New("replica: follower is ahead of the primary")
+)
+
+// Options tunes a Follower; zero values take the noted defaults.
+type Options struct {
+	// Client is the HTTP client for stream requests (default: a client
+	// with no timeout — the stream is long-lived by design; connection
+	// establishment still honors the transport's dial timeouts).
+	Client *http.Client
+	// ReconnectDelay is the pause before re-dialing after a transient
+	// failure (default 500ms).
+	ReconnectDelay time.Duration
+	// Logf, when set, receives connection lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// Follower streams a primary's WAL into a local target. Create with
+// New, drive with Run (or CatchUp for a bounded sync), observe with
+// Status.
+type Follower struct {
+	primary string
+	target  Target
+	opts    Options
+
+	mu          sync.Mutex
+	connected   bool
+	lastApplied uint64
+	primaryWM   uint64
+	epoch       uint64
+	lastErr     error
+}
+
+// New returns a follower of the primary at primaryURL (scheme + host,
+// e.g. "http://primary:8317"); nothing connects until Run or CatchUp.
+// The target's current watermark is the initial resume cursor, so a
+// follower constructed over already-applied state resumes rather than
+// re-syncing.
+func New(primaryURL string, target Target, opts Options) *Follower {
+	if opts.Client == nil {
+		opts.Client = &http.Client{}
+	}
+	if opts.ReconnectDelay <= 0 {
+		opts.ReconnectDelay = 500 * time.Millisecond
+	}
+	return &Follower{
+		primary:     strings.TrimRight(primaryURL, "/"),
+		target:      target,
+		opts:        opts,
+		lastApplied: target.Watermark(),
+	}
+}
+
+// Primary returns the primary's base URL.
+func (f *Follower) Primary() string { return f.primary }
+
+// Status is a point-in-time view of the follower.
+type Status struct {
+	// Connected reports a live stream.
+	Connected bool `json:"connected"`
+	// LastApplied is the largest sequence number applied locally.
+	LastApplied uint64 `json:"last_applied"`
+	// PrimaryWatermark is the primary's applied watermark as of the last
+	// frame or header seen; Lag is the difference (0 while unknown).
+	PrimaryWatermark uint64 `json:"primary_watermark"`
+	Lag              uint64 `json:"lag"`
+	// Epoch is the primary epoch this follower is pinned to (0 before
+	// the first connect).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// LastError is the most recent stream error, empty while healthy.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Status snapshots the follower's replication state.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := Status{
+		Connected:        f.connected,
+		LastApplied:      f.lastApplied,
+		PrimaryWatermark: f.primaryWM,
+		Epoch:            f.epoch,
+	}
+	if f.primaryWM > f.lastApplied {
+		st.Lag = f.primaryWM - f.lastApplied
+	}
+	if f.lastErr != nil {
+		st.LastError = f.lastErr.Error()
+	}
+	return st
+}
+
+// Run streams until ctx is cancelled, reconnecting (and resuming from
+// the last applied sequence) after every disconnect — a transport
+// failure, the primary's write timeout, or a clean server-side close
+// (graceful restart) all heal the same way. It returns nil on
+// cancellation and a fatal error — ErrEpochChanged, ErrDiverged, a bad
+// apply — immediately: those are not healed by retrying.
+func (f *Follower) Run(ctx context.Context) error {
+	for {
+		err := f.stream(ctx, true)
+		if ctx.Err() != nil {
+			return nil
+		}
+		switch {
+		case err == nil:
+			// The primary closed a tailing stream cleanly — it is
+			// restarting or draining. Resume against its successor.
+			f.logf("replica: stream from %s ended (reconnecting in %s)", f.primary, f.opts.ReconnectDelay)
+		case fatal(err):
+			f.setErr(err)
+			return err
+		default:
+			f.setErr(err)
+			f.logf("replica: stream from %s: %v (reconnecting in %s)", f.primary, err, f.opts.ReconnectDelay)
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(f.opts.ReconnectDelay):
+		}
+	}
+}
+
+// CatchUp performs one non-tailing pass: it streams every batch the
+// primary has applied up to its current watermark, then returns. Used
+// by tests and one-shot syncs; Run is the serving mode.
+func (f *Follower) CatchUp(ctx context.Context) error {
+	if err := f.stream(ctx, false); err != nil {
+		f.setErr(err)
+		return err
+	}
+	return nil
+}
+
+// fatal reports whether a stream error must stop Run.
+func fatal(err error) bool {
+	return errors.Is(err, ErrEpochChanged) || errors.Is(err, ErrDiverged)
+}
+
+// stream opens one replication connection and applies frames until the
+// stream ends (follow=false), the connection drops, or ctx cancels.
+func (f *Follower) stream(ctx context.Context, follow bool) error {
+	f.mu.Lock()
+	after := f.lastApplied
+	f.mu.Unlock()
+
+	u := fmt.Sprintf("%s/api/v1/replication/wal?after=%d&follow=%t", f.primary, after, follow)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("replica: build request: %w", err)
+	}
+	resp, err := f.opts.Client.Do(req)
+	if err != nil {
+		return fmt.Errorf("replica: connect: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("replica: primary answered %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	if err := f.checkHeaders(resp, after); err != nil {
+		return err
+	}
+
+	f.setConnected(true)
+	defer f.setConnected(false)
+	fr := store.NewWALFrameReader(resp.Body)
+	for {
+		frame, err := fr.Next()
+		if err == io.EOF {
+			return nil // clean end: a non-tailing pass completed, or the primary closed the stream
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		if err := f.apply(frame); err != nil {
+			return err
+		}
+	}
+}
+
+// checkHeaders validates the primary's identity and history against what
+// this follower has already applied.
+func (f *Follower) checkHeaders(resp *http.Response, after uint64) error {
+	epoch, err := strconv.ParseUint(resp.Header.Get(store.ReplicationEpochHeader), 10, 64)
+	if err != nil || epoch == 0 {
+		return fmt.Errorf("replica: %s is not a replication endpoint (missing %s)", f.primary, store.ReplicationEpochHeader)
+	}
+	wm, _ := strconv.ParseUint(resp.Header.Get(store.ReplicationWatermarkHeader), 10, 64)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.epoch == 0 {
+		f.epoch = epoch
+	} else if f.epoch != epoch {
+		return fmt.Errorf("%w: pinned %d, primary reports %d", ErrEpochChanged, f.epoch, epoch)
+	}
+	if wm < after {
+		return fmt.Errorf("%w: applied through %d, primary watermark %d", ErrDiverged, after, wm)
+	}
+	if wm > f.primaryWM {
+		f.primaryWM = wm
+	}
+	return nil
+}
+
+// apply folds one frame into the target: heartbeats and already-applied
+// replays only update the lag accounting.
+func (f *Follower) apply(frame store.WALFrame) error {
+	f.mu.Lock()
+	if frame.Watermark > f.primaryWM {
+		f.primaryWM = frame.Watermark
+	}
+	last := f.lastApplied
+	f.mu.Unlock()
+	if len(frame.Seqs) == 0 {
+		return nil // heartbeat
+	}
+	if frame.Seqs[len(frame.Seqs)-1] <= last {
+		return nil // replayed frame below the cursor (server replayed conservatively)
+	}
+	if err := f.target.ApplyAt(frame.Seqs, frame.Obs); err != nil {
+		return fmt.Errorf("%w: %v", ErrDiverged, err)
+	}
+	f.mu.Lock()
+	f.lastApplied = frame.Seqs[len(frame.Seqs)-1]
+	f.lastErr = nil
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *Follower) setConnected(v bool) {
+	f.mu.Lock()
+	f.connected = v
+	f.mu.Unlock()
+}
+
+func (f *Follower) setErr(err error) {
+	f.mu.Lock()
+	f.lastErr = err
+	f.mu.Unlock()
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.opts.Logf != nil {
+		f.opts.Logf(format, args...)
+	}
+}

@@ -1,0 +1,141 @@
+package replica_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sheriff/internal/replica"
+	"sheriff/internal/store"
+)
+
+// walStub serves a minimal replication endpoint: identity headers, the
+// given frames, then a clean close. epoch and watermark are read per
+// request, so a test can swap the primary's identity mid-run.
+type walStub struct {
+	epoch, watermark atomic.Uint64
+	connects         atomic.Int32
+	frames           func(after uint64) []store.WALFrame
+}
+
+func (s *walStub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.connects.Add(1)
+	h := w.Header()
+	h.Set(store.ReplicationEpochHeader, fmt.Sprint(s.epoch.Load()))
+	h.Set(store.ReplicationWatermarkHeader, fmt.Sprint(s.watermark.Load()))
+	h.Set("Content-Type", store.ReplicationContentType)
+	if s.frames == nil {
+		return
+	}
+	var after uint64
+	fmt.Sscanf(r.URL.Query().Get("after"), "%d", &after)
+	var buf []byte
+	for _, fr := range s.frames(after) {
+		b, err := store.EncodeWALFrame(buf[:0], fr)
+		if err != nil {
+			return
+		}
+		buf = b
+		w.Write(b)
+	}
+}
+
+func TestRunReconnectsAfterCleanClose(t *testing.T) {
+	// A tailing stream that the server keeps closing cleanly (graceful
+	// restarts) must be re-dialed from the last applied sequence, not
+	// treated as the end of replication.
+	stub := &walStub{}
+	stub.epoch.Store(7)
+	rows := []store.Observation{{Domain: "r.example.com", SKU: "S", Round: -1, Currency: "USD"}}
+	stub.frames = func(after uint64) []store.WALFrame {
+		wm := stub.watermark.Load()
+		if after >= wm {
+			return nil
+		}
+		var frames []store.WALFrame
+		for seq := after + 1; seq <= wm; seq++ {
+			frames = append(frames, store.WALFrame{Seqs: []uint64{seq}, Obs: rows, Watermark: wm})
+		}
+		return frames
+	}
+	srv := httptest.NewServer(stub)
+	defer srv.Close()
+
+	fst := store.New()
+	fol := replica.New(srv.URL, fst, replica.Options{ReconnectDelay: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- fol.Run(ctx) }()
+
+	for wm := uint64(1); wm <= 3; wm++ {
+		stub.watermark.Store(wm)
+		deadline := time.Now().Add(5 * time.Second)
+		for fol.Status().LastApplied != wm {
+			if time.Now().After(deadline) {
+				t.Fatalf("never applied %d: %+v", wm, fol.Status())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if c := stub.connects.Load(); c < 3 {
+		t.Fatalf("saw %d connects, want reconnection across clean closes", c)
+	}
+	if fst.Len() != 3 {
+		t.Fatalf("follower holds %d rows, want 3", fst.Len())
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+}
+
+func TestRunStopsOnEpochChange(t *testing.T) {
+	stub := &walStub{}
+	stub.epoch.Store(7)
+	srv := httptest.NewServer(stub)
+	defer srv.Close()
+
+	fol := replica.New(srv.URL, store.New(), replica.Options{ReconnectDelay: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- fol.Run(ctx) }()
+
+	// Wait for the first connect to pin epoch 7, then swap identities.
+	deadline := time.Now().Add(5 * time.Second)
+	for fol.Status().Epoch != 7 {
+		if time.Now().After(deadline) {
+			t.Fatal("epoch never pinned")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stub.epoch.Store(8)
+	select {
+	case err := <-done:
+		if !errors.Is(err, replica.ErrEpochChanged) {
+			t.Fatalf("Run = %v, want ErrEpochChanged", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run kept retrying a replaced primary")
+	}
+	if st := fol.Status(); st.LastError == "" {
+		t.Fatalf("status should carry the fatal error: %+v", st)
+	}
+}
+
+func TestCatchUpRejectsNonReplicationEndpoint(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("hello"))
+	}))
+	defer srv.Close()
+	fol := replica.New(srv.URL, store.New(), replica.Options{})
+	if err := fol.CatchUp(context.Background()); err == nil {
+		t.Fatal("CatchUp accepted a non-replication endpoint")
+	}
+}

@@ -61,7 +61,11 @@ type Durable struct {
 	writeGate sync.RWMutex
 	closed    bool
 	gen       uint64
-	snapRows  uint64
+	// epoch is the directory's replication identity (see manifest.Epoch):
+	// minted on first open, committed with every checkpoint, constant for
+	// the directory's lifetime.
+	epoch    uint64
+	snapRows uint64
 	// snapBuckets/snapCompressed/snapBytes describe the committed
 	// snapshot's bucket layout; bucketBytes maps bucket start to its
 	// committed on-disk size (how age-pruned buckets get byte-accounted).
@@ -298,14 +302,32 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, RecoveryReport, err
 	d := &Durable{dir: dir, opts: opts, gen: man.Generation, lock: lock}
 	d.mem.Store(mem)
 	d.pruned = man.Pruned
+	d.epoch = man.Epoch
+	if d.epoch == 0 {
+		d.epoch = NewReplicationEpoch()
+		if man.Generation == 0 && len(man.Buckets) == 0 && rep.Rows() == 0 && rep.WALBytesDiscarded == 0 {
+			// Fresh directory: commit the minted identity alone, at
+			// generation 0 — there is no data to rewrite, and the
+			// generation counter must not advance on an empty open.
+			man.Epoch = d.epoch
+			man.BucketSeconds = width
+			if err := commitManifest(dir, man); err != nil {
+				lock.Close()
+				return nil, rep, err
+			}
+		}
+	}
 	// When recovery folded nothing in — no log records, no torn bytes,
 	// no lost rows — and the committed snapshot needs no lifecycle work
 	// (same bucket width, cold buckets compressed, no retention due),
 	// that snapshot already IS the recovered state, and rewriting it
 	// would put an O(dataset) segment dump on every clean restart's boot
-	// path. Reuse the generation instead; anything else checkpoints.
+	// path. Reuse the generation instead; anything else checkpoints. A
+	// manifest without an epoch forces one checkpoint so the freshly
+	// minted identity is committed, not re-minted per restart.
 	clean := rep.WALRecords == 0 && rep.WALBytesDiscarded == 0 && rep.SegmentRowsLost == 0 &&
 		(man.BucketSeconds == 0 || man.BucketSeconds == width) &&
+		man.Epoch != 0 &&
 		!d.lifecycleDue(man, mem)
 	if clean {
 		err = d.reuseGenerationLocked(man)
@@ -393,10 +415,11 @@ func OpenReadOnly(dir string) (*Store, RecoveryReport, error) {
 // recoverDir rebuilds the dataset a directory holds: the manifest's live
 // buckets plus the log tail's complete records, all carrying their
 // original sequence numbers, merged by one global sort back into exact
-// admission order. The rebuilt store renumbers sequences contiguously —
-// order is what recovery preserves, and order is all any read path
-// consumes. Pruned buckets are simply absent from the manifest: nothing
-// here ever sees them.
+// admission order. The rebuilt store keeps every row's original sequence
+// number and resumes the counter at the recovered maximum — replication
+// resumes by sequence, so a restart must never renumber rows out from
+// under a follower's cursor. Pruned buckets are simply absent from the
+// manifest: nothing here ever sees them.
 func recoverDir(dir string) (*Store, *manifest, RecoveryReport, error) {
 	man, err := readManifest(dir)
 	if err != nil {
@@ -457,15 +480,26 @@ func recoverDir(dir string) (*Store, *manifest, RecoveryReport, error) {
 		}
 	}
 	sort.Slice(pending, func(a, b int) bool { return pending[a].seq < pending[b].seq })
-	batch := make([]Observation, 0, readBatch)
+	// Replay under the original sequence numbers (recovery runs
+	// single-threaded, so addDirect is safe). Batch boundaries — the cut
+	// points replication frames on — are reconstructed at sequence gaps
+	// (a retention hole or a lost record always breaks contiguity) and at
+	// readBatch rows otherwise, the same chunking bulk loads use.
+	run := 0
 	for i := range pending {
-		batch = append(batch, pending[i].obs)
-		if len(batch) == readBatch {
-			mem.AddAll(batch)
-			batch = batch[:0]
+		mem.addDirect(pending[i].obs, pending[i].seq)
+		run++
+		if run < readBatch && i+1 < len(pending) && pending[i+1].seq == pending[i].seq+1 {
+			continue
 		}
+		mem.batchEnds = append(mem.batchEnds, pending[i].seq)
+		run = 0
 	}
-	mem.AddAll(batch)
+	maxSeq := man.MaxSeq
+	if n := len(pending); n > 0 && pending[n-1].seq > maxSeq {
+		maxSeq = pending[n-1].seq
+	}
+	mem.seq.Store(maxSeq)
 	return mem, man, rep, nil
 }
 
@@ -579,6 +613,7 @@ func (d *Durable) checkpointLocked() error {
 		BucketSeconds: mem.bucketSecs,
 		Buckets:       infos,
 		Pruned:        pruned,
+		Epoch:         d.epoch,
 	}
 	if err := commitManifest(d.dir, man); err != nil {
 		return abort(err)

@@ -1,0 +1,320 @@
+package store
+
+import (
+	"bytes"
+	"io"
+	"iter"
+	"math/rand"
+	"testing"
+)
+
+// pump replicates primary's batches in (last, watermark] into follower
+// through the public ScanBatches/ApplyAt pair and returns the new
+// cursor — the in-process skeleton of what the HTTP stream does.
+func pump(t *testing.T, primary interface {
+	ScanBatches(after, upto uint64) iter.Seq2[[]uint64, []Observation]
+	Watermark() uint64
+}, follower *Store, last uint64) uint64 {
+	t.Helper()
+	upto := primary.Watermark()
+	for seqs, obs := range primary.ScanBatches(last, upto) {
+		if err := follower.ApplyAt(seqs, obs); err != nil {
+			t.Fatalf("ApplyAt: %v", err)
+		}
+	}
+	return upto
+}
+
+// addVariedBatches feeds obs to the store in deterministic, varied batch
+// sizes (including single-row batches) and returns the batch sizes used.
+func addVariedBatches(b Backend, obs []Observation, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	var sizes []int
+	for i := 0; i < len(obs); {
+		n := 1 + rng.Intn(40)
+		if i+n > len(obs) {
+			n = len(obs) - i
+		}
+		b.AddAll(obs[i : i+n])
+		sizes = append(sizes, n)
+		i += n
+	}
+	return sizes
+}
+
+func TestScanBatchesPreservesBatchBoundaries(t *testing.T) {
+	primary := New()
+	obs := seedObservations(7, 900)
+	sizes := addVariedBatches(primary, obs, 7)
+
+	var got []int
+	prevEnd := uint64(0)
+	for seqs, rows := range primary.ScanBatches(0, primary.Watermark()) {
+		if len(seqs) != len(rows) {
+			t.Fatalf("frame carries %d seqs for %d rows", len(seqs), len(rows))
+		}
+		if seqs[0] <= prevEnd {
+			t.Fatalf("frame start %d does not advance past previous end %d", seqs[0], prevEnd)
+		}
+		prevEnd = seqs[len(seqs)-1]
+		got = append(got, len(seqs))
+	}
+	if len(got) != len(sizes) {
+		t.Fatalf("ScanBatches yielded %d batches, admitted %d", len(got), len(sizes))
+	}
+	for i := range got {
+		if got[i] != sizes[i] {
+			t.Fatalf("batch %d: %d rows, admitted %d", i, got[i], sizes[i])
+		}
+	}
+}
+
+func TestScanBatchesResumesMidStream(t *testing.T) {
+	primary := New()
+	addVariedBatches(primary, seedObservations(11, 600), 11)
+
+	// Full pass, then a resumed pass cut at an arbitrary batch boundary:
+	// both must replay the identical tail.
+	var ends []uint64
+	for seqs := range primary.ScanBatches(0, primary.Watermark()) {
+		ends = append(ends, seqs[len(seqs)-1])
+	}
+	cut := ends[len(ends)/2]
+	follower := New()
+	for seqs, obs := range primary.ScanBatches(cut, primary.Watermark()) {
+		if seqs[0] <= cut {
+			t.Fatalf("resumed stream replayed sequence %d at or below the cursor %d", seqs[0], cut)
+		}
+		if err := follower.ApplyAt(seqs, obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := follower.Watermark(), primary.Watermark(); got != want {
+		t.Fatalf("resumed follower watermark = %d, want %d", got, want)
+	}
+}
+
+func TestApplyAtReplicatesByteIdentical(t *testing.T) {
+	primary := New()
+	follower := New()
+	obs := seedObservations(3, 1200)
+
+	// Replicate incrementally, pumping every few admitted batches so the
+	// stream is exercised mid-flight, not only once at the end.
+	var cursor uint64
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < len(obs); {
+		n := 1 + rng.Intn(60)
+		if i+n > len(obs) {
+			n = len(obs) - i
+		}
+		primary.AddAll(obs[i : i+n])
+		i += n
+		if rng.Intn(3) == 0 {
+			cursor = pump(t, primary, follower, cursor)
+		}
+	}
+	cursor = pump(t, primary, follower, cursor)
+
+	if got, want := follower.Watermark(), primary.Watermark(); got != want {
+		t.Fatalf("follower watermark = %d, want %d", got, want)
+	}
+	if cursor != primary.Watermark() {
+		t.Fatalf("cursor = %d, want %d", cursor, primary.Watermark())
+	}
+	if !bytes.Equal(jsonlBytes(t, follower), jsonlBytes(t, primary)) {
+		t.Fatal("caught-up follower JSONL differs from the primary")
+	}
+	if got, want := follower.LenOK(), primary.LenOK(); got != want {
+		t.Fatalf("follower LenOK = %d, want %d", got, want)
+	}
+	// The follower must itself be a valid replication source (chained
+	// followers stream from it with the same frames).
+	second := New()
+	pump(t, follower, second, 0)
+	if !bytes.Equal(jsonlBytes(t, second), jsonlBytes(t, primary)) {
+		t.Fatal("chained follower JSONL differs from the primary")
+	}
+}
+
+func TestApplyAtRejectsBadSequences(t *testing.T) {
+	s := New()
+	s.AddAll(seedObservations(5, 10))
+	o := seedObservations(6, 3)
+
+	if err := s.ApplyAt([]uint64{5, 6, 7}, o); err == nil {
+		t.Fatal("ApplyAt accepted sequences at or below the counter")
+	}
+	if err := s.ApplyAt([]uint64{11, 13, 12}, o); err == nil {
+		t.Fatal("ApplyAt accepted non-increasing sequences")
+	}
+	if err := s.ApplyAt([]uint64{11, 12}, o); err == nil {
+		t.Fatal("ApplyAt accepted a seq/observation count mismatch")
+	}
+	if err := s.ApplyAt(nil, nil); err != nil {
+		t.Fatalf("empty ApplyAt: %v", err)
+	}
+	// Gaps above the counter are legal (retention holes on the primary).
+	if err := s.ApplyAt([]uint64{20, 30, 40}, o); err != nil {
+		t.Fatalf("gapped ApplyAt: %v", err)
+	}
+	if got := s.Watermark(); got != 40 {
+		t.Fatalf("watermark after gapped apply = %d, want 40", got)
+	}
+}
+
+func TestWALFrameCodecRoundTrip(t *testing.T) {
+	obs := seedObservations(9, 120)
+	frames := []WALFrame{
+		{Seqs: []uint64{1, 2, 3}, Obs: obs[:3], Watermark: 3},
+		{Watermark: 3}, // heartbeat
+		{Seqs: []uint64{4}, Obs: obs[3:4], Watermark: 90},
+		{Seqs: seqRange(5, len(obs)-4), Obs: obs[4:], Watermark: uint64(len(obs))},
+	}
+	var buf []byte
+	var err error
+	for _, f := range frames {
+		if buf, err = EncodeWALFrame(buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewWALFrameReader(bytes.NewReader(buf))
+	for i, want := range frames {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Watermark != want.Watermark || len(got.Seqs) != len(want.Seqs) || len(got.Obs) != len(want.Obs) {
+			t.Fatalf("frame %d: got %d seqs wm %d, want %d seqs wm %d",
+				i, len(got.Seqs), got.Watermark, len(want.Seqs), want.Watermark)
+		}
+		for j := range got.Seqs {
+			if got.Seqs[j] != want.Seqs[j] {
+				t.Fatalf("frame %d seq %d: %d != %d", i, j, got.Seqs[j], want.Seqs[j])
+			}
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("end of stream: %v, want io.EOF", err)
+	}
+}
+
+func seqRange(start uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = start + uint64(i)
+	}
+	return out
+}
+
+func TestWALFrameReaderTornStream(t *testing.T) {
+	full, err := EncodeWALFrame(nil, WALFrame{Seqs: []uint64{1, 2}, Obs: seedObservations(2, 2), Watermark: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, walHeaderSize - 1, walHeaderSize + 1, len(full) - 1} {
+		fr := NewWALFrameReader(bytes.NewReader(full[:cut]))
+		if _, err := fr.Next(); err == nil || err == io.EOF {
+			t.Fatalf("cut at %d: err = %v, want a torn-frame error", cut, err)
+		}
+	}
+	// A flipped payload byte must fail the checksum, not decode.
+	corrupt := append([]byte(nil), full...)
+	corrupt[walHeaderSize+2] ^= 0x40
+	if _, err := NewWALFrameReader(bytes.NewReader(corrupt)).Next(); err == nil || err == io.EOF {
+		t.Fatalf("corrupt payload: err = %v, want a torn-frame error", err)
+	}
+}
+
+func TestRecoveryPreservesSequences(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := openDurable(t, dir, DurableOptions{Fsync: FsyncNever})
+	obs := seedObservations(13, 700)
+	addVariedBatches(d, obs, 13)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	wantSeqs := scanSeqs(d)
+	wantWM := d.Watermark()
+	epoch := d.Epoch()
+	if epoch == 0 {
+		t.Fatal("durable store minted no replication epoch")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, _ := openDurable(t, dir, DurableOptions{Fsync: FsyncNever})
+	defer d2.Close()
+	if got := d2.Epoch(); got != epoch {
+		t.Fatalf("epoch changed across reopen: %d != %d", got, epoch)
+	}
+	if got := d2.Watermark(); got != wantWM {
+		t.Fatalf("recovered watermark = %d, want %d", got, wantWM)
+	}
+	gotSeqs := scanSeqs(d2)
+	if len(gotSeqs) != len(wantSeqs) {
+		t.Fatalf("recovered %d rows, want %d", len(gotSeqs), len(wantSeqs))
+	}
+	for i := range gotSeqs {
+		if gotSeqs[i] != wantSeqs[i] {
+			t.Fatalf("row %d recovered under sequence %d, originally %d", i, gotSeqs[i], wantSeqs[i])
+		}
+	}
+	// A follower that had caught up before the restart resumes cleanly:
+	// nothing to replay, and new writes stream from the old cursor.
+	follower := New()
+	cursor := pump(t, d2, follower, 0)
+	d2.AddAll(seedObservations(14, 50))
+	pump(t, d2, follower, cursor)
+	if got, want := follower.Len(), d2.Len(); got != want {
+		t.Fatalf("follower has %d rows after post-restart writes, want %d", got, want)
+	}
+}
+
+func scanSeqs(r Reader) []uint64 {
+	var out []uint64
+	for seq := range r.ScanRange(Query{Round: -1}, 0, ^uint64(0)) {
+		out = append(out, seq)
+	}
+	return out
+}
+
+func TestScanBatchesSkipsPrunedBatches(t *testing.T) {
+	// Retention leaves sequence holes: a store rebuilt without old
+	// buckets still streams its surviving batches, and a follower applies
+	// them across the gap.
+	s := New()
+	obs := seedObservations(21, 400)
+	addVariedBatches(s, obs, 21)
+	// Drop roughly the older half of the dataset by bucket.
+	counts := s.bucketRows()
+	active, _ := s.activeBucket()
+	victims := make(map[int64]struct{})
+	dropped := 0
+	for b, n := range counts {
+		if b != active && dropped+n <= len(obs)/2 {
+			victims[b] = struct{}{}
+			dropped += n
+		}
+	}
+	if len(victims) == 0 {
+		t.Fatal("test needs at least one prunable bucket")
+	}
+	pruned, _ := s.rebuildWithout(victims)
+
+	follower := New()
+	rows := 0
+	for seqs, o := range pruned.ScanBatches(0, pruned.Watermark()) {
+		rows += len(seqs)
+		if err := follower.ApplyAt(seqs, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rows != pruned.Len() {
+		t.Fatalf("streamed %d rows, pruned store holds %d", rows, pruned.Len())
+	}
+	if !bytes.Equal(jsonlBytes(t, follower), jsonlBytes(t, pruned)) {
+		t.Fatal("follower of a pruned primary differs")
+	}
+}

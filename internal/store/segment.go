@@ -57,6 +57,13 @@ type manifest struct {
 	// Pruned accumulates what retention has dropped over the directory's
 	// lifetime — recovery reports it, stats surface it.
 	Pruned PruneTotals `json:"pruned,omitempty"`
+	// Epoch is the directory's replication identity: a random nonzero ID
+	// minted on first writable open and carried across generations. A
+	// follower pins the first epoch it streams from; a primary that was
+	// replaced or reset mints a new one, which the follower refuses
+	// rather than silently mixing two histories. Absent (0) on manifests
+	// from before replication existed — bootstrapped on the next open.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // bucketInfo describes one live bucket's segments.

@@ -129,6 +129,13 @@ type Store struct {
 	// batches apply out of reservation order.
 	wmMu     sync.Mutex
 	inflight map[uint64]struct{}
+	// batchEnds records, strictly increasing, the last sequence number of
+	// every admitted batch (guarded by wmMu, appended at reservation
+	// time). Replication ships the WAL batch-at-a-time, and derived state
+	// that folds per batch (the incremental engine's strategy events) is
+	// batching-dependent — so a follower must cut its frames at exactly
+	// these boundaries to reproduce the primary byte-for-byte.
+	batchEnds []uint64
 
 	// observer, when set, receives every applied batch (see SetObserver).
 	observer Observer
@@ -196,6 +203,7 @@ func (s *Store) reserve(n int) uint64 {
 	s.wmMu.Lock()
 	base := s.seq.Add(uint64(n)) - uint64(n)
 	s.inflight[base] = struct{}{}
+	s.batchEnds = append(s.batchEnds, base+uint64(n))
 	s.wmMu.Unlock()
 	return base
 }

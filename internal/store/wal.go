@@ -30,6 +30,11 @@ import (
 type walRecord struct {
 	Seqs []uint64      `json:"seqs"`
 	Obs  []Observation `json:"obs"`
+	// W is the sender's applied watermark at frame time — replication
+	// streams use it for lag accounting and heartbeats (an empty record
+	// with only W set). Durable logs never set it, so on-disk WAL bytes
+	// are unchanged.
+	W uint64 `json:"w,omitempty"`
 }
 
 // walHeaderSize is the framing overhead per record.
@@ -52,7 +57,13 @@ var errTornRecord = errors.New("store: torn wal record")
 // recovery path would reject as torn must never be written (and claimed
 // durable) in the first place.
 func appendWALRecord(buf []byte, seqs []uint64, obs []Observation) ([]byte, error) {
-	payload, err := json.Marshal(walRecord{Seqs: seqs, Obs: obs})
+	return appendFramed(buf, walRecord{Seqs: seqs, Obs: obs})
+}
+
+// appendFramed frames an arbitrary record — the shared encoder behind
+// the durable log and the replication stream.
+func appendFramed(buf []byte, rec walRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
 	if err != nil {
 		return buf, fmt.Errorf("store: encode wal record: %w", err)
 	}

@@ -35,6 +35,7 @@ import (
 	"sheriff/internal/extract"
 	"sheriff/internal/fx"
 	"sheriff/internal/geo"
+	"sheriff/internal/replica"
 	"sheriff/internal/shop"
 	"sheriff/internal/store"
 )
@@ -147,7 +148,48 @@ type (
 	APIEventsPage = api.EventsPage
 	// APIWireError is the typed error object inside the v1 envelope.
 	APIWireError = api.Error
+	// APIReplicationStats is the "replication" block of APIStats and the
+	// health probes: role, watermark, and (on followers) stream state.
+	APIReplicationStats = api.ReplicationStats
+	// APIHealthResponse is the /api/v1/healthz and /api/v1/readyz body.
+	APIHealthResponse = api.HealthResponse
 )
+
+// Cluster mode: WAL-shipping read replicas. A Follower streams a
+// primary's replication WAL (GET /api/v1/replication/wal) into a local
+// in-memory store under the primary's own sequence numbers, so a
+// read-only sheriffd -follow node serves the same v1 read surface off
+// identical state. See DESIGN.md §11 for the protocol.
+type (
+	// Follower is the replication client: create with NewFollower, drive
+	// with Run (reconnecting tail) or CatchUp (one bounded sync), observe
+	// with Status.
+	Follower = replica.Follower
+	// FollowerOptions tunes a Follower (HTTP client, reconnect delay,
+	// logging); the zero value works.
+	FollowerOptions = replica.Options
+	// FollowerStatus is a point-in-time replication view: connected,
+	// last applied sequence, primary watermark, lag.
+	FollowerStatus = replica.Status
+)
+
+// Fatal replication errors: Follower.Run returns these instead of
+// reconnecting, because retrying cannot heal them.
+var (
+	// ErrPrimaryEpochChanged marks a replaced or reset primary; the
+	// follower must restart empty to re-sync.
+	ErrPrimaryEpochChanged = replica.ErrEpochChanged
+	// ErrPrimaryDiverged marks a primary behind what this follower
+	// already applied — the primary lost acknowledged writes.
+	ErrPrimaryDiverged = replica.ErrDiverged
+)
+
+// NewFollower builds a follower of the sheriffd at primaryURL that
+// applies replicated batches into the given in-memory store. Nothing
+// connects until Run or CatchUp.
+func NewFollower(primaryURL string, target *Store, opts FollowerOptions) *Follower {
+	return replica.New(primaryURL, target, opts)
+}
 
 // The incremental analysis engine: per-domain aggregates maintained as a
 // fold on every store write, so reports and strategy verdicts answer in
