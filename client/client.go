@@ -57,6 +57,10 @@ type Client struct {
 	base string
 	opts Options
 
+	// apiKey authenticates every request as one tenant when set (sent as
+	// Authorization: Bearer); see WithAPIKey.
+	apiKey string
+
 	// followers are the read-replica base URLs GETs round-robin across
 	// (next is the rotation counter); writes always go to base.
 	followers []string
@@ -91,12 +95,22 @@ func New(baseURL string, opts Options) *Client {
 // is skipped for that call — the primary answers instead, in the same
 // attempt. The receiver is unchanged.
 func (c *Client) WithFollowers(urls ...string) *Client {
-	nc := &Client{base: c.base, opts: c.opts}
+	nc := &Client{base: c.base, opts: c.opts, apiKey: c.apiKey}
 	for _, u := range urls {
 		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
 			nc.followers = append(nc.followers, u)
 		}
 	}
+	return nc
+}
+
+// WithAPIKey returns a client that authenticates as the tenant holding
+// key — sent as "Authorization: Bearer" on every request, including
+// reads routed to followers (they validate against replicated tenant
+// state). The receiver is unchanged; follower routing carries over.
+func (c *Client) WithAPIKey(key string) *Client {
+	nc := &Client{base: c.base, opts: c.opts, apiKey: key,
+		followers: append([]string(nil), c.followers...)}
 	return nc
 }
 
@@ -232,6 +246,9 @@ func (c *Client) send(ctx context.Context, base, method, path string, body []byt
 		return nil, err
 	}
 	req.Header.Set("User-Agent", c.opts.UserAgent)
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}

@@ -1,0 +1,110 @@
+package client
+
+// Tenancy and campaign methods: account management (admin keys),
+// campaign orchestration, and the claim loop a keyed contributor runs.
+// Error codes surface through IsCode like every other endpoint:
+// "unauthorized", "forbidden", "quota_exceeded", "conflict".
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"sheriff"
+)
+
+// Tenant is the wire form of one tenant — the server's struct, shared
+// via the sheriff facade. The creation response carries the plaintext
+// API key once; store it, it is never shown again.
+type Tenant = sheriff.APITenant
+
+// TenantSpec is the tenant-creation payload.
+type TenantSpec = sheriff.APITenantPayload
+
+// Campaign is the wire form of one campaign.
+type Campaign = sheriff.APICampaign
+
+// CampaignSpec is the campaign-creation payload.
+type CampaignSpec = sheriff.APICampaignPayload
+
+// Claim is one claimed campaign work unit (or done=true).
+type Claim = sheriff.APIClaimResponse
+
+// postJSON runs a POST with a JSON body and decodes the 2xx response
+// into out.
+func (c *Client) postJSON(ctx context.Context, path string, payload, out any) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(ctx, http.MethodPost, path, body, "application/json")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// CreateTenant registers a tenant (admin key required once tenancy is
+// enabled). The returned Tenant.Key is the plaintext API key — the only
+// time it is visible.
+func (c *Client) CreateTenant(ctx context.Context, spec TenantSpec) (Tenant, error) {
+	var out Tenant
+	err := c.postJSON(ctx, "/api/v1/tenants", spec, &out)
+	return out, err
+}
+
+// Tenants lists registered tenants (admin).
+func (c *Client) Tenants(ctx context.Context) ([]Tenant, error) {
+	var out sheriff.APITenantsResponse
+	if err := c.getJSON(ctx, "/api/v1/tenants", &out); err != nil {
+		return nil, err
+	}
+	return out.Tenants, nil
+}
+
+// CreateCampaign declares a draft campaign (admin).
+func (c *Client) CreateCampaign(ctx context.Context, spec CampaignSpec) (Campaign, error) {
+	var out Campaign
+	err := c.postJSON(ctx, "/api/v1/campaigns", spec, &out)
+	return out, err
+}
+
+// Campaigns lists campaigns (contributor).
+func (c *Client) Campaigns(ctx context.Context) ([]Campaign, error) {
+	var out sheriff.APICampaignsResponse
+	if err := c.getJSON(ctx, "/api/v1/campaigns", &out); err != nil {
+		return nil, err
+	}
+	return out.Campaigns, nil
+}
+
+// Campaign fetches one campaign by ID.
+func (c *Client) Campaign(ctx context.Context, id string) (Campaign, error) {
+	var out Campaign
+	err := c.getJSON(ctx, "/api/v1/campaigns/"+id, &out)
+	return out, err
+}
+
+// ActivateCampaign transitions a draft campaign to active (admin). A
+// non-draft starting state fails with code "conflict".
+func (c *Client) ActivateCampaign(ctx context.Context, id string) (Campaign, error) {
+	var out Campaign
+	err := c.postJSON(ctx, "/api/v1/campaigns/"+id+"/activate", struct{}{}, &out)
+	return out, err
+}
+
+// ClaimCampaign asks for the caller's next work unit. Done=true means
+// the campaign handed out its last unit — stop polling. A tenant past
+// the campaign's per-tenant quota fails with code "quota_exceeded".
+// (Claims are writes: the client does not retry them on transport
+// errors, but 429s back off and retry like every call.)
+func (c *Client) ClaimCampaign(ctx context.Context, id string) (Claim, error) {
+	var out Claim
+	err := c.postJSON(ctx, "/api/v1/campaigns/"+id+"/claim", struct{}{}, &out)
+	return out, err
+}

@@ -51,6 +51,17 @@
 // Start it with the same -seed and -longtail as the primary so both
 // nodes simulate the same world.
 //
+// Multi-tenant mode: -admin-key bootstraps an admin account, after which
+// POST /api/v1/tenants mints contributor/admin tenants with hashed API
+// keys and per-tenant request quotas, and /api/v1/campaigns coordinates
+// crowd measurement rounds (draft -> active -> done, claims handed out
+// per tenant under a campaign quota). Keys travel as Authorization:
+// Bearer or X-API-Key; authenticated observations carry the tenant
+// through stats and domain reports. With -data-dir the registry is
+// journaled beside the observation store and survives kill -9; followers
+// replicate it from the primary and honor the same keys on reads. With
+// no tenants registered the surface stays fully anonymous, as before.
+//
 // Example check (the user at 10.0.1.50 highlighted "$49.99"):
 //
 //	curl -s localhost:8080/api/check -d '{
@@ -103,6 +114,7 @@ func main() {
 	follow := flag.String("follow", "", "run as a read-only follower of the primary at this base URL (e.g. http://primary:8317)")
 	readyMaxLag := flag.Uint64("ready-max-lag", 0, "follower readiness bound: /api/v1/readyz reports unready past this replication lag (default 8192)")
 	legacySunset := flag.String("legacy-sunset", "", "Sunset date advertised on the legacy /api/check|anchors|stats aliases (YYYY-MM-DD or RFC3339)")
+	adminKey := flag.String("admin-key", "", "bootstrap an unlimited-quota admin tenant with this API key (enables tenancy)")
 	flag.Parse()
 
 	if *follow != "" && *dataDir != "" {
@@ -155,6 +167,31 @@ func main() {
 		follower = sheriff.NewFollower(*follow, st, sheriff.FollowerOptions{Logf: log.Printf})
 	}
 
+	// Tenancy: with -data-dir the registry is journaled next to the
+	// observation segments (tenants and campaigns survive kill -9 with
+	// the dataset); otherwise it lives in memory. A follower's registry
+	// fills from the primary's replicated snapshot instead, so keys
+	// issued on the primary authenticate reads on the replica.
+	var tenants *sheriff.TenantRegistry
+	if *dataDir != "" {
+		reg, err := sheriff.OpenTenantDir(*dataDir, sheriff.TenantOptions{Logf: log.Printf})
+		if err != nil {
+			log.Fatalf("sheriffd: open tenant registry in %s: %v", *dataDir, err)
+		}
+		tenants = reg
+	} else {
+		tenants = sheriff.NewTenantRegistry(sheriff.TenantOptions{Logf: log.Printf})
+	}
+	if *adminKey != "" {
+		if *follow != "" {
+			log.Fatalf("sheriffd: -admin-key is a primary flag (followers replicate tenants from the primary)")
+		}
+		if _, err := tenants.CreateTenantWithKey("admin", sheriff.TenantRoleAdmin, *adminKey, 0, 0); err != nil {
+			log.Fatalf("sheriffd: bootstrap admin tenant: %v", err)
+		}
+		log.Printf("sheriffd: tenancy enabled (admin key bootstrapped; %d tenants registered)", len(tenants.Tenants()))
+	}
+
 	w := sheriff.NewWorld(sheriff.WorldOptions{Seed: *seed, LongTail: *longtail, Store: backingStore})
 	apiOpts := sheriff.APIOptions{
 		AllowedOrigins:    strings.Split(*corsOrigins, ","),
@@ -164,6 +201,7 @@ func main() {
 		TrustProxyHeaders: *trustProxy,
 		ReadyMaxLag:       *readyMaxLag,
 		LegacySunset:      sunset,
+		Tenants:           tenants,
 	}
 	if follower != nil {
 		apiOpts.ReadOnly = true
@@ -194,6 +232,8 @@ func main() {
 		fmt.Fprintf(rw, "GET  /api/v1/domains/{domain}/report\n")
 		fmt.Fprintf(rw, "GET  /api/v1/anchors\nGET  /api/v1/stats\n")
 		fmt.Fprintf(rw, "GET  /api/v1/events[?after=&limit=]  (live tail with Accept: application/x-ndjson or text/event-stream)\n")
+		fmt.Fprintf(rw, "POST /api/v1/tenants  GET /api/v1/tenants  (crowd accounts; admin key, see -admin-key)\n")
+		fmt.Fprintf(rw, "POST /api/v1/campaigns  GET /api/v1/campaigns[/{id}]  POST /api/v1/campaigns/{id}/activate|claim\n")
 		fmt.Fprintf(rw, "GET  /api/v1/healthz  GET /api/v1/readyz\n")
 		fmt.Fprintf(rw, "GET  /api/v1/replication/wal?after=N[&follow=true]  (WAL stream for -follow replicas)\n")
 		fmt.Fprintf(rw, "legacy: POST /api/check  GET /api/anchors  GET /api/stats  (deprecated; see Sunset header)\n")
@@ -239,6 +279,9 @@ func main() {
 				replc <- err
 			}
 		}()
+		// Tenancy rides its own (coarser) poll loop: keys issued on the
+		// primary become valid here within one sync interval.
+		go sheriff.RunTenantSync(ctx, follower.Primary(), tenants, sheriff.TenantSyncOptions{Logf: log.Printf})
 		log.Printf("sheriffd: following %s (read-only replica)", follower.Primary())
 	}
 
@@ -274,6 +317,13 @@ func main() {
 				log.Fatalf("sheriffd: close data dir: %v", err)
 			}
 			log.Printf("sheriffd: data dir flushed (%d observations durable)", w.Store.Len())
+		}
+		// Checkpoint the tenant journal too (a no-op for the in-memory
+		// registry): a clean stop and a kill -9 recover identically.
+		if err := tenants.Close(); err != nil {
+			log.Printf("sheriffd: close tenant registry: %v", err)
+		} else if tenants.Enabled() {
+			log.Printf("sheriffd: tenant registry flushed (%d tenants)", len(tenants.Tenants()))
 		}
 		log.Printf("sheriffd: event log sealed (%d events)", w.Analysis.Events().Len())
 		log.Printf("sheriffd: stopped cleanly")

@@ -46,6 +46,7 @@ func main() {
 	retainAge := flag.Duration("retain-age", 0, "durable retention age (0 = keep forever; with -data-dir)")
 	retainBytes := flag.Int64("retain-bytes", 0, "durable snapshot disk budget in bytes (0 = unlimited; with -data-dir)")
 	compactWAL := flag.Int64("compact-wal-bytes", 0, "durable WAL compaction trigger in bytes (default 32MiB; with -data-dir)")
+	apiKey := flag.String("api-key", "", "tenant API key — checks run authenticated and count toward the tenant")
 	flag.Parse()
 
 	// The local twin: against a live server it provides the users' eyes
@@ -86,6 +87,9 @@ func main() {
 
 	ctx := context.Background()
 	cl := client.New(base, client.Options{})
+	if *apiKey != "" {
+		cl = cl.WithAPIKey(*apiKey)
+	}
 
 	rep, err := sheriff.RunLoad(cl.CheckFunc(ctx), w.Clock, w.Retailers, w.Interesting, w.Tail, sheriff.LoadOptions{
 		Seed:     *seed + 211,

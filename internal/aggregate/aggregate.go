@@ -116,7 +116,10 @@ type DomainSummary struct {
 	OKPrices     int
 	Products     int
 	BySource     map[string]SourceCount
-	Variation    VariationSummary
+	// ByTenant counts authenticated contributions per tenant; nil while
+	// tenancy is unused.
+	ByTenant  map[string]SourceCount
+	Variation VariationSummary
 	// Families is sorted by family name, as the full report path sorts.
 	Families []FamilyVerdict
 }
@@ -164,7 +167,10 @@ type domainAgg struct {
 	observations int
 	okPrices     int
 	bySource     map[string]*SourceCount
-	groups       map[string]*groupAgg // by SKU
+	// byTenant counts authenticated crowd contributions per tenant;
+	// empty (never populated) while tenancy is unused.
+	byTenant map[string]*SourceCount
+	groups   map[string]*groupAgg // by SKU
 	// fam and flagged index by position in analysis.DetectableFamilies.
 	fam      [4]famCount
 	flagged  [4]bool
@@ -336,6 +342,7 @@ func (e *Engine) foldDomain(domain string, obs []store.Observation, deferTouched
 	if d == nil {
 		d = &domainAgg{
 			bySource: make(map[string]*SourceCount),
+			byTenant: make(map[string]*SourceCount),
 			groups:   make(map[string]*groupAgg),
 		}
 		sh.domains[domain] = d
@@ -357,6 +364,17 @@ func (e *Engine) foldDomain(domain string, obs []store.Observation, deferTouched
 		sc.Total++
 		if o.OK {
 			sc.OK++
+		}
+		if o.Tenant != "" {
+			tc := d.byTenant[o.Tenant]
+			if tc == nil {
+				tc = &SourceCount{}
+				d.byTenant[o.Tenant] = tc
+			}
+			tc.Total++
+			if o.OK {
+				tc.OK++
+			}
 		}
 		if o.Time.After(d.lastTime) {
 			d.lastTime = o.Time
@@ -595,6 +613,12 @@ func (e *Engine) assemble(d *domainAgg, domain string) *DomainSummary {
 	}
 	for src, sc := range d.bySource {
 		s.BySource[src] = *sc
+	}
+	if len(d.byTenant) > 0 {
+		s.ByTenant = make(map[string]SourceCount, len(d.byTenant))
+		for tn, tc := range d.byTenant {
+			s.ByTenant[tn] = *tc
+		}
 	}
 	s.Variation.Products = len(d.groups)
 	s.Products = s.Variation.Products

@@ -1,0 +1,100 @@
+package api
+
+// API-key authentication. Keys travel as "Authorization: Bearer <key>"
+// or "X-API-Key: <key>"; the middleware resolves them against the
+// tenant registry (local on a primary, sync-replicated on a follower —
+// which is why followers can validate keys without asking the primary)
+// and threads the tenant through the request context. Keyless requests
+// pass through anonymous; the route table decides which endpoints demand
+// a role. Position in the chain is a pinned contract: after request
+// counting, IDs and logging (401s are counted and carry X-Request-ID),
+// before both limiters (authenticated traffic is quota'd by tenant,
+// never by IP).
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"sheriff/internal/tenant"
+)
+
+// tenantKey keys the authenticated tenant in the request context.
+type tenantKey struct{}
+
+// withTenant returns ctx carrying the authenticated tenant.
+func withTenant(ctx context.Context, t tenant.Tenant) context.Context {
+	return context.WithValue(ctx, tenantKey{}, t)
+}
+
+// tenantFrom extracts the authenticated tenant, if any.
+func tenantFrom(ctx context.Context) (tenant.Tenant, bool) {
+	t, ok := ctx.Value(tenantKey{}).(tenant.Tenant)
+	return t, ok
+}
+
+// requestKey extracts the presented API key; empty means anonymous.
+func requestKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if k, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(k)
+		}
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// auth validates any presented API key. While tenancy is disabled the
+// middleware is a no-op — stray Authorization headers never break the
+// anonymous surface. Once tenants exist, a presented key either resolves
+// (tenant into context) or the request dies 401 regardless of route, on
+// primaries and followers alike.
+func (s *Server) auth(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.tenants.Enabled() {
+			next.ServeHTTP(w, r)
+			return
+		}
+		key := requestKey(r)
+		if key == "" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		t, ok := s.tenants.Authenticate(key)
+		if !ok {
+			writeError(w, s.opts.Logger, errf(http.StatusUnauthorized, CodeUnauthorized,
+				"invalid API key"))
+			return
+		}
+		next.ServeHTTP(w, r.WithContext(withTenant(r.Context(), t)))
+	})
+}
+
+// tenantQuota debits authenticated requests from their tenant's token
+// bucket; a dry bucket answers 429 quota_exceeded with Retry-After.
+// Anonymous requests fall through to the per-IP limiter (when
+// configured). OPTIONS is exempt, mirroring the per-IP limiter:
+// preflights are cheap and browsers do not replay them on 429.
+func (s *Server) tenantQuota(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodOptions {
+			next.ServeHTTP(w, r)
+			return
+		}
+		t, ok := tenantFrom(r.Context())
+		if !ok {
+			next.ServeHTTP(w, r)
+			return
+		}
+		allowed, wait := s.tenants.Allow(t.ID)
+		if !allowed {
+			secs := int(wait/time.Second) + 1
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, s.opts.Logger, errf(http.StatusTooManyRequests, CodeQuotaExceeded,
+				"tenant %s exceeded its request quota; retry in %ds", t.ID, secs))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -52,6 +52,19 @@ const (
 	// the response's Location header and the error detail point at the
 	// primary that accepts writes.
 	CodeReadOnly = "read_only"
+	// CodeUnauthorized marks a missing or invalid API key on a server
+	// with tenancy enabled.
+	CodeUnauthorized = "unauthorized"
+	// CodeForbidden marks a valid key whose tenant's role does not cover
+	// the endpoint.
+	CodeForbidden = "forbidden"
+	// CodeQuotaExceeded marks a tenant that exhausted a per-tenant
+	// allowance: the request token bucket, or a campaign's per-tenant
+	// claim quota.
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodeConflict marks a request that is valid in itself but invalid
+	// against the resource's current state — campaign state transitions.
+	CodeConflict = "conflict"
 )
 
 // Error is the structured error of the v1 contract. It implements error

@@ -44,9 +44,6 @@ func wantsSSE(r *http.Request) bool {
 // framed as SSE (id: the sequence, event: the type), honoring
 // Last-Event-ID for resumption.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	if !s.requireMethod(w, r, http.MethodGet) {
-		return
-	}
 	after, perr := parseEventsAfter(r)
 	if perr != nil {
 		writeError(w, s.opts.Logger, perr)

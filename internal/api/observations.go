@@ -84,6 +84,7 @@ func parseObservationsQuery(values url.Values) (q store.Query, limit int, after 
 		SKU:    values.Get("sku"),
 		Source: values.Get("source"),
 		VP:     values.Get("vp"),
+		Tenant: values.Get("tenant"),
 		Round:  -1,
 	}
 	if v := values.Get("round"); v != "" {
@@ -160,9 +161,6 @@ func wantsNDJSON(r *http.Request) bool {
 // concurrent appends. NDJSON rows are byte-identical to the store's
 // own WriteJSONL lines.
 func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
-	if !s.requireMethod(w, r, http.MethodGet) {
-		return
-	}
 	q, limit, after, perr := parseObservationsQuery(r.URL.Query())
 	if perr != nil {
 		writeError(w, s.opts.Logger, perr)

@@ -54,9 +54,6 @@ func (s *Server) replicationEpoch() uint64 {
 // the server stops; without it the stream closes at the watermark — a
 // resumable, coordination-free catch-up either way.
 func (s *Server) handleReplicationWAL(w http.ResponseWriter, r *http.Request) {
-	if !s.requireMethod(w, r, http.MethodGet) {
-		return
-	}
 	src, ok := s.backend.Store().(replicationSource)
 	if !ok {
 		writeError(w, s.opts.Logger, errf(http.StatusNotFound, CodeNotFound,
@@ -213,9 +210,6 @@ type HealthResponse struct {
 // whenever the process can serve at all — a lagging follower is alive,
 // just not ready.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if !s.requireMethod(w, r, http.MethodGet) {
-		return
-	}
 	rs := s.replicationStats()
 	writeJSON(w, s.opts.Logger, HealthResponse{
 		Status:        "ok",
@@ -231,9 +225,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // answers are too stale to serve and a load balancer should route
 // elsewhere until it catches up.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if !s.requireMethod(w, r, http.MethodGet) {
-		return
-	}
 	rs := s.replicationStats()
 	resp := HealthResponse{
 		Status:        "ready",

@@ -49,17 +49,18 @@ type DomainReport struct {
 	OKPrices     int                    `json:"ok_prices"`
 	Products     int                    `json:"products"`
 	BySource     map[string]SourceCount `json:"by_source,omitempty"`
-	Variation    VariationSummary       `json:"variation"`
-	Families     []FamilyVerdict        `json:"families"`
+	// ByTenant splits the domain's observations per contributing tenant
+	// (the reward ledger, scoped to one retailer); absent while tenancy
+	// is unused.
+	ByTenant  map[string]SourceCount `json:"by_tenant,omitempty"`
+	Variation VariationSummary       `json:"variation"`
+	Families  []FamilyVerdict        `json:"families"`
 }
 
 // handleDomainReport serves GET /api/v1/domains/{domain}/report. A
 // domain with no observations is a 404 — the caller asked about a shop
 // the dataset has never seen.
 func (s *Server) handleDomainReport(w http.ResponseWriter, r *http.Request) {
-	if !s.requireMethod(w, r, http.MethodGet) {
-		return
-	}
 	domain := r.PathValue("domain")
 	rep := s.domainReport(domain)
 	if rep.Observations == 0 {
@@ -115,6 +116,12 @@ func reportFromSummary(sum *aggregate.DomainSummary) DomainReport {
 			rep.BySource[src] = SourceCount{Total: sc.Total, OK: sc.OK}
 		}
 	}
+	if len(sum.ByTenant) > 0 {
+		rep.ByTenant = make(map[string]SourceCount, len(sum.ByTenant))
+		for tn, tc := range sum.ByTenant {
+			rep.ByTenant[tn] = SourceCount{Total: tc.Total, OK: tc.OK}
+		}
+	}
 	for _, f := range sum.Families {
 		rep.Families = append(rep.Families, FamilyVerdict{
 			Family: f.Family, Flagged: f.Flagged,
@@ -147,6 +154,17 @@ func FullDomainReport(st store.Reader, market *fx.Market, domain string) DomainR
 			sc.OK++
 		}
 		rep.BySource[o.Source] = sc
+		if o.Tenant != "" {
+			if rep.ByTenant == nil {
+				rep.ByTenant = make(map[string]SourceCount)
+			}
+			tc := rep.ByTenant[o.Tenant]
+			tc.Total++
+			if o.OK {
+				tc.OK++
+			}
+			rep.ByTenant[o.Tenant] = tc
+		}
 	}
 	if rep.Observations == 0 {
 		return rep

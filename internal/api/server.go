@@ -16,6 +16,7 @@ import (
 	"sheriff/internal/backend"
 	"sheriff/internal/replica"
 	"sheriff/internal/store"
+	"sheriff/internal/tenant"
 )
 
 // Options tunes the middleware stack. The zero value serves: CORS open
@@ -63,6 +64,12 @@ type Options struct {
 	// LegacySunset, when set, is the retirement date the legacy aliases
 	// advertise in their Sunset header.
 	LegacySunset time.Time
+	// Tenants is the identity registry: API keys, roles, quotas and
+	// campaigns. Nil constructs an empty in-memory registry, which leaves
+	// the server in anonymous mode (no auth anywhere) until a tenant is
+	// created. On followers, pass the registry the tenancy sync loop
+	// restores into, so keys validate against replicated state.
+	Tenants *tenant.Registry
 }
 
 // Server is the versioned HTTP surface:
@@ -83,6 +90,7 @@ type Server struct {
 	opts     Options
 	analysis *aggregate.Engine
 	follower *replica.Follower
+	tenants  *tenant.Registry
 	handler  http.Handler
 
 	// start anchors the health probes' uptime; epoch is the process
@@ -117,48 +125,51 @@ func NewServer(b *backend.Backend, opts Options) *Server {
 	if opts.ReadyMaxLag == 0 {
 		opts.ReadyMaxLag = 8192
 	}
+	if opts.Tenants == nil {
+		opts.Tenants = tenant.NewRegistry(tenant.Options{})
+	}
 	s := &Server{
 		backend: b, store: b.Store(), opts: opts, analysis: opts.Analysis,
 		follower: opts.Follower,
+		tenants:  opts.Tenants,
 		start:    time.Now(),
 		epoch:    store.NewReplicationEpoch(),
 		stop:     make(chan struct{}),
 	}
 
+	// The whole surface — v1 endpoints, legacy aliases, the v1 404
+	// fallback — registers from the declarative route table in routes.go:
+	// one place drives mux registration, the structured 405s, the
+	// follower-side read-only rejection and the per-route role check.
 	mux := http.NewServeMux()
-	// v1 routes. Method checks live in the handlers so the miss is the
-	// structured 405 envelope, not the mux's plain-text one.
-	mux.HandleFunc("/api/v1/checks", s.handleChecks)
-	mux.HandleFunc("/api/v1/observations", s.handleObservations)
-	mux.HandleFunc("/api/v1/domains/{domain}/report", s.handleDomainReport)
-	mux.HandleFunc("/api/v1/stats", s.handleStats)
-	mux.HandleFunc("/api/v1/anchors", s.handleAnchors)
-	mux.HandleFunc("/api/v1/events", s.handleEvents)
-	mux.HandleFunc("/api/v1/replication/wal", s.handleReplicationWAL)
-	mux.HandleFunc("/api/v1/healthz", s.handleHealthz)
-	mux.HandleFunc("/api/v1/readyz", s.handleReadyz)
-	mux.HandleFunc("/api/v1/", func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, opts.Logger, errf(http.StatusNotFound, CodeNotFound,
-			"no such endpoint: %s", r.URL.Path))
-	})
-	// Legacy aliases: the pre-v1 handlers, verbatim. backend.API still
-	// owns them so the old wire bytes cannot drift by accident; the
-	// wrapper adds only lifecycle headers (and the follower-side write
-	// rejection), never body changes.
-	legacy := s.legacyHeaders(backend.NewAPI(b))
-	mux.Handle("/api/check", legacy)
-	mux.Handle("/api/anchors", legacy)
-	mux.Handle("/api/stats", legacy)
+	s.registerRoutes(mux, b)
 
-	// CORS sits outside the rate limiter: a throttled cross-origin
-	// caller must still receive the ACAO header, or the browser hides
-	// the 429 envelope and Retry-After behind an opaque CORS error.
+	// Middleware order (outermost first) is a pinned contract
+	// (TestMiddlewareOrder): counting, request IDs and logging precede
+	// auth so rejected credentials still carry X-Request-ID and are
+	// counted; CORS sits outside both limiters so a throttled
+	// cross-origin caller still receives the ACAO header (otherwise the
+	// browser hides the 429 envelope and Retry-After behind an opaque
+	// CORS error); auth precedes the limiters so authenticated calls are
+	// quota'd by tenant, never by IP.
 	mws := []Middleware{s.countRequests, RequestID(), Logging(opts.Logger), Recover(opts.Logger),
-		CORS(opts.AllowedOrigins), s.roleHeaders}
+		CORS(opts.AllowedOrigins), s.roleHeaders, s.auth, s.tenantQuota}
 	if opts.RateLimit > 0 {
 		rl := newRateLimiter(opts.RateLimit, opts.RateBurst, opts.TrustProxyHeaders, opts.Now)
 		s.rateDenied = &rl.denied
-		mws = append(mws, rl.middleware(opts.Logger))
+		ipLimit := rl.middleware(opts.Logger)
+		// The per-IP limiter only sees anonymous traffic: authenticated
+		// requests were already debited from their tenant's bucket.
+		mws = append(mws, func(next http.Handler) http.Handler {
+			limited := ipLimit(next)
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if _, ok := tenantFrom(r.Context()); ok {
+					next.ServeHTTP(w, r)
+					return
+				}
+				limited.ServeHTTP(w, r)
+			})
+		})
 	}
 	if opts.MaxBodyBytes > 0 {
 		mws = append(mws, BodyLimit(opts.MaxBodyBytes))
@@ -179,25 +190,6 @@ func (s *Server) countRequests(next http.Handler) http.Handler {
 		s.requests.Add(1)
 		next.ServeHTTP(w, r)
 	})
-}
-
-// requireMethod writes the structured 405 (with Allow) on a verb
-// mismatch and reports whether the handler may proceed. Bare OPTIONS
-// (no preflight headers, so the CORS middleware let it through) is
-// answered 204 with Allow — advertising OPTIONS in Allow and then
-// rejecting it would contradict ourselves.
-func (s *Server) requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
-	if r.Method == method {
-		return true
-	}
-	w.Header().Set("Allow", method+", OPTIONS")
-	if r.Method == http.MethodOptions {
-		w.WriteHeader(http.StatusNoContent)
-		return false
-	}
-	writeError(w, s.opts.Logger, errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
-		"%s requires %s", r.URL.Path, method))
-	return false
 }
 
 // CheckPayload is the v1 wire form of one check submission (the address
@@ -237,12 +229,11 @@ const maxBatchChecks = 64
 // itself (same shape as the legacy endpoint); batches wrap per-item
 // results and errors.
 func (s *Server) handleChecks(w http.ResponseWriter, r *http.Request) {
-	if !s.requireMethod(w, r, http.MethodPost) {
-		return
-	}
-	if s.opts.ReadOnly {
-		s.writeReadOnly(w, r)
-		return
+	// The contributing tenant (empty when anonymous) stamps every
+	// observation this request produces.
+	var tenantID string
+	if t, ok := tenantFrom(r.Context()); ok {
+		tenantID = t.ID
 	}
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
@@ -278,7 +269,7 @@ func (s *Server) handleChecks(w http.ResponseWriter, r *http.Request) {
 		}
 		resp := BatchCheckResponse{Results: make([]BatchCheckItem, len(batch.Checks))}
 		for i, p := range batch.Checks {
-			res, err := s.runCheck(p)
+			res, err := s.runCheck(p, tenantID)
 			if err != nil {
 				resp.Results[i].Error = err
 				continue
@@ -294,7 +285,7 @@ func (s *Server) handleChecks(w http.ResponseWriter, r *http.Request) {
 			"bad payload").withDetail(err))
 		return
 	}
-	res, checkErr := s.runCheck(p)
+	res, checkErr := s.runCheck(p, tenantID)
 	if checkErr != nil {
 		writeError(w, s.opts.Logger, checkErr)
 		return
@@ -303,8 +294,9 @@ func (s *Server) handleChecks(w http.ResponseWriter, r *http.Request) {
 }
 
 // runCheck validates one payload and runs it through the backend,
-// translating failures into the typed envelope.
-func (s *Server) runCheck(p CheckPayload) (backend.CheckResult, *Error) {
+// translating failures into the typed envelope. tenantID (empty when
+// anonymous) rides into the stored observations.
+func (s *Server) runCheck(p CheckPayload, tenantID string) (backend.CheckResult, *Error) {
 	if p.URL == "" || p.Highlight == "" {
 		return backend.CheckResult{}, errf(http.StatusBadRequest, CodeBadRequest,
 			"url and highlight are required")
@@ -322,7 +314,7 @@ func (s *Server) runCheck(p CheckPayload) (backend.CheckResult, *Error) {
 	}
 	res, err := s.backend.Check(backend.CheckRequest{
 		URL: p.URL, Highlight: p.Highlight, UserAddr: addr, UserID: p.UserID,
-		UserAgent: p.UserAgent,
+		UserAgent: p.UserAgent, Tenant: tenantID,
 	})
 	if err != nil {
 		return backend.CheckResult{}, mapCheckError(err)
@@ -333,9 +325,6 @@ func (s *Server) runCheck(p CheckPayload) (backend.CheckResult, *Error) {
 // handleAnchors serves GET /api/v1/anchors: the learned anchors keyed by
 // domain, wrapped so the envelope can grow fields compatibly.
 func (s *Server) handleAnchors(w http.ResponseWriter, r *http.Request) {
-	if !s.requireMethod(w, r, http.MethodGet) {
-		return
-	}
 	writeJSON(w, s.opts.Logger, struct {
 		Anchors any `json:"anchors"`
 	}{s.backend.Anchors()})
@@ -358,7 +347,10 @@ type StatsResponse struct {
 	Domains      int                    `json:"domains"`
 	ByVP         map[string]int         `json:"by_vp,omitempty"`
 	BySource     map[string]SourceCount `json:"by_source,omitempty"`
-	Cache        struct {
+	// ByTenant splits contributions per authenticated tenant — the
+	// paper's reward/leaderboard ledger. Absent in anonymous mode.
+	ByTenant map[string]SourceCount `json:"by_tenant,omitempty"`
+	Cache    struct {
 		Hits   uint64 `json:"hits"`
 		Misses uint64 `json:"misses"`
 	} `json:"cache"`
@@ -371,8 +363,12 @@ type StatsResponse struct {
 	// Scan reports the store's time-range pushdown counters when the
 	// backing store exposes them (both engines do): how many (shard,
 	// bucket) partitions time-bounded scans walked versus skipped.
-	Scan   *store.ScanStats `json:"scan,omitempty"`
-	Server struct {
+	Scan *store.ScanStats `json:"scan,omitempty"`
+	// Tenancy reports the identity registry while tenancy is active;
+	// absent in anonymous mode so pre-tenancy stats bodies stay
+	// byte-identical.
+	Tenancy *tenant.Stats `json:"tenancy,omitempty"`
+	Server  struct {
 		Requests    uint64 `json:"requests"`
 		RateLimited uint64 `json:"rate_limited"`
 	} `json:"server"`
@@ -380,9 +376,6 @@ type StatsResponse struct {
 
 // handleStats serves GET /api/v1/stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if !s.requireMethod(w, r, http.MethodGet) {
-		return
-	}
 	resp := StatsResponse{
 		Checks:       s.backend.Checks(),
 		Observations: s.store.Len(),
@@ -413,6 +406,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if sc, ok := s.backend.Store().(interface{ ScanStats() store.ScanStats }); ok {
 		stats := sc.ScanStats()
 		resp.Scan = &stats
+	}
+	if tc, ok := s.backend.Store().(interface {
+		TenantCounts() map[string]store.TenantCount
+	}); ok {
+		for tn, c := range tc.TenantCounts() {
+			if resp.ByTenant == nil {
+				resp.ByTenant = make(map[string]SourceCount)
+			}
+			resp.ByTenant[tn] = SourceCount{Total: c.Total, OK: c.OK}
+		}
+	}
+	if s.tenants.Enabled() {
+		ts := s.tenants.Stats()
+		resp.Tenancy = &ts
 	}
 	if s.analysis != nil {
 		stats := s.analysis.Stats()

@@ -1,0 +1,284 @@
+package api
+
+// The tenancy resources: /api/v1/tenants (admin-only account
+// management), /api/v1/campaigns (server-orchestrated probing schedules
+// contributors claim work units from), and the tenancy replication
+// snapshot followers poll. Role gating and follower read-only rejection
+// live in the route table, not here.
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"sheriff/internal/tenant"
+)
+
+// TenantPayload is POST /api/v1/tenants: register one tenant.
+type TenantPayload struct {
+	Name string `json:"name"`
+	// Role defaults to contributor.
+	Role string `json:"role,omitempty"`
+	// Key, when set, is the exact API key to register (operator
+	// bootstrap); empty mints a random one.
+	Key string `json:"key,omitempty"`
+	// QuotaRate and QuotaBurst shape the tenant's request bucket
+	// (requests/second, depth); rate 0 is unlimited.
+	QuotaRate  float64 `json:"quota_rate,omitempty"`
+	QuotaBurst int     `json:"quota_burst,omitempty"`
+}
+
+// TenantInfo is the wire form of one tenant. Key carries the plaintext
+// API key in the creation response only — it is never stored and never
+// shown again.
+type TenantInfo struct {
+	ID         string    `json:"id"`
+	Name       string    `json:"name"`
+	Role       string    `json:"role"`
+	QuotaRate  float64   `json:"quota_rate,omitempty"`
+	QuotaBurst int       `json:"quota_burst,omitempty"`
+	Created    time.Time `json:"created"`
+	Key        string    `json:"key,omitempty"`
+}
+
+// TenantsResponse wraps GET /api/v1/tenants.
+type TenantsResponse struct {
+	Tenants []TenantInfo `json:"tenants"`
+	Count   int          `json:"count"`
+}
+
+func tenantInfo(t tenant.Tenant) TenantInfo {
+	return TenantInfo{
+		ID: t.ID, Name: t.Name, Role: string(t.Role),
+		QuotaRate: t.QuotaRate, QuotaBurst: t.QuotaBurst, Created: t.Created,
+	}
+}
+
+// CampaignPayload is POST /api/v1/campaigns: declare a draft campaign.
+type CampaignPayload struct {
+	Name    string   `json:"name"`
+	Domains []string `json:"domains"`
+	Rounds  int      `json:"rounds"`
+	// PerTenantQuota caps one tenant's claims; 0 is uncapped.
+	PerTenantQuota int `json:"per_tenant_quota,omitempty"`
+}
+
+// CampaignInfo is the wire form of one campaign.
+type CampaignInfo struct {
+	ID             string         `json:"id"`
+	Name           string         `json:"name"`
+	Domains        []string       `json:"domains"`
+	Rounds         int            `json:"rounds"`
+	PerTenantQuota int            `json:"per_tenant_quota,omitempty"`
+	State          string         `json:"state"`
+	CreatedBy      string         `json:"created_by,omitempty"`
+	Created        time.Time      `json:"created"`
+	TotalUnits     int            `json:"total_units"`
+	Claimed        int            `json:"claimed"`
+	Claims         map[string]int `json:"claims,omitempty"`
+}
+
+// CampaignsResponse wraps GET /api/v1/campaigns.
+type CampaignsResponse struct {
+	Campaigns []CampaignInfo `json:"campaigns"`
+	Count     int            `json:"count"`
+}
+
+// ClaimResponse is POST /api/v1/campaigns/{id}/claim: the work unit the
+// caller now owns, or done=true when the campaign has none left.
+type ClaimResponse struct {
+	CampaignID string `json:"campaign_id"`
+	Done       bool   `json:"done"`
+	Unit       int    `json:"unit,omitempty"`
+	Domain     string `json:"domain,omitempty"`
+	Round      int    `json:"round,omitempty"`
+	Remaining  int    `json:"remaining"`
+}
+
+func campaignInfo(c tenant.Campaign) CampaignInfo {
+	return CampaignInfo{
+		ID: c.ID, Name: c.Name, Domains: c.Domains, Rounds: c.Rounds,
+		PerTenantQuota: c.PerTenantQuota, State: c.State,
+		CreatedBy: c.CreatedBy, Created: c.Created,
+		TotalUnits: c.TotalUnits(), Claimed: c.NextUnit, Claims: c.Claims,
+	}
+}
+
+// writeJSONStatus emits a JSON body under a non-200 success status.
+func writeJSONStatus(w http.ResponseWriter, logger *log.Logger, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		logf(logger, "api: encode response: %v", err)
+	}
+}
+
+// decodeBody reads and unmarshals a JSON request body into v.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, s.opts.Logger, mapBodyError(err))
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeError(w, s.opts.Logger, errf(http.StatusBadRequest, CodeBadRequest,
+			"bad payload").withDetail(err))
+		return false
+	}
+	return true
+}
+
+// handleTenantsCreate serves POST /api/v1/tenants. The response is the
+// only place the plaintext key ever appears.
+func (s *Server) handleTenantsCreate(w http.ResponseWriter, r *http.Request) {
+	var p TenantPayload
+	if !s.decodeBody(w, r, &p) {
+		return
+	}
+	if p.Name == "" {
+		writeError(w, s.opts.Logger, errf(http.StatusBadRequest, CodeBadRequest,
+			"name is required"))
+		return
+	}
+	role := tenant.Role(p.Role)
+	if p.Role == "" {
+		role = tenant.RoleContributor
+	}
+	if !role.Valid() {
+		writeError(w, s.opts.Logger, errf(http.StatusBadRequest, CodeBadRequest,
+			"bad role %q (want %q or %q)", p.Role, tenant.RoleAdmin, tenant.RoleContributor))
+		return
+	}
+	if p.QuotaRate < 0 || p.QuotaBurst < 0 {
+		writeError(w, s.opts.Logger, errf(http.StatusBadRequest, CodeBadRequest,
+			"negative quota"))
+		return
+	}
+	var (
+		t   tenant.Tenant
+		key string
+		err error
+	)
+	if p.Key != "" {
+		key = p.Key
+		t, err = s.tenants.CreateTenantWithKey(p.Name, role, p.Key, p.QuotaRate, p.QuotaBurst)
+	} else {
+		t, key, err = s.tenants.CreateTenant(p.Name, role, p.QuotaRate, p.QuotaBurst)
+	}
+	if err != nil {
+		writeError(w, s.opts.Logger, errf(http.StatusBadRequest, CodeBadRequest,
+			"create tenant").withDetail(err))
+		return
+	}
+	info := tenantInfo(t)
+	info.Key = key
+	writeJSONStatus(w, s.opts.Logger, http.StatusCreated, info)
+}
+
+// handleTenantsList serves GET /api/v1/tenants.
+func (s *Server) handleTenantsList(w http.ResponseWriter, r *http.Request) {
+	ts := s.tenants.Tenants()
+	resp := TenantsResponse{Tenants: make([]TenantInfo, len(ts)), Count: len(ts)}
+	for i, t := range ts {
+		resp.Tenants[i] = tenantInfo(t)
+	}
+	writeJSON(w, s.opts.Logger, resp)
+}
+
+// handleCampaignsCreate serves POST /api/v1/campaigns.
+func (s *Server) handleCampaignsCreate(w http.ResponseWriter, r *http.Request) {
+	var p CampaignPayload
+	if !s.decodeBody(w, r, &p) {
+		return
+	}
+	creator := ""
+	if t, ok := tenantFrom(r.Context()); ok {
+		creator = t.ID
+	}
+	c, err := s.tenants.CreateCampaign(p.Name, p.Domains, p.Rounds, p.PerTenantQuota, creator)
+	if err != nil {
+		writeError(w, s.opts.Logger, errf(http.StatusBadRequest, CodeBadRequest,
+			"create campaign").withDetail(err))
+		return
+	}
+	writeJSONStatus(w, s.opts.Logger, http.StatusCreated, campaignInfo(c))
+}
+
+// handleCampaignsList serves GET /api/v1/campaigns.
+func (s *Server) handleCampaignsList(w http.ResponseWriter, r *http.Request) {
+	cs := s.tenants.Campaigns()
+	resp := CampaignsResponse{Campaigns: make([]CampaignInfo, len(cs)), Count: len(cs)}
+	for i, c := range cs {
+		resp.Campaigns[i] = campaignInfo(c)
+	}
+	writeJSON(w, s.opts.Logger, resp)
+}
+
+// handleCampaignGet serves GET /api/v1/campaigns/{id}.
+func (s *Server) handleCampaignGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c, ok := s.tenants.Campaign(id)
+	if !ok {
+		writeError(w, s.opts.Logger, errf(http.StatusNotFound, CodeNotFound,
+			"no such campaign %q", id))
+		return
+	}
+	writeJSON(w, s.opts.Logger, campaignInfo(c))
+}
+
+// handleCampaignActivate serves POST /api/v1/campaigns/{id}/activate:
+// draft → active. Any other transition is a conflict.
+func (s *Server) handleCampaignActivate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c, err := s.tenants.Activate(id)
+	if err != nil {
+		writeError(w, s.opts.Logger, mapTenantError(err, id))
+		return
+	}
+	writeJSON(w, s.opts.Logger, campaignInfo(c))
+}
+
+// handleCampaignClaim serves POST /api/v1/campaigns/{id}/claim: hand the
+// calling tenant its next work unit. Anonymous mode (no tenants
+// configured) books claims under the pseudo-tenant "anon".
+func (s *Server) handleCampaignClaim(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tenantID := "anon"
+	if t, ok := tenantFrom(r.Context()); ok {
+		tenantID = t.ID
+	}
+	cl, err := s.tenants.ClaimUnit(id, tenantID)
+	if err != nil {
+		writeError(w, s.opts.Logger, mapTenantError(err, id))
+		return
+	}
+	writeJSON(w, s.opts.Logger, ClaimResponse{
+		CampaignID: cl.CampaignID, Done: cl.Done,
+		Unit: cl.Unit, Domain: cl.Domain, Round: cl.Round, Remaining: cl.Remaining,
+	})
+}
+
+// mapTenantError translates registry errors into the typed envelope.
+func mapTenantError(err error, id string) *Error {
+	switch {
+	case errors.Is(err, tenant.ErrNotFound):
+		return errf(http.StatusNotFound, CodeNotFound, "no such campaign %q", id)
+	case errors.Is(err, tenant.ErrConflict):
+		return errf(http.StatusConflict, CodeConflict, "campaign state conflict").withDetail(err)
+	case errors.Is(err, tenant.ErrQuota):
+		return errf(http.StatusTooManyRequests, CodeQuotaExceeded,
+			"per-tenant campaign quota exhausted").withDetail(err)
+	}
+	return errf(http.StatusInternalServerError, CodeInternal, "tenant registry").withDetail(err)
+}
+
+// handleReplicationTenants serves GET /api/v1/replication/tenants: the
+// registry's full snapshot (version, tenants with key *hashes* — never
+// plaintext — and campaigns) that followers poll and restore, so keys
+// validate locally on every node.
+func (s *Server) handleReplicationTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.opts.Logger, s.tenants.Snapshot())
+}

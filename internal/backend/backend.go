@@ -82,6 +82,10 @@ type CheckRequest struct {
 	// the highlight was actually made on. Empty is allowed (the page then
 	// prices as the baseline fingerprint).
 	UserAgent string `json:"user_agent,omitempty"`
+	// Tenant is the authenticated contributor's tenant ID; empty for
+	// anonymous checks. Stamped onto every stored observation so
+	// contributions ledger per tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // VPPrice is the price one vantage point saw.
@@ -186,6 +190,7 @@ func (b *Backend) Check(req CheckRequest) (CheckResult, error) {
 			PriceUnits: r.PriceUnits, Currency: r.Currency,
 			Time: now, Round: -1, Source: store.SourceCrowd,
 			UserCountry: userLoc.Country.Code,
+			Tenant:      req.Tenant,
 			OK:          r.OK, Err: r.Err,
 		}
 		obs[i] = o

@@ -1124,5 +1124,9 @@ func (d *Durable) WriteJSONL(w io.Writer) error { return d.mem.Load().WriteJSONL
 // ScanStats snapshots the time-range pushdown counters (see Store.ScanStats).
 func (d *Durable) ScanStats() ScanStats { return d.mem.Load().ScanStats() }
 
+// TenantCounts snapshots per-tenant contribution counts (see
+// Store.TenantCounts).
+func (d *Durable) TenantCounts() map[string]TenantCount { return d.mem.Load().TenantCounts() }
+
 // BucketSeconds reports the engine's time-bucket width.
 func (d *Durable) BucketSeconds() int64 { return d.mem.Load().BucketSeconds() }

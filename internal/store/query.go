@@ -16,6 +16,8 @@ type Query struct {
 	Source string
 	// VP restricts to one vantage point ID.
 	VP string
+	// Tenant restricts to one contributing tenant's observations.
+	Tenant string
 	// Round restricts to one crawl round when >= 0 (use -1 to match all).
 	Round int
 	// OnlyOK drops failed extractions.
@@ -41,6 +43,9 @@ func (q Query) match(o *Observation) bool {
 		return false
 	}
 	if q.VP != "" && o.VP != q.VP {
+		return false
+	}
+	if q.Tenant != "" && o.Tenant != q.Tenant {
 		return false
 	}
 	if q.Round >= 0 && o.Round != q.Round {

@@ -82,6 +82,10 @@ type shard struct {
 	okBySource map[string]int
 	// byVP counts observations per vantage point.
 	byVP map[string]int
+	// byTenant and okByTenant count observations (total / extraction-OK)
+	// per contributing tenant; anonymous observations are not counted.
+	byTenant   map[string]int
+	okByTenant map[string]int
 	// byBucket lists observations per time bucket (keyed by bucket
 	// start, unix seconds) in append order — the unit durable segments,
 	// retention and time-range pushdown partition by.
@@ -95,6 +99,8 @@ func (sh *shard) init() {
 	sh.bySource = make(map[string][]gref)
 	sh.okBySource = make(map[string]int)
 	sh.byVP = make(map[string]int)
+	sh.byTenant = make(map[string]int)
+	sh.okByTenant = make(map[string]int)
 	sh.byBucket = make(map[int64][]gref)
 }
 
@@ -128,8 +134,14 @@ func (sh *shard) add(o Observation, seq uint64, bucket int64) {
 	sh.bySource[o.Source] = append(sh.bySource[o.Source], r)
 	sh.byBucket[bucket] = append(sh.byBucket[bucket], r)
 	sh.byVP[o.VP]++
+	if o.Tenant != "" {
+		sh.byTenant[o.Tenant]++
+	}
 	if o.OK {
 		sh.ok++
 		sh.okBySource[o.Source]++
+		if o.Tenant != "" {
+			sh.okByTenant[o.Tenant]++
+		}
 	}
 }

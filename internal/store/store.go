@@ -79,6 +79,9 @@ type Observation struct {
 	// UserCountry is the originating crowd user's country code — where the
 	// highlight was made — empty outside crowd checks.
 	UserCountry string `json:"user_country,omitempty"`
+	// Tenant is the contributing tenant's ID for authenticated crowd
+	// checks; empty for anonymous and non-crowd observations.
+	Tenant string `json:"tenant,omitempty"`
 	// OK reports whether extraction succeeded; when false Err explains.
 	OK bool `json:"ok"`
 	// Err is the extraction failure, empty on success.
@@ -342,4 +345,31 @@ func (s *Store) LenVP(vp string) int {
 		sh.mu.RUnlock()
 	}
 	return n
+}
+
+// TenantCount splits one tenant's contributed observations into total
+// and successfully extracted.
+type TenantCount struct {
+	Total int
+	OK    int
+}
+
+// TenantCounts returns per-tenant contribution counts for every tenant
+// that has submitted observations. Anonymous observations (empty Tenant)
+// are not counted, so the map is empty — not nil-keyed — when tenancy is
+// unused. Maintained incrementally: O(shards × tenants).
+func (s *Store) TenantCounts() map[string]TenantCount {
+	out := make(map[string]TenantCount)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for tn, n := range sh.byTenant {
+			tc := out[tn]
+			tc.Total += n
+			tc.OK += sh.okByTenant[tn]
+			out[tn] = tc
+		}
+		sh.mu.RUnlock()
+	}
+	return out
 }

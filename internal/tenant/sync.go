@@ -1,0 +1,93 @@
+package tenant
+
+// Follower-side tenancy replication. Tenant state is tiny and mutates
+// rarely (admin actions and campaign claims), so instead of riding the
+// observation WAL stream it replicates as whole snapshots: the primary
+// serves GET /api/v1/replication/tenants (its registry State, version
+// included) and followers poll it, restoring whenever the version
+// differs. Restore-on-differ rather than restore-on-greater makes a
+// primary restarted without its journal (memory mode) converge too.
+// This is what lets followers validate API keys locally: the key hashes
+// replicate, the plaintext never does.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// SyncOptions configures a follower's tenancy poll loop.
+type SyncOptions struct {
+	// Interval between polls; default 500ms.
+	Interval time.Duration
+	// HTTPClient issues the polls; default http.DefaultClient.
+	HTTPClient *http.Client
+	// Logf receives state-change and error notes; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Sync polls primaryURL's tenancy snapshot endpoint and restores every
+// new version into reg until ctx ends. Errors are logged and retried on
+// the next tick — a follower outlives primary restarts.
+func Sync(ctx context.Context, primaryURL string, reg *Registry, opts SyncOptions) {
+	interval := opts.Interval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	client := opts.HTTPClient
+	if client == nil {
+		client = http.DefaultClient
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	url := primaryURL + "/api/v1/replication/tenants"
+
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var lastErr string
+	for {
+		st, err := fetchState(ctx, client, url)
+		switch {
+		case err != nil:
+			if s := err.Error(); s != lastErr {
+				lastErr = s
+				logf("tenant: sync %s: %v", url, err)
+			}
+		case st.Version != reg.Version():
+			reg.Restore(st)
+			lastErr = ""
+			logf("tenant: synced version %d (%d tenants, %d campaigns)",
+				st.Version, len(st.Tenants), len(st.Campaigns))
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// fetchState retrieves and decodes one tenancy snapshot.
+func fetchState(ctx context.Context, client *http.Client, url string) (State, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return State{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return State{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return State{}, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var st State
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return State{}, err
+	}
+	return st, nil
+}

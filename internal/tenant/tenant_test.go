@@ -1,0 +1,396 @@
+package tenant
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable registry clock.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2013, 7, 1, 0, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestCreateAndAuthenticate(t *testing.T) {
+	r := NewRegistry(Options{})
+	if r.Enabled() {
+		t.Fatal("empty registry reports Enabled")
+	}
+
+	tn, key, err := r.CreateTenant("alice", RoleContributor, 0, 0)
+	if err != nil {
+		t.Fatalf("CreateTenant: %v", err)
+	}
+	if tn.ID != "t-000001" {
+		t.Fatalf("first tenant ID = %q, want t-000001", tn.ID)
+	}
+	if key == "" || tn.KeyHash != HashKey(key) {
+		t.Fatalf("key %q does not hash to stored KeyHash %q", key, tn.KeyHash)
+	}
+	if !r.Enabled() {
+		t.Fatal("registry with a tenant reports disabled")
+	}
+
+	got, ok := r.Authenticate(key)
+	if !ok || got.ID != tn.ID {
+		t.Fatalf("Authenticate(minted key) = %+v, %v", got, ok)
+	}
+	if _, ok := r.Authenticate("sk_wrong"); ok {
+		t.Fatal("Authenticate accepted an unknown key")
+	}
+}
+
+func TestCreateTenantValidation(t *testing.T) {
+	r := NewRegistry(Options{})
+	if _, _, err := r.CreateTenant("", RoleContributor, 0, 0); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, _, err := r.CreateTenant("x", Role("superuser"), 0, 0); err == nil {
+		t.Error("bad role accepted")
+	}
+	if _, err := r.CreateTenantWithKey("x", RoleAdmin, "", 0, 0); err == nil {
+		t.Error("empty explicit key accepted")
+	}
+}
+
+func TestCreateTenantWithKeyIdempotent(t *testing.T) {
+	r := NewRegistry(Options{})
+	a, err := r.CreateTenantWithKey("admin", RoleAdmin, "sk_boot", 0, 0)
+	if err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	// Same key again (a sheriffd restart re-running -admin-key): same
+	// tenant, no duplicate.
+	b, err := r.CreateTenantWithKey("admin", RoleAdmin, "sk_boot", 0, 0)
+	if err != nil {
+		t.Fatalf("re-bootstrap: %v", err)
+	}
+	if a.ID != b.ID || len(r.Tenants()) != 1 {
+		t.Fatalf("re-bootstrap minted a new tenant: %q vs %q (%d tenants)", a.ID, b.ID, len(r.Tenants()))
+	}
+}
+
+func TestRoleCovers(t *testing.T) {
+	cases := []struct {
+		have, need Role
+		want       bool
+	}{
+		{RoleAdmin, RoleAdmin, true},
+		{RoleAdmin, RoleContributor, true},
+		{RoleContributor, RoleContributor, true},
+		{RoleContributor, RoleAdmin, false},
+	}
+	for _, c := range cases {
+		if got := c.have.Covers(c.need); got != c.want {
+			t.Errorf("%s.Covers(%s) = %v, want %v", c.have, c.need, got, c.want)
+		}
+	}
+}
+
+func TestQuotaBucket(t *testing.T) {
+	clk := newFakeClock()
+	r := NewRegistry(Options{Now: clk.now})
+	tn, _, err := r.CreateTenant("bob", RoleContributor, 1, 2) // 1 rps, burst 2
+	if err != nil {
+		t.Fatalf("CreateTenant: %v", err)
+	}
+
+	// Burst drains, then the bucket denies with a refill hint.
+	for i := 0; i < 2; i++ {
+		if ok, _ := r.Allow(tn.ID); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, wait := r.Allow(tn.ID)
+	if ok {
+		t.Fatal("request beyond burst allowed")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("refill hint %v, want (0s, 1s]", wait)
+	}
+	if r.QuotaDenied() != 1 {
+		t.Fatalf("QuotaDenied = %d, want 1", r.QuotaDenied())
+	}
+
+	// One second refills one token.
+	clk.advance(time.Second)
+	if ok, _ := r.Allow(tn.ID); !ok {
+		t.Fatal("request after refill denied")
+	}
+
+	// No quota configured = unlimited.
+	free, _, _ := r.CreateTenant("carol", RoleContributor, 0, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := r.Allow(free.ID); !ok {
+			t.Fatalf("unlimited tenant denied at request %d", i)
+		}
+	}
+	// Unknown tenants pass too (the server never blocks on a stale ID).
+	if ok, _ := r.Allow("t-999999"); !ok {
+		t.Fatal("unknown tenant denied")
+	}
+}
+
+func TestCampaignLifecycle(t *testing.T) {
+	r := NewRegistry(Options{})
+	c, err := r.CreateCampaign("sweep", []string{"a.com", "b.com"}, 2, 0, "t-000001")
+	if err != nil {
+		t.Fatalf("CreateCampaign: %v", err)
+	}
+	if c.ID != "c-000001" || c.State != StateDraft || c.TotalUnits() != 4 {
+		t.Fatalf("draft = %+v", c)
+	}
+
+	// Draft campaigns hand out nothing.
+	if _, err := r.ClaimUnit(c.ID, "t-000001"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("claim on draft: %v, want ErrConflict", err)
+	}
+
+	if _, err := r.Activate(c.ID); err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	// Activating twice conflicts.
+	if _, err := r.Activate(c.ID); !errors.Is(err, ErrConflict) {
+		t.Fatalf("double Activate: %v, want ErrConflict", err)
+	}
+
+	// Units walk domains round-robin: a,b in round 0 then a,b in round 1.
+	wantDomains := []string{"a.com", "b.com", "a.com", "b.com"}
+	wantRounds := []int{0, 0, 1, 1}
+	for i := 0; i < 4; i++ {
+		cl, err := r.ClaimUnit(c.ID, "t-000001")
+		if err != nil {
+			t.Fatalf("claim %d: %v", i, err)
+		}
+		if cl.Unit != i || cl.Domain != wantDomains[i] || cl.Round != wantRounds[i] || cl.Remaining != 3-i {
+			t.Fatalf("claim %d = %+v", i, cl)
+		}
+	}
+
+	// Last unit flipped it to done; further claims report Done.
+	got, _ := r.Campaign(c.ID)
+	if got.State != StateDone {
+		t.Fatalf("state after final claim = %q, want done", got.State)
+	}
+	cl, err := r.ClaimUnit(c.ID, "t-000001")
+	if err != nil || !cl.Done {
+		t.Fatalf("claim on done = %+v, %v", cl, err)
+	}
+
+	if _, err := r.ClaimUnit("c-404", "t-000001"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("claim on missing campaign: %v, want ErrNotFound", err)
+	}
+}
+
+func TestCampaignPerTenantQuota(t *testing.T) {
+	r := NewRegistry(Options{})
+	c, err := r.CreateCampaign("fair", []string{"a.com"}, 4, 2, "")
+	if err != nil {
+		t.Fatalf("CreateCampaign: %v", err)
+	}
+	if _, err := r.Activate(c.ID); err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := r.ClaimUnit(c.ID, "t-1"); err != nil {
+			t.Fatalf("t-1 claim %d: %v", i, err)
+		}
+	}
+	if _, err := r.ClaimUnit(c.ID, "t-1"); !errors.Is(err, ErrQuota) {
+		t.Fatalf("t-1 over quota: %v, want ErrQuota", err)
+	}
+	// Another tenant still gets units.
+	if _, err := r.ClaimUnit(c.ID, "t-2"); err != nil {
+		t.Fatalf("t-2 claim: %v", err)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	r := NewRegistry(Options{})
+	if _, err := r.CreateCampaign("", []string{"a"}, 1, 0, ""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := r.CreateCampaign("x", nil, 1, 0, ""); err == nil {
+		t.Error("no domains accepted")
+	}
+	if _, err := r.CreateCampaign("x", []string{"a"}, 0, 0, ""); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if _, err := r.CreateCampaign("x", []string{"a"}, 1, -1, ""); err == nil {
+		t.Error("negative quota accepted")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	r := NewRegistry(Options{})
+	_, key, _ := r.CreateTenant("alice", RoleAdmin, 5, 10)
+	c, _ := r.CreateCampaign("sweep", []string{"a.com"}, 3, 0, "t-000001")
+	r.Activate(c.ID)
+	r.ClaimUnit(c.ID, "t-000001")
+
+	follower := NewRegistry(Options{})
+	follower.Restore(r.Snapshot())
+
+	// Keys authenticate on the restored side (hash travels, plaintext
+	// never does).
+	if _, ok := follower.Authenticate(key); !ok {
+		t.Fatal("restored registry rejects the primary's key")
+	}
+	if follower.Version() != r.Version() {
+		t.Fatalf("versions diverge: %d vs %d", follower.Version(), r.Version())
+	}
+	got, ok := follower.Campaign(c.ID)
+	if !ok || got.NextUnit != 1 || got.Claims["t-000001"] != 1 {
+		t.Fatalf("restored campaign = %+v, %v", got, ok)
+	}
+
+	// Sequences restore too: new IDs continue, not collide.
+	follower.CreateCampaign("next", []string{"b.com"}, 1, 0, "")
+	if got, _ := follower.Campaign("c-000002"); got.Name != "next" {
+		t.Fatalf("post-restore campaign seq wrong: %+v", got)
+	}
+}
+
+func TestJournalPersistence(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	_, key, err := r.CreateTenant("alice", RoleContributor, 2, 4)
+	if err != nil {
+		t.Fatalf("CreateTenant: %v", err)
+	}
+	c, _ := r.CreateCampaign("sweep", []string{"a.com", "b.com"}, 1, 0, "")
+	r.Activate(c.ID)
+	r.ClaimUnit(c.ID, "t-000001")
+	version := r.Version()
+
+	// Crash path: abandon the registry without Close, so recovery rides
+	// the journal alone (no final checkpoint).
+	r2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	if r2.Version() != version {
+		t.Fatalf("recovered version %d, want %d", r2.Version(), version)
+	}
+	if _, ok := r2.Authenticate(key); !ok {
+		t.Fatal("recovered registry rejects the issued key")
+	}
+	got, ok := r2.Campaign(c.ID)
+	if !ok || got.State != StateActive || got.NextUnit != 1 {
+		t.Fatalf("recovered campaign = %+v, %v", got, ok)
+	}
+
+	// Clean path: Close checkpoints (journal truncates to zero), reopen
+	// recovers the same state from the snapshot.
+	if err := r2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, journalFile)); err != nil || fi.Size() != 0 {
+		t.Fatalf("journal after Close: %v, size %d (want 0)", err, fi.Size())
+	}
+	r3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	defer r3.Close()
+	if r3.Version() != version {
+		t.Fatalf("snapshot-recovered version %d, want %d", r3.Version(), version)
+	}
+	if _, ok := r3.Authenticate(key); !ok {
+		t.Fatal("snapshot-recovered registry rejects the issued key")
+	}
+}
+
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := r.CreateTenantWithKey("alice", RoleContributor, "sk_a", 0, 0); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := r.CreateTenantWithKey("bob", RoleContributor, "sk_b", 0, 0); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	// Tear the last frame mid-payload, as a crash mid-write would.
+	jpath := filepath.Join(dir, journalFile)
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	if err := os.WriteFile(jpath, data[:len(data)-5], 0o644); err != nil {
+		t.Fatalf("tear journal: %v", err)
+	}
+
+	r2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen torn journal: %v", err)
+	}
+	defer r2.Close()
+	// Alice survived; bob's frame was torn away.
+	if _, ok := r2.Authenticate("sk_a"); !ok {
+		t.Fatal("intact prefix lost")
+	}
+	if _, ok := r2.Authenticate("sk_b"); ok {
+		t.Fatal("torn frame replayed")
+	}
+	// The tail was truncated: appends go to a clean journal.
+	if _, err := r2.CreateTenantWithKey("carol", RoleContributor, "sk_c", 0, 0); err != nil {
+		t.Fatalf("append after truncate: %v", err)
+	}
+	r2.Close()
+	r3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r3.Close()
+	if _, ok := r3.Authenticate("sk_c"); !ok {
+		t.Fatal("post-truncate append lost")
+	}
+}
+
+func TestJournalCheckpointRotation(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	c, _ := r.CreateCampaign("big", []string{"a.com"}, journalCheckpointEvery+8, 0, "")
+	r.Activate(c.ID)
+	// Enough claims to cross the checkpoint threshold.
+	for i := 0; i < journalCheckpointEvery+2; i++ {
+		if _, err := r.ClaimUnit(c.ID, "t-x"); err != nil {
+			t.Fatalf("claim %d: %v", i, err)
+		}
+	}
+	// The journal was truncated by the mid-run checkpoint: far fewer
+	// frames than mutations remain.
+	fi, err := os.Stat(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatalf("stat journal: %v", err)
+	}
+	if fi.Size() > int64(journalCheckpointEvery*journalHeaderSize*8) {
+		t.Fatalf("journal grew unbounded: %d bytes after checkpoint threshold", fi.Size())
+	}
+	// Crash-reopen still lands on the exact post-claim state.
+	r2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r2.Close()
+	got, _ := r2.Campaign(c.ID)
+	if got.NextUnit != journalCheckpointEvery+2 {
+		t.Fatalf("recovered NextUnit = %d, want %d", got.NextUnit, journalCheckpointEvery+2)
+	}
+}

@@ -1,0 +1,235 @@
+#!/usr/bin/env bash
+# Tenancy smoke: a multi-tenant sheriffd must keep its crowd through a
+# kill -9 and replicate it to a follower.
+#
+# Phase 1 (bootstrap + campaign): boot a durable primary with -admin-key,
+# mint two contributor tenants (one with a tight request quota), declare
+# and activate a campaign, and drive keyed loadgen runs from both
+# tenants; the quota'd tenant must trip 429 quota_exceeded under
+# pressure while the unlimited one completes. Contributors then claim
+# the campaign to done.
+#
+# Phase 2 (kill -9): kill -9 the primary, restart on the same -data-dir,
+# and assert the tenant registry recovered (keys still authenticate,
+# roles intact), the campaign is still done with the same per-tenant
+# claim counts, and /api/v1/stats still breaks observations down
+# by_tenant.
+#
+# Phase 3 (follower): start a read-only follower; its registry fills
+# from the primary's replicated tenancy snapshot — a primary-issued key
+# must read on the follower (X-Sheriff-Role: follower), writes must 403
+# read_only, and a bogus key must 401.
+#
+# Run from the repository root: ./scripts/tenant_smoke.sh
+# On failure, set SMOKE_ARTIFACT_DIR to keep the data dir + server logs.
+set -euo pipefail
+
+ADDR="${ADDR:-127.0.0.1:8321}"
+FADDR="${FADDR:-127.0.0.1:8322}"
+SEED=1
+LONGTAIL=20
+ADMIN_KEY="sk_smoke_admin"
+
+workdir="$(mktemp -d)"
+datadir="$workdir/data"
+logfile="$workdir/sheriffd.log"
+flogfile="$workdir/follower.log"
+srv_pid=""
+fol_pid=""
+
+cleanup() {
+  status=$?
+  [ -n "$srv_pid" ] && kill -9 "$srv_pid" 2>/dev/null || true
+  [ -n "$fol_pid" ] && kill -9 "$fol_pid" 2>/dev/null || true
+  if [ "$status" -ne 0 ] && [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$SMOKE_ARTIFACT_DIR/tenant"
+    cp -r "$datadir" "$SMOKE_ARTIFACT_DIR/tenant/" 2>/dev/null || true
+    cp "$logfile" "$flogfile" "$SMOKE_ARTIFACT_DIR/tenant/" 2>/dev/null || true
+    echo "== tenant-smoke: kept artifacts in $SMOKE_ARTIFACT_DIR/tenant"
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+say() { echo "== tenant-smoke: $*"; }
+
+say "building sheriffd and loadgen"
+go build -o "$workdir/sheriffd" ./cmd/sheriffd
+go build -o "$workdir/loadgen" ./examples/loadgen
+
+start_server() {
+  "$workdir/sheriffd" -addr "$ADDR" -seed "$SEED" -longtail "$LONGTAIL" \
+    -data-dir "$datadir" -fsync always -admin-key "$ADMIN_KEY" >>"$logfile" 2>&1 &
+  srv_pid=$!
+  for _ in $(seq 1 150); do
+    if curl -sf "http://$ADDR/api/v1/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  say "primary did not come up"
+  cat "$logfile"
+  exit 1
+}
+
+# api METHOD PATH KEY [BODY] — curl the v1 surface with a bearer key.
+# Prints the HTTP status; the body lands in $workdir/resp.json.
+api() {
+  method="$1" path="$2" key="$3" body="${4:-}"
+  curl -s -o "$workdir/resp.json" -w '%{http_code}' -X "$method" \
+    ${key:+-H "Authorization: Bearer $key"} \
+    ${body:+-d "$body"} "http://$ADDR$path"
+}
+
+# expect_status GOT WANT WHAT
+expect_status() {
+  if [ "$1" != "$2" ]; then
+    say "FAIL: $3 answered $1, want $2"
+    cat "$workdir/resp.json" 2>/dev/null || true
+    cat "$logfile"
+    exit 1
+  fi
+}
+
+jsonget() { python3 -c "import json,sys; print(json.load(sys.stdin)$1)"; }
+
+say "phase 1: boot a durable primary with -admin-key"
+start_server
+
+say "phase 1: mint two contributors (carol capped at 5 rps)"
+st="$(api POST /api/v1/tenants "$ADMIN_KEY" '{"name":"bob","role":"contributor","key":"sk_smoke_bob"}')"
+expect_status "$st" 201 "create bob"
+st="$(api POST /api/v1/tenants "$ADMIN_KEY" '{"name":"carol","role":"contributor","key":"sk_smoke_carol","quota_rate":5,"quota_burst":5}')"
+expect_status "$st" 201 "create carol"
+
+say "phase 1: contributor keys cannot mint tenants (403 forbidden)"
+st="$(api POST /api/v1/tenants "sk_smoke_bob" '{"name":"mallory"}')"
+expect_status "$st" 403 "contributor tenant-create"
+code="$(jsonget '["error"]["code"]' <"$workdir/resp.json")"
+[ "$code" = "forbidden" ] || { say "FAIL: 403 code = $code, want forbidden"; exit 1; }
+
+say "phase 1: bogus keys are rejected (401 unauthorized)"
+st="$(api GET /api/v1/observations "sk_smoke_wrong")"
+expect_status "$st" 401 "bogus-key read"
+
+say "phase 1: keyed loadgen — bob unlimited, carol under quota pressure"
+"$workdir/loadgen" -addr "http://$ADDR" -seed "$SEED" -longtail "$LONGTAIL" \
+  -users 4 -rounds 2 -api-key sk_smoke_bob
+# Carol's run hammers a 5 rps bucket; the SDK retries through the 429s,
+# so the run completes while the server counts quota denials.
+"$workdir/loadgen" -addr "http://$ADDR" -seed "$SEED" -longtail "$LONGTAIL" \
+  -users 4 -rounds 1 -api-key sk_smoke_carol >/dev/null
+
+st="$(api GET /api/v1/stats "$ADMIN_KEY")"
+expect_status "$st" 200 "stats"
+quota_denied="$(jsonget '["tenancy"]["quota_denied"]' <"$workdir/resp.json")"
+bob_obs="$(jsonget '["by_tenant"]["t-000002"]["total"]' <"$workdir/resp.json")"
+carol_obs="$(jsonget '["by_tenant"]["t-000003"]["total"]' <"$workdir/resp.json")"
+say "phase 1: by_tenant bob=$bob_obs carol=$carol_obs, quota_denied=$quota_denied"
+[ "$bob_obs" -gt 0 ] || { say "FAIL: bob contributed nothing"; exit 1; }
+[ "$carol_obs" -gt 0 ] || { say "FAIL: carol contributed nothing"; exit 1; }
+[ "$quota_denied" -gt 0 ] || { say "FAIL: carol's quota never tripped"; exit 1; }
+
+say "phase 1: campaign draft -> active -> claimed to done"
+st="$(api POST /api/v1/campaigns "$ADMIN_KEY" '{"name":"smoke-sweep","domains":["www.digitalrev.com","www.energie.it"],"rounds":1,"per_tenant_quota":1}')"
+expect_status "$st" 201 "create campaign"
+camp_id="$(jsonget '["id"]' <"$workdir/resp.json")"
+st="$(api POST "/api/v1/campaigns/$camp_id/claim" "sk_smoke_bob")"
+expect_status "$st" 409 "claim on draft"
+st="$(api POST "/api/v1/campaigns/$camp_id/activate" "$ADMIN_KEY")"
+expect_status "$st" 200 "activate"
+st="$(api POST "/api/v1/campaigns/$camp_id/claim" "sk_smoke_bob")"
+expect_status "$st" 200 "bob claim"
+st="$(api POST "/api/v1/campaigns/$camp_id/claim" "sk_smoke_bob")"
+expect_status "$st" 429 "bob over per-tenant quota"
+code="$(jsonget '["error"]["code"]' <"$workdir/resp.json")"
+[ "$code" = "quota_exceeded" ] || { say "FAIL: 429 code = $code, want quota_exceeded"; exit 1; }
+st="$(api POST "/api/v1/campaigns/$camp_id/claim" "sk_smoke_carol")"
+expect_status "$st" 200 "carol claim"
+st="$(api GET "/api/v1/campaigns/$camp_id" "sk_smoke_bob")"
+expect_status "$st" 200 "campaign get"
+state="$(jsonget '["state"]' <"$workdir/resp.json")"
+[ "$state" = "done" ] || { say "FAIL: campaign state $state, want done"; exit 1; }
+
+say "phase 2: kill -9 the primary and restart on the same data dir"
+kill -9 "$srv_pid"
+wait "$srv_pid" 2>/dev/null || true
+start_server
+
+say "phase 2: tenants, roles and keys survived"
+st="$(api GET /api/v1/tenants "$ADMIN_KEY")"
+expect_status "$st" 200 "post-crash tenant list"
+count="$(jsonget '["count"]' <"$workdir/resp.json")"
+[ "$count" = 3 ] || { say "FAIL: recovered $count tenants, want 3"; exit 1; }
+st="$(api POST /api/v1/tenants "sk_smoke_bob" '{"name":"mallory"}')"
+expect_status "$st" 403 "post-crash contributor role"
+
+say "phase 2: campaign state and claim ledger survived"
+st="$(api GET "/api/v1/campaigns/$camp_id" "sk_smoke_bob")"
+expect_status "$st" 200 "post-crash campaign get"
+state="$(jsonget '["state"]' <"$workdir/resp.json")"
+bob_claims="$(jsonget '["claims"]["t-000002"]' <"$workdir/resp.json")"
+carol_claims="$(jsonget '["claims"]["t-000003"]' <"$workdir/resp.json")"
+[ "$state" = "done" ] || { say "FAIL: recovered campaign state $state"; exit 1; }
+[ "$bob_claims" = 1 ] && [ "$carol_claims" = 1 ] || {
+  say "FAIL: recovered claims bob=$bob_claims carol=$carol_claims, want 1/1"
+  exit 1
+}
+
+say "phase 2: per-tenant observation counters survived"
+st="$(api GET /api/v1/stats "$ADMIN_KEY")"
+expect_status "$st" 200 "post-crash stats"
+bob_after="$(jsonget '["by_tenant"]["t-000002"]["total"]' <"$workdir/resp.json")"
+carol_after="$(jsonget '["by_tenant"]["t-000003"]["total"]' <"$workdir/resp.json")"
+[ "$bob_after" = "$bob_obs" ] && [ "$carol_after" = "$carol_obs" ] || {
+  say "FAIL: by_tenant diverged after crash (bob $bob_obs->$bob_after, carol $carol_obs->$carol_after)"
+  exit 1
+}
+
+say "phase 3: start a follower and wait for tenancy to replicate"
+"$workdir/sheriffd" -addr "$FADDR" -seed "$SEED" -longtail "$LONGTAIL" \
+  -follow "http://$ADDR" >>"$flogfile" 2>&1 &
+fol_pid=$!
+replicated=""
+for _ in $(seq 1 100); do
+  st="$(curl -s -o "$workdir/fresp.json" -w '%{http_code}' \
+    -H "Authorization: Bearer sk_smoke_bob" "http://$FADDR/api/v1/observations?limit=1" || true)"
+  if [ "$st" = 200 ]; then replicated=yes; break; fi
+  sleep 0.2
+done
+[ -n "$replicated" ] || {
+  say "FAIL: primary-issued key never became valid on the follower"
+  cat "$flogfile"
+  exit 1
+}
+
+say "phase 3: follower honors keys, stays read-only, rejects bogus keys"
+role="$(curl -s -D - -o /dev/null -H "Authorization: Bearer sk_smoke_bob" \
+  "http://$FADDR/api/v1/observations?limit=1" | tr -d '\r' | awk -F': ' 'tolower($1)=="x-sheriff-role"{print $2}')"
+[ "$role" = "follower" ] || { say "FAIL: X-Sheriff-Role = '$role' on keyed read"; exit 1; }
+st="$(curl -s -o "$workdir/fresp.json" -w '%{http_code}' -X POST \
+  -H "Authorization: Bearer sk_smoke_bob" -d '{}' "http://$FADDR/api/v1/checks")"
+[ "$st" = 403 ] || { say "FAIL: keyed follower write answered $st, want 403"; exit 1; }
+code="$(jsonget '["error"]["code"]' <"$workdir/fresp.json")"
+[ "$code" = "read_only" ] || { say "FAIL: follower write code = $code, want read_only"; exit 1; }
+st="$(curl -s -o /dev/null -w '%{http_code}' \
+  -H "Authorization: Bearer sk_smoke_evil" "http://$FADDR/api/v1/observations?limit=1")"
+[ "$st" = 401 ] || { say "FAIL: bogus key on follower answered $st, want 401"; exit 1; }
+
+say "phase 3: clean shutdown flushes the tenant registry"
+kill -TERM "$fol_pid"
+wait "$fol_pid" 2>/dev/null || true
+fol_pid=""
+kill -TERM "$srv_pid"
+for _ in $(seq 1 50); do
+  kill -0 "$srv_pid" 2>/dev/null || break
+  sleep 0.2
+done
+grep -q "tenant registry flushed" "$logfile" || {
+  say "FAIL: graceful drain did not flush the tenant registry"
+  cat "$logfile"
+  exit 1
+}
+srv_pid=""
+
+say "PASS (3 tenants, campaign $camp_id done, quota_denied=$quota_denied, follower keyed reads ok)"

@@ -24,6 +24,8 @@
 package sheriff
 
 import (
+	"context"
+
 	"sheriff/internal/aggregate"
 	"sheriff/internal/analysis"
 	"sheriff/internal/api"
@@ -38,6 +40,7 @@ import (
 	"sheriff/internal/replica"
 	"sheriff/internal/shop"
 	"sheriff/internal/store"
+	"sheriff/internal/tenant"
 )
 
 // World is the assembled simulation plus measurement machinery; see
@@ -153,7 +156,64 @@ type (
 	APIReplicationStats = api.ReplicationStats
 	// APIHealthResponse is the /api/v1/healthz and /api/v1/readyz body.
 	APIHealthResponse = api.HealthResponse
+	// APITenantPayload is the POST /api/v1/tenants request body.
+	APITenantPayload = api.TenantPayload
+	// APITenant is the wire form of one tenant (the creation response
+	// carries the plaintext key, once).
+	APITenant = api.TenantInfo
+	// APITenantsResponse wraps the tenant listing.
+	APITenantsResponse = api.TenantsResponse
+	// APICampaignPayload is the POST /api/v1/campaigns request body.
+	APICampaignPayload = api.CampaignPayload
+	// APICampaign is the wire form of one campaign.
+	APICampaign = api.CampaignInfo
+	// APICampaignsResponse wraps the campaign listing.
+	APICampaignsResponse = api.CampaignsResponse
+	// APIClaimResponse is one claimed campaign work unit.
+	APIClaimResponse = api.ClaimResponse
 )
+
+// Multi-tenant crowd: the identity registry behind the API's auth layer —
+// tenants with hashed API keys, roles, per-tenant quotas, and the
+// campaign scheduler. Wire a registry into APIOptions.Tenants; leave it
+// empty (or nil) for the anonymous single-principal surface.
+type (
+	// TenantRegistry holds tenants, quotas and campaigns; see
+	// NewTenantRegistry and OpenTenantDir.
+	TenantRegistry = tenant.Registry
+	// TenantOptions tunes a registry (clock and logging injection).
+	TenantOptions = tenant.Options
+	// Tenant is one identified crowd member (key stored as SHA-256 only).
+	Tenant = tenant.Tenant
+	// Campaign is one server-orchestrated probing schedule.
+	Campaign = tenant.Campaign
+	// TenantSyncOptions tunes a follower's tenancy replication loop.
+	TenantSyncOptions = tenant.SyncOptions
+)
+
+// Tenant roles.
+const (
+	TenantRoleAdmin       = tenant.RoleAdmin
+	TenantRoleContributor = tenant.RoleContributor
+)
+
+// NewTenantRegistry builds a memory-only tenant registry (follower
+// nodes, tests, memory-engine primaries).
+func NewTenantRegistry(opts TenantOptions) *TenantRegistry { return tenant.NewRegistry(opts) }
+
+// OpenTenantDir opens (or creates) a journaled registry rooted at dir —
+// typically the durable store's data directory; tenants, campaigns and
+// claim progress survive restarts and crashes.
+func OpenTenantDir(dir string, opts TenantOptions) (*TenantRegistry, error) {
+	return tenant.Open(dir, opts)
+}
+
+// RunTenantSync polls a primary's tenancy snapshot into reg until ctx
+// ends — the follower-side loop that lets replicas validate API keys
+// locally.
+func RunTenantSync(ctx context.Context, primaryURL string, reg *TenantRegistry, opts TenantSyncOptions) {
+	tenant.Sync(ctx, primaryURL, reg, opts)
+}
 
 // Cluster mode: WAL-shipping read replicas. A Follower streams a
 // primary's replication WAL (GET /api/v1/replication/wal) into a local

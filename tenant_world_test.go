@@ -1,0 +1,251 @@
+// End-to-end tenancy through the public facade and the SDK: an admin
+// bootstraps a crowd, a campaign runs to completion under per-tenant
+// quota pressure, the typed error codes surface through client.IsCode,
+// and — on the durable engine — tenants, campaign state and per-tenant
+// counters all survive a crash.
+package sheriff_test
+
+import (
+	"context"
+	"io"
+	"log"
+	"net/http/httptest"
+	"testing"
+
+	"sheriff"
+	"sheriff/client"
+	"sheriff/internal/geo"
+	"sheriff/internal/money"
+	"sheriff/internal/shop"
+)
+
+// newAPIServer serves a world with tenancy wired in and returns the base
+// URL.
+func newAPIServer(t *testing.T, w *sheriff.World, reg *sheriff.TenantRegistry) string {
+	t.Helper()
+	srv := httptest.NewServer(sheriff.NewAPIWithOptions(w, sheriff.APIOptions{
+		Logger:  log.New(io.Discard, "", 0),
+		Tenants: reg,
+	}))
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// tenantCheckReq builds a valid check submission for one domain of a
+// world — what a contributor submits for a claimed campaign unit.
+func tenantCheckReq(t *testing.T, w *sheriff.World, domain, userID string) sheriff.CheckRequest {
+	t.Helper()
+	r := w.Retailers[domain]
+	if r == nil {
+		t.Fatalf("no retailer for %q", domain)
+	}
+	p := r.Catalog().Products()[0]
+	loc, err := geo.LocationOf("US", "Boston")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := geo.AddrFor(loc, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amt := r.DisplayPrice(p, shop.Visit{Loc: loc, Time: w.Clock.Now(), IP: addr.String()})
+	return sheriff.CheckRequest{
+		URL:       "http://" + domain + "/product/" + p.SKU,
+		Highlight: money.Format(amt, amt.Currency.Style()),
+		UserAddr:  addr,
+		UserID:    userID,
+	}
+}
+
+func TestCampaignEndToEnd(t *testing.T) {
+	t.Run("memory", func(t *testing.T) {
+		reg := sheriff.NewTenantRegistry(sheriff.TenantOptions{})
+		w := sheriff.NewWorld(sheriff.WorldOptions{Seed: 7, LongTail: 6})
+		runCampaignE2E(t, w, reg)
+	})
+	t.Run("durable", func(t *testing.T) {
+		dir := t.TempDir()
+		reg, err := sheriff.OpenTenantDir(dir, sheriff.TenantOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _, err := sheriff.OpenDataDir(dir, sheriff.DurableOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := sheriff.NewWorld(sheriff.WorldOptions{Seed: 7, LongTail: 6, Store: d})
+		campaignID, tenantIDs := runCampaignE2E(t, w, reg)
+
+		// Crash: the observation store must release its lock (flock), but
+		// the tenant registry is abandoned WITHOUT Close — recovery rides
+		// the journal, not a goodbye checkpoint.
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		obsLen := w.Store.Len()
+
+		reg2, err := sheriff.OpenTenantDir(dir, sheriff.TenantOptions{})
+		if err != nil {
+			t.Fatalf("recover tenant registry: %v", err)
+		}
+		defer reg2.Close()
+		d2, rep, err := sheriff.OpenDataDir(dir, sheriff.DurableOptions{})
+		if err != nil {
+			t.Fatalf("recover data dir: %v", err)
+		}
+		defer d2.Close()
+		if rep.Rows() != obsLen {
+			t.Fatalf("recovered %d observations, want %d", rep.Rows(), obsLen)
+		}
+
+		// The recovered registry still knows every tenant and the finished
+		// campaign.
+		if got := len(reg2.Tenants()); got != 3 {
+			t.Fatalf("recovered %d tenants, want 3", got)
+		}
+		camp, ok := reg2.Campaign(campaignID)
+		if !ok || camp.State != "done" {
+			t.Fatalf("recovered campaign = %+v, %v (want done)", camp, ok)
+		}
+		if camp.Claims[tenantIDs["bob"]] != 3 || camp.Claims[tenantIDs["carol"]] != 1 {
+			t.Fatalf("recovered claims = %v", camp.Claims)
+		}
+
+		// A fresh server over the recovered pair serves the same keyed
+		// surface: the old keys work and the per-tenant ledgers are intact.
+		w2 := sheriff.NewWorld(sheriff.WorldOptions{Seed: 7, LongTail: 6, Store: d2})
+		srv2 := newAPIServer(t, w2, reg2)
+		bob := client.New(srv2, client.Options{}).WithAPIKey("sk_e2e_bob")
+		ctx := context.Background()
+		camps, err := bob.Campaigns(ctx)
+		if err != nil {
+			t.Fatalf("keyed read after recovery: %v", err)
+		}
+		if len(camps) != 1 || camps[0].State != "done" {
+			t.Fatalf("campaigns after recovery = %+v", camps)
+		}
+		stats, err := bob.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.ByTenant[tenantIDs["bob"]].Total == 0 {
+			t.Fatalf("by_tenant after recovery = %+v", stats.ByTenant)
+		}
+	})
+}
+
+// runCampaignE2E drives the full campaign flow over the SDK and returns
+// the campaign ID plus name → tenant-ID for the contributors it minted.
+func runCampaignE2E(t *testing.T, w *sheriff.World, reg *sheriff.TenantRegistry) (string, map[string]string) {
+	t.Helper()
+	if _, err := reg.CreateTenantWithKey("root", sheriff.TenantRoleAdmin, "sk_e2e_root", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	srv := newAPIServer(t, w, reg)
+	ctx := context.Background()
+	admin := client.New(srv, client.Options{}).WithAPIKey("sk_e2e_root")
+
+	// Two contributors join the crowd. Explicit keys keep the durable
+	// subtest able to reconnect after the crash.
+	ids := make(map[string]string)
+	keys := map[string]string{"bob": "sk_e2e_bob", "carol": "sk_e2e_carol"}
+	for name, key := range keys {
+		tn, err := admin.CreateTenant(ctx, client.TenantSpec{Name: name, Role: "contributor", Key: key})
+		if err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+		ids[name] = tn.ID
+	}
+	bob := client.New(srv, client.Options{}).WithAPIKey(keys["bob"])
+	carol := client.New(srv, client.Options{}).WithAPIKey(keys["carol"])
+
+	// Typed failures, through IsCode: bad key, missing role.
+	if _, err := client.New(srv, client.Options{}).WithAPIKey("sk_wrong").Campaigns(ctx); !client.IsCode(err, "unauthorized") {
+		t.Fatalf("bad key error = %v, want unauthorized", err)
+	}
+	if _, err := bob.CreateCampaign(ctx, client.CampaignSpec{Name: "nope", Domains: []string{"x"}, Rounds: 1}); !client.IsCode(err, "forbidden") {
+		t.Fatalf("contributor create-campaign error = %v, want forbidden", err)
+	}
+	if _, err := bob.Tenants(ctx); !client.IsCode(err, "forbidden") {
+		t.Fatalf("contributor tenant-list error = %v, want forbidden", err)
+	}
+
+	// The campaign: 2 domains × 2 rounds = 4 units, at most 3 per tenant.
+	domains := []string{"www.digitalrev.com", "www.energie.it"}
+	camp, err := admin.CreateCampaign(ctx, client.CampaignSpec{
+		Name: "e2e-sweep", Domains: domains, Rounds: 2, PerTenantQuota: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Claiming a draft conflicts; activation opens it.
+	if _, err := bob.ClaimCampaign(ctx, camp.ID); !client.IsCode(err, "conflict") {
+		t.Fatalf("claim on draft error = %v, want conflict", err)
+	}
+	if _, err := admin.ActivateCampaign(ctx, camp.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.ActivateCampaign(ctx, camp.ID); !client.IsCode(err, "conflict") {
+		t.Fatalf("double activate error = %v, want conflict", err)
+	}
+
+	// Bob works his whole allowance, submitting a check per unit — the
+	// claims ledger and the observation ledger advance together.
+	for i := 0; i < 3; i++ {
+		cl, err := bob.ClaimCampaign(ctx, camp.ID)
+		if err != nil || cl.Done {
+			t.Fatalf("bob claim %d = %+v, %v", i, cl, err)
+		}
+		if _, err := bob.Check(ctx, tenantCheckReq(t, w, cl.Domain, "bob")); err != nil {
+			t.Fatalf("bob check for %s: %v", cl.Domain, err)
+		}
+	}
+	// His fourth claim is the quota wall.
+	if _, err := bob.ClaimCampaign(ctx, camp.ID); !client.IsCode(err, "quota_exceeded") {
+		t.Fatalf("bob over-quota error = %v, want quota_exceeded", err)
+	}
+
+	// Carol takes the last unit; that completes the campaign.
+	cl, err := carol.ClaimCampaign(ctx, camp.ID)
+	if err != nil || cl.Done {
+		t.Fatalf("carol claim = %+v, %v", cl, err)
+	}
+	if cl.Remaining != 0 {
+		t.Fatalf("remaining after final unit = %d", cl.Remaining)
+	}
+	if _, err := carol.Check(ctx, tenantCheckReq(t, w, cl.Domain, "carol")); err != nil {
+		t.Fatal(err)
+	}
+	done, err := carol.ClaimCampaign(ctx, camp.ID)
+	if err != nil || !done.Done {
+		t.Fatalf("claim on completed campaign = %+v, %v", done, err)
+	}
+	final, err := carol.Campaign(ctx, camp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "done" || final.Claimed != 4 {
+		t.Fatalf("final campaign = %+v", final)
+	}
+
+	// The contribution ledger: stats split the crowd's work per tenant.
+	stats, err := admin.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ByTenant[ids["bob"]].Total == 0 || stats.ByTenant[ids["carol"]].Total == 0 {
+		t.Fatalf("stats.by_tenant = %+v, want both contributors", stats.ByTenant)
+	}
+	if stats.Tenancy == nil || stats.Tenancy.Tenants != 3 {
+		t.Fatalf("stats.tenancy = %+v", stats.Tenancy)
+	}
+	rep, err := admin.DomainReport(ctx, domains[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ByTenant) == 0 {
+		t.Fatalf("report.by_tenant empty: %+v", rep)
+	}
+	return camp.ID, ids
+}
