@@ -51,16 +51,20 @@
 // Start it with the same -seed and -longtail as the primary so both
 // nodes simulate the same world.
 //
-// Multi-tenant mode: -admin-key bootstraps an admin account, after which
-// POST /api/v1/tenants mints contributor/admin tenants with hashed API
-// keys and per-tenant request quotas, and /api/v1/campaigns coordinates
-// crowd measurement rounds (draft -> active -> done, claims handed out
-// per tenant under a campaign quota). Keys travel as Authorization:
-// Bearer or X-API-Key; authenticated observations carry the tenant
-// through stats and domain reports. With -data-dir the registry is
-// journaled beside the observation store and survives kill -9; followers
-// replicate it from the primary and honor the same keys on reads. With
-// no tenants registered the surface stays fully anonymous, as before.
+// Multi-tenant mode: -admin-key bootstraps an admin account — the ONLY
+// way the first tenant comes to exist ( /api/v1/tenants always demands
+// an admin key, so an open server cannot be claimed by whoever posts
+// first). The admin then mints contributor/admin tenants with hashed
+// API keys and per-tenant request quotas over POST /api/v1/tenants, and
+// /api/v1/campaigns coordinates crowd measurement rounds (draft ->
+// active -> done, claims handed out per tenant under a campaign quota).
+// Keys travel as Authorization: Bearer or X-API-Key; authenticated
+// observations carry the tenant through stats and domain reports. With
+// -data-dir the registry is journaled beside the observation store and
+// survives kill -9; followers replicate it from the primary (give them
+// an admin key via -follow-key — the tenancy snapshot is admin-gated)
+// and honor the same keys on reads. With no tenants registered the
+// pre-existing surface stays fully anonymous, as before.
 //
 // Example check (the user at 10.0.1.50 highlighted "$49.99"):
 //
@@ -112,6 +116,7 @@ func main() {
 	trustProxy := flag.Bool("trust-proxy", false, "rate-limit by the first X-Forwarded-For hop (only behind a proxy that sets it)")
 	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
 	follow := flag.String("follow", "", "run as a read-only follower of the primary at this base URL (e.g. http://primary:8317)")
+	followKey := flag.String("follow-key", "", "admin API key the follower presents when polling the primary's tenancy snapshot (required once the primary has tenants)")
 	readyMaxLag := flag.Uint64("ready-max-lag", 0, "follower readiness bound: /api/v1/readyz reports unready past this replication lag (default 8192)")
 	legacySunset := flag.String("legacy-sunset", "", "Sunset date advertised on the legacy /api/check|anchors|stats aliases (YYYY-MM-DD or RFC3339)")
 	adminKey := flag.String("admin-key", "", "bootstrap an unlimited-quota admin tenant with this API key (enables tenancy)")
@@ -119,6 +124,9 @@ func main() {
 
 	if *follow != "" && *dataDir != "" {
 		log.Fatalf("sheriffd: -follow and -data-dir are mutually exclusive (followers hold the replicated dataset in memory and re-sync from the primary on restart)")
+	}
+	if *followKey != "" && *follow == "" {
+		log.Fatalf("sheriffd: -follow-key only makes sense with -follow")
 	}
 	var sunset time.Time
 	if *legacySunset != "" {
@@ -186,8 +194,16 @@ func main() {
 		if *follow != "" {
 			log.Fatalf("sheriffd: -admin-key is a primary flag (followers replicate tenants from the primary)")
 		}
+		// Restart-idempotent: a recovered registry already holds the
+		// bootstrap admin, and re-running -admin-key must not mint a
+		// duplicate — but the key genuinely belonging to someone else
+		// (say a contributor minted through the API) is operator error,
+		// not a bootstrap.
 		if _, err := tenants.CreateTenantWithKey("admin", sheriff.TenantRoleAdmin, *adminKey, 0, 0); err != nil {
-			log.Fatalf("sheriffd: bootstrap admin tenant: %v", err)
+			t, ok := tenants.Authenticate(*adminKey)
+			if !errors.Is(err, sheriff.ErrTenantKeyExists) || !ok || t.Role != sheriff.TenantRoleAdmin {
+				log.Fatalf("sheriffd: bootstrap admin tenant: %v", err)
+			}
 		}
 		log.Printf("sheriffd: tenancy enabled (admin key bootstrapped; %d tenants registered)", len(tenants.Tenants()))
 	}
@@ -280,8 +296,12 @@ func main() {
 			}
 		}()
 		// Tenancy rides its own (coarser) poll loop: keys issued on the
-		// primary become valid here within one sync interval.
-		go sheriff.RunTenantSync(ctx, follower.Primary(), tenants, sheriff.TenantSyncOptions{Logf: log.Printf})
+		// primary become valid here within one sync interval. The poll
+		// presents -follow-key — the snapshot carries key hashes, so a
+		// tenancy-enabled primary serves it to admins only.
+		go sheriff.RunTenantSync(ctx, follower.Primary(), tenants, sheriff.TenantSyncOptions{
+			APIKey: *followKey, Logf: log.Printf,
+		})
 		log.Printf("sheriffd: following %s (read-only replica)", follower.Primary())
 	}
 

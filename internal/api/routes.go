@@ -27,11 +27,16 @@ type route struct {
 	pattern string
 	handler http.HandlerFunc
 	// role gates the row behind tenancy: contributors may hit
-	// contributor rows, admins everything. Empty is open. Enforcement is
-	// conditional on tenancy being enabled — an empty registry leaves
-	// the whole surface anonymous (back-compat, and the bootstrap window
-	// in which the first admin is created).
+	// contributor rows, admins everything. Empty is open. Unless the row
+	// is strict, enforcement is conditional on tenancy being enabled —
+	// an empty registry leaves the row anonymous (back-compat).
 	role tenant.Role
+	// strict enforces the role even while the registry is empty. The
+	// tenant-management rows are strict so a server deployed without
+	// -admin-key cannot be claimed by the first anonymous caller to
+	// POST /api/v1/tenants with role "admin": the only bootstrap path is
+	// the -admin-key flag, never the open wire.
+	strict bool
 	// write marks mutations: a follower answers these with the read-only
 	// 403 redirect instead of invoking the handler.
 	write bool
@@ -52,8 +57,8 @@ func (s *Server) routes(b *backend.Backend) []route {
 		{method: http.MethodGet, pattern: "/api/v1/anchors", handler: s.handleAnchors},
 		{method: http.MethodGet, pattern: "/api/v1/events", handler: s.handleEvents},
 
-		{method: http.MethodGet, pattern: "/api/v1/tenants", handler: s.handleTenantsList, role: tenant.RoleAdmin},
-		{method: http.MethodPost, pattern: "/api/v1/tenants", handler: s.handleTenantsCreate, role: tenant.RoleAdmin, write: true},
+		{method: http.MethodGet, pattern: "/api/v1/tenants", handler: s.handleTenantsList, role: tenant.RoleAdmin, strict: true},
+		{method: http.MethodPost, pattern: "/api/v1/tenants", handler: s.handleTenantsCreate, role: tenant.RoleAdmin, strict: true, write: true},
 		{method: http.MethodGet, pattern: "/api/v1/campaigns", handler: s.handleCampaignsList, role: tenant.RoleContributor},
 		{method: http.MethodPost, pattern: "/api/v1/campaigns", handler: s.handleCampaignsCreate, role: tenant.RoleAdmin, write: true},
 		{method: http.MethodGet, pattern: "/api/v1/campaigns/{id}", handler: s.handleCampaignGet, role: tenant.RoleContributor},
@@ -61,7 +66,12 @@ func (s *Server) routes(b *backend.Backend) []route {
 		{method: http.MethodPost, pattern: "/api/v1/campaigns/{id}/claim", handler: s.handleCampaignClaim, role: tenant.RoleContributor, write: true},
 
 		{method: http.MethodGet, pattern: "/api/v1/replication/wal", handler: s.handleReplicationWAL},
-		{method: http.MethodGet, pattern: "/api/v1/replication/tenants", handler: s.handleReplicationTenants},
+		// The tenancy snapshot carries every tenant's key hash, so once
+		// tenants exist it is admin-only (followers sync with an admin
+		// key, see -follow-key). Not strict: while the registry is empty
+		// the snapshot is empty too, and a follower must be able to
+		// bootstrap from a not-yet-tenanted primary.
+		{method: http.MethodGet, pattern: "/api/v1/replication/tenants", handler: s.handleReplicationTenants, role: tenant.RoleAdmin},
 		{method: http.MethodGet, pattern: "/api/v1/healthz", handler: s.handleHealthz},
 		{method: http.MethodGet, pattern: "/api/v1/readyz", handler: s.handleReadyz},
 		{pattern: "/api/v1/", handler: s.handleUnknownV1},
@@ -125,7 +135,7 @@ func (s *Server) dispatch(rts []route) http.Handler {
 			return
 		}
 		if hit.role != "" {
-			if e := s.checkRole(r, hit.role); e != nil {
+			if e := s.checkRole(r, hit.role, hit.strict); e != nil {
 				writeError(w, s.opts.Logger, e)
 				return
 			}
@@ -135,13 +145,20 @@ func (s *Server) dispatch(rts []route) http.Handler {
 }
 
 // checkRole enforces a row's role requirement. With tenancy disabled
-// (empty registry) everything stays open; once tenants exist, gated rows
-// demand a key (401) whose tenant's role covers the requirement (403).
-// Invalid keys never reach here — the auth middleware already rejected
-// them.
-func (s *Server) checkRole(r *http.Request, need tenant.Role) *Error {
+// (empty registry) non-strict rows stay open; strict rows always demand
+// an authenticated tenant — with no tenants registered there is nothing
+// that can authenticate, so they answer 401 until an operator
+// bootstraps an admin out of band (-admin-key). Once tenants exist,
+// gated rows demand a key (401) whose tenant's role covers the
+// requirement (403). Invalid keys never reach here — the auth
+// middleware already rejected them.
+func (s *Server) checkRole(r *http.Request, need tenant.Role, strict bool) *Error {
 	if !s.tenants.Enabled() {
-		return nil
+		if !strict {
+			return nil
+		}
+		return errf(http.StatusUnauthorized, CodeUnauthorized,
+			"tenancy is not enabled; bootstrap an admin tenant with sheriffd -admin-key")
 	}
 	t, ok := tenantFrom(r.Context())
 	if !ok {

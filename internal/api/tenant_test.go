@@ -196,6 +196,18 @@ func TestTenantErrorContract(t *testing.T) {
 			wantEnvelope(t, status, body, c.wantStatus, c.wantCode)
 		})
 	}
+
+	// A caller-supplied key colliding with a registered one is 409
+	// conflict — never a 201 handing back the existing (here: admin!)
+	// identity with the requested role silently ignored.
+	t.Run("tenant create with taken key", func(t *testing.T) {
+		status, body, _ := doReq(t, http.MethodPost, ts.srv.URL+"/api/v1/tenants",
+			`{"name":"mallory","role":"contributor","key":"`+adminKey+`"}`, bearer(adminKey))
+		wantEnvelope(t, status, body, http.StatusConflict, "conflict")
+		if strings.Contains(string(body), "t-000001") {
+			t.Fatalf("conflict response leaks the colliding tenant: %s", body)
+		}
+	})
 }
 
 // TestTenantAndCampaignEndpoints walks the admin surface over the wire:
@@ -388,14 +400,31 @@ func TestTenantDimensionInStatsAndReport(t *testing.T) {
 }
 
 // TestAnonymousBackCompat holds the no-tenants surface to its
-// pre-tenancy behavior: keys are ignored, role-gated rows are open
-// (bootstrap window), stats carry no tenancy fields, and the per-IP
-// limiter still guards everything.
+// pre-tenancy behavior: keys are ignored, the pre-existing role-gated
+// rows are open, stats carry no tenancy fields, and the per-IP limiter
+// still guards everything. The one exception is tenant management,
+// which is strict: an empty registry must not be a first-come-takeover
+// window, so /api/v1/tenants rejects everyone until an operator
+// bootstraps an admin with -admin-key.
 func TestAnonymousBackCompat(t *testing.T) {
 	ts := newTestServer(t, sheriff.APIOptions{})
 
+	// No self-serve bootstrap: an anonymous caller cannot register
+	// itself as the server's first (admin!) tenant, and the listing is
+	// locked too.
+	status, body, _ := doReq(t, http.MethodPost, ts.srv.URL+"/api/v1/tenants",
+		`{"name":"mallory","role":"admin","key":"sk_mallory"}`, nil)
+	wantEnvelope(t, status, body, http.StatusUnauthorized, "unauthorized")
+	status, body, _ = doReq(t, http.MethodGet, ts.srv.URL+"/api/v1/tenants", "", nil)
+	wantEnvelope(t, status, body, http.StatusUnauthorized, "unauthorized")
+	// A stray key changes nothing: with no tenants registered, nothing
+	// can authenticate.
+	status, body, _ = doReq(t, http.MethodPost, ts.srv.URL+"/api/v1/tenants",
+		`{"name":"mallory","role":"admin"}`, bearer("sk_mallory"))
+	wantEnvelope(t, status, body, http.StatusUnauthorized, "unauthorized")
+
 	// A stray Authorization header is not an error in anonymous mode.
-	status, body, _ := doReq(t, http.MethodPost, ts.srv.URL+"/api/v1/checks",
+	status, body, _ = doReq(t, http.MethodPost, ts.srv.URL+"/api/v1/checks",
 		validCheckBody(t, ts.w), bearer("sk_whatever"))
 	if status != http.StatusOK {
 		t.Fatalf("check with stray key = %d (%s)", status, body)
@@ -438,7 +467,7 @@ func TestAnonymousBackCompat(t *testing.T) {
 // real Sync loop and exercises the keyed read path: valid keys read (200
 // with follower role headers), writes stay 403 read_only, bad keys 401.
 func TestFollowerTenantReads(t *testing.T) {
-	preg, _, contribKey := newTenantRegistry(t)
+	preg, adminKey, contribKey := newTenantRegistry(t)
 	primary := newTestServer(t, sheriff.APIOptions{Tenants: preg})
 
 	// Follower: its own empty registry, filled by polling the primary's
@@ -452,9 +481,13 @@ func TestFollowerTenantReads(t *testing.T) {
 		Tenants:    freg,
 	}))
 
+	// The sync loop authenticates with an admin key: the snapshot is
+	// admin-gated on a tenancy-enabled primary.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	go sheriff.RunTenantSync(ctx, primary.srv.URL, freg, sheriff.TenantSyncOptions{Interval: 10 * time.Millisecond})
+	go sheriff.RunTenantSync(ctx, primary.srv.URL, freg, sheriff.TenantSyncOptions{
+		Interval: 10 * time.Millisecond, APIKey: adminKey,
+	})
 
 	deadline := time.Now().Add(5 * time.Second)
 	for freg.Version() != preg.Version() {
@@ -502,14 +535,22 @@ func TestFollowerTenantReads(t *testing.T) {
 	}
 }
 
-// TestTenantSnapshotEndpoint covers the replication source itself.
+// TestTenantSnapshotEndpoint covers the replication source itself: the
+// snapshot carries key hashes, so once tenancy is enabled it serves
+// admins only — anonymous and contributor callers must never see
+// digests they could crack offline.
 func TestTenantSnapshotEndpoint(t *testing.T) {
-	reg, _, _ := newTenantRegistry(t)
+	reg, adminKey, contribKey := newTenantRegistry(t)
 	ts := newTestServer(t, sheriff.APIOptions{Tenants: reg})
 
 	status, body, _ := doReq(t, http.MethodGet, ts.srv.URL+"/api/v1/replication/tenants", "", nil)
+	wantEnvelope(t, status, body, http.StatusUnauthorized, "unauthorized")
+	status, body, _ = doReq(t, http.MethodGet, ts.srv.URL+"/api/v1/replication/tenants", "", bearer(contribKey))
+	wantEnvelope(t, status, body, http.StatusForbidden, "forbidden")
+
+	status, body, _ = doReq(t, http.MethodGet, ts.srv.URL+"/api/v1/replication/tenants", "", bearer(adminKey))
 	if status != http.StatusOK {
-		t.Fatalf("snapshot = %d (%s)", status, body)
+		t.Fatalf("admin snapshot = %d (%s)", status, body)
 	}
 	var st tenant.State
 	if err := json.Unmarshal(body, &st); err != nil {
@@ -526,6 +567,22 @@ func TestTenantSnapshotEndpoint(t *testing.T) {
 	}
 	if strings.Contains(string(body), "sk_admin") || strings.Contains(string(body), "sk_alice") {
 		t.Fatalf("snapshot leaks plaintext keys: %s", body)
+	}
+
+	// While the registry is empty the snapshot stays open — a follower
+	// must be able to start polling a not-yet-tenanted primary — and is
+	// empty, so there is nothing to leak.
+	anon := newTestServer(t, sheriff.APIOptions{})
+	status, body, _ = doReq(t, http.MethodGet, anon.srv.URL+"/api/v1/replication/tenants", "", nil)
+	if status != http.StatusOK {
+		t.Fatalf("anonymous-mode snapshot = %d (%s)", status, body)
+	}
+	var empty tenant.State
+	if err := json.Unmarshal(body, &empty); err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Tenants) != 0 || empty.Version != 0 {
+		t.Fatalf("anonymous-mode snapshot = %+v, want empty", empty)
 	}
 }
 

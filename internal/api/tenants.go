@@ -168,6 +168,14 @@ func (s *Server) handleTenantsCreate(w http.ResponseWriter, r *http.Request) {
 	} else {
 		t, key, err = s.tenants.CreateTenant(p.Name, role, p.QuotaRate, p.QuotaBurst)
 	}
+	if errors.Is(err, tenant.ErrKeyExists) {
+		// Never 201-with-someone-else's-identity: a caller-supplied key
+		// that collides with a registered one is a conflict, not a
+		// silent no-op that ignores the requested name/role/quotas.
+		writeError(w, s.opts.Logger, errf(http.StatusConflict, CodeConflict,
+			"a tenant with that key already exists"))
+		return
+	}
 	if err != nil {
 		writeError(w, s.opts.Logger, errf(http.StatusBadRequest, CodeBadRequest,
 			"create tenant").withDetail(err))
@@ -278,7 +286,11 @@ func mapTenantError(err error, id string) *Error {
 // handleReplicationTenants serves GET /api/v1/replication/tenants: the
 // registry's full snapshot (version, tenants with key *hashes* — never
 // plaintext — and campaigns) that followers poll and restore, so keys
-// validate locally on every node.
+// validate locally on every node. The route table gates it admin-only
+// once tenancy is enabled: the hashes are offline-crackable for
+// low-entropy operator-chosen keys, so the snapshot must never be
+// anonymous-readable. Followers authenticate their poll loop with an
+// admin key (sheriffd -follow-key).
 func (s *Server) handleReplicationTenants(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.opts.Logger, s.tenants.Snapshot())
 }

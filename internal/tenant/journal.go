@@ -98,9 +98,17 @@ func Open(dir string, opts Options) (*Registry, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(jpath, os.O_CREATE|os.O_RDWR, 0o644)
+	// 0600: the journal carries key hashes and the claims ledger —
+	// credential-adjacent material no other local user needs to read.
+	f, err := os.OpenFile(jpath, os.O_CREATE|os.O_RDWR, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("tenant: open journal: %w", err)
+	}
+	// Tighten journals created by earlier builds: O_CREATE only sets the
+	// mode on creation.
+	if err := f.Chmod(0o600); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tenant: chmod journal: %w", err)
 	}
 	if discarded > 0 {
 		if err := f.Truncate(goodLen); err != nil {
@@ -196,10 +204,11 @@ func (r *Registry) commitLocked(m mutation) error {
 	}
 	if r.jr.mutations >= journalCheckpointEvery {
 		// A failed checkpoint is not fatal — the journal still holds
-		// every mutation; retry at the next threshold crossing.
+		// every mutation. The counter stays put (checkpoint zeroes it
+		// only on success), so the very next append retries instead of
+		// deferring another full threshold while the journal grows.
 		if err := r.jr.checkpoint(r.snapshotLocked()); err != nil {
 			r.logf("tenant: checkpoint: %v", err)
-			r.jr.mutations = 0
 		}
 	}
 	return nil
@@ -238,7 +247,8 @@ func (j *journal) checkpoint(st State) error {
 	}
 	path := filepath.Join(j.dir, snapshotFile)
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	// 0600 like the journal: the snapshot holds every tenant's key hash.
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
 	if err != nil {
 		return fmt.Errorf("tenant: create snapshot tmp: %w", err)
 	}

@@ -24,6 +24,11 @@ type SyncOptions struct {
 	Interval time.Duration
 	// HTTPClient issues the polls; default http.DefaultClient.
 	HTTPClient *http.Client
+	// APIKey rides each poll as a bearer token. The primary's snapshot
+	// endpoint is open while its registry is empty but admin-gated once
+	// tenancy is enabled (the snapshot carries every tenant's key hash),
+	// so a follower of a tenancy-enabled primary must hold an admin key.
+	APIKey string
 	// Logf receives state-change and error notes; nil discards.
 	Logf func(format string, args ...any)
 }
@@ -50,7 +55,7 @@ func Sync(ctx context.Context, primaryURL string, reg *Registry, opts SyncOption
 	defer tick.Stop()
 	var lastErr string
 	for {
-		st, err := fetchState(ctx, client, url)
+		st, err := fetchState(ctx, client, url, opts.APIKey)
 		switch {
 		case err != nil:
 			if s := err.Error(); s != lastErr {
@@ -72,16 +77,22 @@ func Sync(ctx context.Context, primaryURL string, reg *Registry, opts SyncOption
 }
 
 // fetchState retrieves and decodes one tenancy snapshot.
-func fetchState(ctx context.Context, client *http.Client, url string) (State, error) {
+func fetchState(ctx context.Context, client *http.Client, url, apiKey string) (State, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return State{}, err
+	}
+	if apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+apiKey)
 	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return State{}, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusUnauthorized || resp.StatusCode == http.StatusForbidden {
+		return State{}, fmt.Errorf("status %d (the tenancy snapshot is admin-gated once tenants exist; give the follower an admin key, e.g. sheriffd -follow-key)", resp.StatusCode)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return State{}, fmt.Errorf("status %d", resp.StatusCode)
 	}

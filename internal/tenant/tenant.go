@@ -136,6 +136,11 @@ var (
 	ErrConflict = errors.New("tenant: state conflict")
 	// ErrQuota: the tenant exhausted its per-tenant campaign allowance.
 	ErrQuota = errors.New("tenant: quota exhausted")
+	// ErrKeyExists: the requested API key already maps to a tenant. The
+	// HTTP surface answers it 409 — silently returning the existing
+	// tenant would ignore the requested name/role/quotas and turn the
+	// endpoint into a key-membership oracle.
+	ErrKeyExists = errors.New("tenant: key already registered")
 )
 
 // Options configures a registry.
@@ -241,9 +246,11 @@ func (r *Registry) CreateTenant(name string, role Role, rate float64, burst int)
 	return t, key, nil
 }
 
-// CreateTenantWithKey registers a tenant under a caller-chosen key (the
-// -admin-key bootstrap path). Idempotent: if the key already maps to a
-// tenant, that tenant is returned unchanged.
+// CreateTenantWithKey registers a tenant under a caller-chosen key. A
+// key that already maps to a tenant is ErrKeyExists — bootstrap paths
+// that want restart-idempotency (sheriffd's -admin-key) check the
+// existing tenant themselves instead of having collisions silently
+// return someone else's identity.
 func (r *Registry) CreateTenantWithKey(name string, role Role, key string, rate float64, burst int) (Tenant, error) {
 	if name == "" {
 		return Tenant{}, fmt.Errorf("tenant: name is required")
@@ -257,8 +264,8 @@ func (r *Registry) CreateTenantWithKey(name string, role Role, key string, rate 
 	hash := HashKey(key)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if id, ok := r.byHash[hash]; ok {
-		return *r.tenants[id], nil
+	if _, ok := r.byHash[hash]; ok {
+		return Tenant{}, ErrKeyExists
 	}
 	if burst <= 0 && rate > 0 {
 		burst = int(rate)

@@ -2,6 +2,7 @@ package tenant
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -59,20 +60,26 @@ func TestCreateTenantValidation(t *testing.T) {
 	}
 }
 
-func TestCreateTenantWithKeyIdempotent(t *testing.T) {
+func TestCreateTenantWithKeyDuplicate(t *testing.T) {
 	r := NewRegistry(Options{})
 	a, err := r.CreateTenantWithKey("admin", RoleAdmin, "sk_boot", 0, 0)
 	if err != nil {
 		t.Fatalf("bootstrap: %v", err)
 	}
-	// Same key again (a sheriffd restart re-running -admin-key): same
-	// tenant, no duplicate.
-	b, err := r.CreateTenantWithKey("admin", RoleAdmin, "sk_boot", 0, 0)
-	if err != nil {
-		t.Fatalf("re-bootstrap: %v", err)
+	// Same key again is ErrKeyExists, never a silent success that hands
+	// back someone else's identity — a re-bootstrap (sheriffd restart
+	// with the same -admin-key) detects this case and verifies the
+	// existing tenant itself; the HTTP handler maps it to 409.
+	if _, err := r.CreateTenantWithKey("intruder", RoleContributor, "sk_boot", 0, 0); !errors.Is(err, ErrKeyExists) {
+		t.Fatalf("duplicate key: %v, want ErrKeyExists", err)
 	}
-	if a.ID != b.ID || len(r.Tenants()) != 1 {
-		t.Fatalf("re-bootstrap minted a new tenant: %q vs %q (%d tenants)", a.ID, b.ID, len(r.Tenants()))
+	if got := len(r.Tenants()); got != 1 {
+		t.Fatalf("duplicate key minted a tenant: %d tenants", got)
+	}
+	// The original registration is untouched.
+	tn, ok := r.Authenticate("sk_boot")
+	if !ok || tn.ID != a.ID || tn.Role != RoleAdmin {
+		t.Fatalf("Authenticate after collision = %+v, %v", tn, ok)
 	}
 }
 
@@ -392,5 +399,100 @@ func TestJournalCheckpointRotation(t *testing.T) {
 	got, _ := r2.Campaign(c.ID)
 	if got.NextUnit != journalCheckpointEvery+2 {
 		t.Fatalf("recovered NextUnit = %d, want %d", got.NextUnit, journalCheckpointEvery+2)
+	}
+}
+
+func TestJournalFilePermissions(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := r.CreateTenantWithKey("alice", RoleContributor, "sk_a", 0, 0); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := r.Close(); err != nil { // Close checkpoints, writing the snapshot
+		t.Fatalf("Close: %v", err)
+	}
+	// Both files hold key hashes (and the claims ledger): no other local
+	// user gets to read credential digests for offline cracking.
+	for _, name := range []string{journalFile, snapshotFile} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("stat %s: %v", name, err)
+		}
+		if perm := fi.Mode().Perm(); perm != 0o600 {
+			t.Errorf("%s mode = %o, want 600", name, perm)
+		}
+	}
+	// A journal created world-readable by an earlier build tightens on
+	// reopen.
+	jpath := filepath.Join(dir, journalFile)
+	if err := os.Chmod(jpath, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r2.Close()
+	fi, err := os.Stat(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := fi.Mode().Perm(); perm != 0o600 {
+		t.Errorf("reopened journal mode = %o, want 600", perm)
+	}
+}
+
+func TestJournalCheckpointFailureRetries(t *testing.T) {
+	dir := t.TempDir()
+	var notes []string
+	r, err := Open(dir, Options{Logf: func(f string, a ...any) {
+		notes = append(notes, fmt.Sprintf(f, a...))
+	}})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer r.Close()
+	c, _ := r.CreateCampaign("big", []string{"a.com"}, journalCheckpointEvery*4, 0, "")
+	r.Activate(c.ID)
+
+	// Break checkpointing: the snapshot tmp lands in a directory that
+	// does not exist. Appends still succeed (the journal file handle is
+	// open), so mutations keep committing while every checkpoint fails.
+	r.jr.dir = filepath.Join(dir, "gone")
+	for i := 0; i < journalCheckpointEvery+3; i++ {
+		if _, err := r.ClaimUnit(c.ID, "t-x"); err != nil {
+			t.Fatalf("claim %d: %v", i, err)
+		}
+	}
+	// The counter must NOT reset on failure: each failed attempt leaves
+	// it at/above the threshold so the next append retries, rather than
+	// deferring by a further 256 mutations per failure while the journal
+	// grows unboundedly.
+	if r.jr.mutations < journalCheckpointEvery {
+		t.Fatalf("mutations = %d after failed checkpoints, want >= %d (failure must not clear the counter)",
+			r.jr.mutations, journalCheckpointEvery)
+	}
+	if len(notes) < 3 {
+		t.Fatalf("expected a checkpoint-failure note per append past the threshold, got %d: %v", len(notes), notes)
+	}
+
+	// Heal the directory: the very next mutation checkpoints and
+	// truncates the journal.
+	r.jr.dir = dir
+	if _, err := r.ClaimUnit(c.ID, "t-x"); err != nil {
+		t.Fatalf("claim after heal: %v", err)
+	}
+	if r.jr.mutations != 0 {
+		t.Fatalf("mutations = %d after healed checkpoint, want 0", r.jr.mutations)
+	}
+	fi, err := os.Stat(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatalf("stat journal: %v", err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("journal size = %d after healed checkpoint, want 0", fi.Size())
 	}
 }

@@ -16,9 +16,10 @@
 # by_tenant.
 #
 # Phase 3 (follower): start a read-only follower; its registry fills
-# from the primary's replicated tenancy snapshot — a primary-issued key
-# must read on the follower (X-Sheriff-Role: follower), writes must 403
-# read_only, and a bogus key must 401.
+# from the primary's replicated tenancy snapshot (polled with
+# -follow-key — the snapshot carries key hashes and is admin-gated) — a
+# primary-issued key must read on the follower (X-Sheriff-Role:
+# follower), writes must 403 read_only, and a bogus key must 401.
 #
 # Run from the repository root: ./scripts/tenant_smoke.sh
 # On failure, set SMOKE_ARTIFACT_DIR to keep the data dir + server logs.
@@ -108,6 +109,22 @@ expect_status "$st" 403 "contributor tenant-create"
 code="$(jsonget '["error"]["code"]' <"$workdir/resp.json")"
 [ "$code" = "forbidden" ] || { say "FAIL: 403 code = $code, want forbidden"; exit 1; }
 
+say "phase 1: anonymous callers cannot mint tenants (401 unauthorized)"
+st="$(api POST /api/v1/tenants "" '{"name":"mallory","role":"admin","key":"sk_smoke_evil"}')"
+expect_status "$st" 401 "anonymous tenant-create"
+
+say "phase 1: a taken key is a 409 conflict, not a silent 201"
+st="$(api POST /api/v1/tenants "$ADMIN_KEY" '{"name":"mallory","key":"sk_smoke_bob"}')"
+expect_status "$st" 409 "duplicate-key tenant-create"
+code="$(jsonget '["error"]["code"]' <"$workdir/resp.json")"
+[ "$code" = "conflict" ] || { say "FAIL: 409 code = $code, want conflict"; exit 1; }
+
+say "phase 1: the tenancy snapshot (key hashes) is admin-gated"
+st="$(api GET /api/v1/replication/tenants "")"
+expect_status "$st" 401 "anonymous tenancy snapshot"
+st="$(api GET /api/v1/replication/tenants "sk_smoke_bob")"
+expect_status "$st" 403 "contributor tenancy snapshot"
+
 say "phase 1: bogus keys are rejected (401 unauthorized)"
 st="$(api GET /api/v1/observations "sk_smoke_wrong")"
 expect_status "$st" 401 "bogus-key read"
@@ -186,9 +203,9 @@ carol_after="$(jsonget '["by_tenant"]["t-000003"]["total"]' <"$workdir/resp.json
   exit 1
 }
 
-say "phase 3: start a follower and wait for tenancy to replicate"
+say "phase 3: start a follower (-follow-key: the snapshot is admin-gated) and wait for tenancy to replicate"
 "$workdir/sheriffd" -addr "$FADDR" -seed "$SEED" -longtail "$LONGTAIL" \
-  -follow "http://$ADDR" >>"$flogfile" 2>&1 &
+  -follow "http://$ADDR" -follow-key "$ADMIN_KEY" >>"$flogfile" 2>&1 &
 fol_pid=$!
 replicated=""
 for _ in $(seq 1 100); do

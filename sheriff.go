@@ -197,6 +197,12 @@ const (
 	TenantRoleContributor = tenant.RoleContributor
 )
 
+// ErrTenantKeyExists reports a tenant registration whose API key is
+// already taken (the HTTP surface answers it 409 conflict). Bootstrap
+// paths treat it as "already registered" after verifying the existing
+// tenant is the one they meant to create.
+var ErrTenantKeyExists = tenant.ErrKeyExists
+
 // NewTenantRegistry builds a memory-only tenant registry (follower
 // nodes, tests, memory-engine primaries).
 func NewTenantRegistry(opts TenantOptions) *TenantRegistry { return tenant.NewRegistry(opts) }
