@@ -8,15 +8,19 @@
 //	experiments -scale full -jsonl dataset.jsonl
 //	experiments -scenarios         # rule-engine validation matrix
 //	experiments -scenarios -workers 4
+//	experiments -scenarios -gate 1.0   # CI: fail unless every family scores 1.00
 //	experiments -load -concurrency 16 -requests 640
 //
 // With -scenarios the command instead sweeps the discrimination-scenario
 // matrix: one isolated world per pricing-rule combination (geo,
-// fingerprint, selective disclosure, weekday/drift and their compounds),
-// each crawled synchronized and judged by the per-rule detector, reporting
-// per-family detection precision/recall against the compiled ground truth.
-// Worlds run concurrently on -workers goroutines (default GOMAXPROCS);
-// the report is byte-identical at any worker count.
+// fingerprint, selective disclosure, weekday/drift, the market-dynamics
+// worlds — leader-follower, contrarian, periodic-sale, demand — and the
+// mixed market+geo confounds), each crawled synchronized and judged by
+// the per-rule detector, reporting per-family detection precision/recall
+// against the compiled ground truth. Worlds run concurrently on -workers
+// goroutines (default GOMAXPROCS); the report is byte-identical at any
+// worker count. -gate turns the sweep into a CI check: exit 1 unless
+// every family holds precision and recall at or above the threshold.
 //
 // With -load the command runs the crowd-load harness instead: -concurrency
 // simulated users hammer Backend.Check in synchronized rounds, and the
@@ -41,6 +45,7 @@ func main() {
 	jsonl := flag.String("jsonl", "", "optionally dump the dataset here")
 	scenarios := flag.Bool("scenarios", false, "run the scenario-matrix sweep instead of the paper reproduction")
 	workers := flag.Int("workers", 0, "concurrent scenario worlds for -scenarios (0 = GOMAXPROCS)")
+	gate := flag.Float64("gate", 0, "for -scenarios: exit 1 if any family's precision or recall falls below this (0 disables)")
 	load := flag.Bool("load", false, "run the crowd-load harness instead of the paper reproduction")
 	concurrency := flag.Int("concurrency", 16, "concurrent simulated users for -load")
 	loadRequests := flag.Int("requests", 0, "total checks for -load (0 = 20 per user)")
@@ -65,6 +70,21 @@ func main() {
 		fmt.Println(rep)
 		log.Printf("matrix wall time %v over %d scenarios (workers=%d, GOMAXPROCS=%d)",
 			time.Since(begin).Round(time.Millisecond), len(rep.Outcomes), *workers, runtime.GOMAXPROCS(0))
+		if *gate > 0 {
+			failed := false
+			for _, f := range sheriff.DetectableFamilies {
+				s := rep.Scores[f]
+				if s.Precision() < *gate || s.Recall() < *gate {
+					log.Printf("GATE FAIL: %s precision %.2f recall %.2f below %.2f",
+						f, s.Precision(), s.Recall(), *gate)
+					failed = true
+				}
+			}
+			if failed {
+				os.Exit(1)
+			}
+			log.Printf("gate passed: every family at precision/recall >= %.2f", *gate)
+		}
 		return
 	}
 

@@ -3,32 +3,49 @@
 // and judged by the per-rule strategy detector — and print each verdict
 // next to the retailer's compiled ground truth.
 //
-// The three scenarios here are the strategies the paper could not
-// express: fingerprint pricing (Hupperich et al.), selective price
-// disclosure (Hajaj et al.), and weekday pricing — the temporal strategy
-// a synchronized crawl must refuse to call discrimination.
+// The default slice pairs the strategies the paper could not express —
+// fingerprint pricing (Hupperich et al.), selective price disclosure
+// (Hajaj et al.), weekday pricing — with the market-dynamics worlds
+// (leader-follower repricing, demand/inventory pricing, and the mixed
+// market+geo confounds): synchronized movement every vantage point sees
+// identically, which the detector must attribute to the market, never to
+// discrimination.
+//
+//	go run ./examples/scenariomatrix
+//	go run ./examples/scenariomatrix -seed 3 -scenarios leader-follower,demand-geo
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sort"
+	"strings"
 
 	"sheriff"
 )
 
 func main() {
+	seed := flag.Int64("seed", 7, "world seed")
+	products := flag.Int("products", 10, "products crawled per scenario")
+	rounds := flag.Int("rounds", 0, "daily crawl rounds (0 = engine default, two weeks)")
+	scenarios := flag.String("scenarios",
+		"control,fingerprint,disclosure,weekday,leader-follower,contrarian,periodic-sale,demand,competitive-geo,demand-geo",
+		"comma-separated scenario labels (see sheriff.ScenarioConfigs)")
+	flag.Parse()
+
 	rep, err := sheriff.RunScenarioMatrix(sheriff.MatrixOptions{
-		Seed:      7,
-		Products:  10,
-		Scenarios: []string{"control", "fingerprint", "disclosure", "weekday"},
+		Seed:      *seed,
+		Products:  *products,
+		Rounds:    *rounds,
+		Scenarios: strings.Split(*scenarios, ","),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	for _, o := range rep.Outcomes {
-		fmt.Printf("scenario %-12s rules=%v\n", o.Scenario, o.Rules)
+		fmt.Printf("scenario %-16s rules=%v\n", o.Scenario, o.Rules)
 		fams := make([]string, 0, len(o.Truth))
 		for f := range o.Truth {
 			fams = append(fams, string(f))

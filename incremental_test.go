@@ -91,13 +91,37 @@ func TestIncrementalEquivalenceScenarioMatrix(t *testing.T) {
 			if err := w.EnsureAnchors(w.Crawled); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := w.RunCrawl(sheriff.CrawlOptions{MaxProducts: 8, Rounds: 7}); err != nil {
+			// Market-dynamics worlds need the full two-week series before
+			// the consensus classifier judges them; everything else keeps
+			// the historical 7-round crawl.
+			marketTruth := map[string]sheriff.StrategyFamily{
+				"leader-follower": sheriff.FamilyCompetitive,
+				"contrarian":      sheriff.FamilyCompetitive,
+				"periodic-sale":   sheriff.FamilyCompetitive,
+				"demand":          sheriff.FamilyDemand,
+				"competitive-geo": sheriff.FamilyCompetitive,
+				"demand-geo":      sheriff.FamilyDemand,
+			}
+			rounds := 7
+			if _, ok := marketTruth[cfg.Label]; ok {
+				rounds = 14
+			}
+			if _, err := w.RunCrawl(sheriff.CrawlOptions{MaxProducts: 8, Rounds: rounds}); err != nil {
 				t.Fatal(err)
 			}
 			domain := cfg.Domain
 
 			// 1. Live durable engine: folded write by write through the WAL.
 			assertEquivalent(t, "durable live", w.Analysis, w.Store, w.Market, domain)
+
+			// Market worlds must flag their family through the aggregate
+			// path — otherwise the equivalence above holds vacuously on a
+			// verdict that never fired.
+			if fam, ok := marketTruth[cfg.Label]; ok {
+				if !w.Analysis.StrategyReport(domain).Flagged(fam) {
+					t.Errorf("aggregate path did not flag %s on %s", fam, cfg.Label)
+				}
+			}
 
 			// 2. Memory engine over a batch copy of the same rows.
 			mem := sheriff.NewStore()

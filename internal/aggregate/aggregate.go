@@ -171,9 +171,11 @@ type domainAgg struct {
 	// empty (never populated) while tenancy is unused.
 	byTenant map[string]*SourceCount
 	groups   map[string]*groupAgg // by SKU
-	// fam and flagged index by position in analysis.DetectableFamilies.
-	fam      [4]famCount
-	flagged  [4]bool
+	// fam and flagged index by position in analysis.DetectableFamilies
+	// (sized off it at construction, so a new detectable family grows
+	// every aggregate in lockstep).
+	fam      []famCount
+	flagged  []bool
 	lastTime time.Time // newest folded observation time, stamps flip events
 	cache    *DomainSummary
 }
@@ -344,6 +346,8 @@ func (e *Engine) foldDomain(domain string, obs []store.Observation, deferTouched
 			bySource: make(map[string]*SourceCount),
 			byTenant: make(map[string]*SourceCount),
 			groups:   make(map[string]*groupAgg),
+			fam:      make([]famCount, len(analysis.DetectableFamilies)),
+			flagged:  make([]bool, len(analysis.DetectableFamilies)),
 		}
 		sh.domains[domain] = d
 	}
@@ -513,7 +517,7 @@ func (e *Engine) Refold() {
 	// Capture what must survive or diff, then clear every shard.
 	type oldDomain struct {
 		crossed  map[string]struct{}
-		flagged  [4]bool
+		flagged  []bool
 		lastTime time.Time
 	}
 	old := make(map[string]*oldDomain)
@@ -521,7 +525,10 @@ func (e *Engine) Refold() {
 		sh := &e.shards[i]
 		sh.mu.Lock()
 		for domain, d := range sh.domains {
-			od := &oldDomain{flagged: d.flagged, lastTime: d.lastTime}
+			od := &oldDomain{
+				flagged:  append([]bool(nil), d.flagged...),
+				lastTime: d.lastTime,
+			}
 			for sku, g := range d.groups {
 				if g.crossed {
 					if od.crossed == nil {
@@ -549,7 +556,7 @@ func (e *Engine) Refold() {
 		sh := &e.shards[shardIdx(domain)]
 		sh.mu.Lock()
 		d := sh.domains[domain]
-		var newFlagged [4]bool
+		newFlagged := make([]bool, len(analysis.DetectableFamilies))
 		when := od.lastTime
 		if d != nil {
 			for sku := range od.crossed {

@@ -1,0 +1,215 @@
+package analysis
+
+import "time"
+
+// This file is the consensus-series classifier: given the per-round
+// uniform price of the same-fingerprint USD vantage-point group (the
+// series every client saw identically), it decides WHY the price moved.
+// The fleet's structure already proved the move is not discrimination —
+// every location and fingerprint saw the same number — so what remains
+// is to attribute the movement: calendar pricing (the temporal family's
+// weekday strategy), competitive repricing (held levels punctuated by
+// jumps, internal/market's leader-follower/contrarian/sale dynamics),
+// demand scarcity pricing (strict daily climbs broken by restock
+// drops), or residual temporal effects (intra-day drift, anything
+// unclassified). Separation rests on margins the simulation honours:
+//
+//   - weekday pricing repeats exactly at lag 7; market cycles default
+//     off the week (sale period 5, restock 4–6 days) and the leader's
+//     walk redraws levels, so only calendar pricing survives the
+//     group-by-weekday uniformity test;
+//   - competitive levels are held ≥2 days with every reprice a ≥3%
+//     jump; drift moves most days (runs of 1) and by ≤~1% per day;
+//   - demand moves the price EVERY day (≥~2% climbs, one ≥4% restock
+//     drop per cycle); no other scenario moves a consensus daily by
+//     that much.
+//
+// Verdict thresholds (minCalendarRounds, minMarketRounds) are set so a
+// short crawl — the historical 7-round default — never claims a market
+// shape: dynamics stay in the temporal bucket until the series is long
+// enough to judge, which keeps short-campaign verdicts stable.
+
+// consensusPoint is one round's consensus price with the context the
+// classifier keys on: the crawl round (adjacency) and the round's UTC
+// weekday (calendar structure).
+type consensusPoint struct {
+	round   int
+	units   int64
+	weekday time.Weekday
+}
+
+// seriesShape is the classifier's verdict on a consensus series.
+type seriesShape int
+
+const (
+	// shapeFlat: the consensus never moved (or is too short to say).
+	shapeFlat seriesShape = iota
+	// shapeCalendar: weekday-periodic — the temporal family's weekday
+	// pricing.
+	shapeCalendar
+	// shapeCompetitive: held price levels separated by repricing jumps —
+	// competitive market dynamics.
+	shapeCompetitive
+	// shapeDemand: strict daily movement with restock drops —
+	// demand/inventory dynamics.
+	shapeDemand
+	// shapeOther: the consensus moved but matches no known dynamic —
+	// drift and friends, attributed to the temporal family.
+	shapeOther
+)
+
+// Classifier thresholds.
+const (
+	// minCalendarRounds is the shortest series that can prove weekday
+	// periodicity: at least one weekday must repeat with ≥1 spare round,
+	// i.e. better part of two weeks of dailies.
+	minCalendarRounds = 8
+	// minMarketRounds is the shortest series the market-shape tests
+	// judge. Below it dynamics are reported as temporal movement — the
+	// pre-market behaviour, which keeps short-crawl verdicts stable.
+	minMarketRounds = 10
+	// minCompetitiveStep is the smallest relative reprice jump the
+	// competitive test demands; drift steps stay near 1% per day.
+	minCompetitiveStep = 0.03
+	// minRestockDrop is the smallest relative one-day price drop the
+	// demand test reads as a restock.
+	minRestockDrop = 0.04
+)
+
+// marketJudgeable reports whether a consensus series is long and dense
+// enough for the market-shape tests: at least minMarketRounds points
+// over strictly consecutive rounds (daily cadence, no gaps — run
+// lengths and daily steps are meaningless across holes).
+func marketJudgeable(pts []consensusPoint) bool {
+	if len(pts) < minMarketRounds {
+		return false
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].round != pts[i-1].round+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// classifyConsensus attributes a consensus series' movement to a shape.
+// Precedence is load-bearing: calendar pricing is tested first because
+// a weekend factor also produces held levels with ≥3% jumps — a series
+// that repeats exactly by weekday is weekday pricing no matter what
+// else it resembles.
+func classifyConsensus(pts []consensusPoint) seriesShape {
+	moved := false
+	for i := 1; i < len(pts); i++ {
+		if pts[i].units != pts[0].units {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		return shapeFlat
+	}
+	if weekdayPeriodic(pts) {
+		return shapeCalendar
+	}
+	if marketJudgeable(pts) {
+		switch {
+		case competitiveShape(pts):
+			return shapeCompetitive
+		case demandShape(pts):
+			return shapeDemand
+		}
+	}
+	return shapeOther
+}
+
+// weekdayPeriodic reports whether the series is explained entirely by
+// the calendar: every observation of a given UTC weekday shows the same
+// price, at least one weekday was observed twice (the periodicity is
+// proven, not assumed), and at least two weekdays disagree (there is a
+// weekday effect at all).
+func weekdayPeriodic(pts []consensusPoint) bool {
+	if len(pts) < minCalendarRounds {
+		return false
+	}
+	price := map[time.Weekday]int64{}
+	seen := map[time.Weekday]int{}
+	for _, p := range pts {
+		if u, ok := price[p.weekday]; ok && u != p.units {
+			return false
+		}
+		price[p.weekday] = p.units
+		seen[p.weekday]++
+	}
+	repeated := false
+	for _, n := range seen {
+		if n >= 2 {
+			repeated = true
+			break
+		}
+	}
+	if !repeated {
+		return false
+	}
+	distinct := map[int64]bool{}
+	for _, u := range price {
+		distinct[u] = true
+	}
+	return len(distinct) >= 2
+}
+
+// competitiveShape matches the repricing pattern of a competitive
+// seller: every interior point sits in a held run of ≥2 consecutive
+// days (sellers hold a level between reprices; edge points are exempt
+// because the observation window truncates their runs), and at least
+// one day-over-day reprice jumps ≥ minCompetitiveStep. Drift fails the
+// run test (it moves most days) and the jump test (~1%/day); demand
+// fails the run test (it moves every day).
+func competitiveShape(pts []consensusPoint) bool {
+	for i := 1; i < len(pts)-1; i++ {
+		if pts[i].units != pts[i-1].units && pts[i].units != pts[i+1].units {
+			return false
+		}
+	}
+	return maxAbsStep(pts) >= minCompetitiveStep
+}
+
+// demandShape matches scarcity pricing: the consensus moves EVERY day
+// (daily sales keep depleting stock), climbs at least twice, and at
+// least one drop of ≥ minRestockDrop marks a restock. Drift moves most
+// days but never drops that hard in one day; competitive holds levels.
+func demandShape(pts []consensusPoint) bool {
+	rises, restocked := 0, false
+	for i := 1; i < len(pts); i++ {
+		prev, cur := pts[i-1].units, pts[i].units
+		if cur == prev {
+			return false
+		}
+		if cur > prev {
+			rises++
+			continue
+		}
+		if rel := float64(prev-cur) / float64(prev); rel >= minRestockDrop {
+			restocked = true
+		}
+	}
+	return rises >= 2 && restocked
+}
+
+// maxAbsStep is the largest relative day-over-day move in the series.
+func maxAbsStep(pts []consensusPoint) float64 {
+	maxRel := 0.0
+	for i := 1; i < len(pts); i++ {
+		prev := float64(pts[i-1].units)
+		if prev <= 0 {
+			continue
+		}
+		rel := (float64(pts[i].units) - prev) / prev
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	return maxRel
+}

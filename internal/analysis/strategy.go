@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"sheriff/internal/fx"
 	"sheriff/internal/geo"
@@ -31,6 +32,18 @@ import (
 //     vantage points is uniform within every round yet moves across
 //     rounds — drift or weekday pricing, invisible to any synchronized
 //     cross-location comparison and therefore never attributed to geo.
+//
+// A consensus series that moves is NOT automatically discrimination:
+// competitive repricing and demand-driven scarcity pricing
+// (internal/market) move the base price identically for every client.
+// The consensus-series classifier (classifyConsensus) separates these
+// dynamics from the temporal discrimination strategies by shape —
+// weekday-periodic series are calendar pricing (temporal), held levels
+// punctuated by repricing jumps are competitive dynamics, strict daily
+// climbs broken by restock drops are demand dynamics, and anything
+// else that moves stays temporal. A market verdict must never flip a
+// geo/fingerprint/disclosure verdict: those compare across the fleet
+// within a round, where a market-wide move is invisible.
 //
 // The scenario matrix (internal/core) scores these verdicts against the
 // ground-truth rule families each scenario retailer compiled.
@@ -120,6 +133,7 @@ func (r StrategyReport) String() string {
 // remove rather than report.
 var DetectableFamilies = []shop.StrategyFamily{
 	shop.FamilyGeo, shop.FamilyFingerprint, shop.FamilyDisclosure, shop.FamilyTemporal,
+	shop.FamilyCompetitive, shop.FamilyDemand,
 }
 
 // vpMeta caches per-vantage-point controls.
@@ -153,6 +167,7 @@ type FamilyContribution struct {
 // tallies are exactly the sums of its products' contributions.
 type ProductVerdict struct {
 	Geo, Fingerprint, Disclosure, Temporal FamilyContribution
+	Competitive, Demand                    FamilyContribution
 }
 
 // Of returns the contribution for one detectable family.
@@ -166,6 +181,10 @@ func (v ProductVerdict) Of(f shop.StrategyFamily) FamilyContribution {
 		return v.Disclosure
 	case shop.FamilyTemporal:
 		return v.Temporal
+	case shop.FamilyCompetitive:
+		return v.Competitive
+	case shop.FamilyDemand:
+		return v.Demand
 	}
 	return FamilyContribution{}
 }
@@ -221,7 +240,7 @@ func (d *Detector) Product(obs []store.Observation) ProductVerdict {
 		geoSides         = map[string]*pairVote{}
 		fpElig, fpHits   int
 		fpSides          = map[string]*pairVote{}
-		consensus        []int64 // per-round same-fingerprint USD consensus
+		consensus        []consensusPoint // per-round same-fingerprint USD consensus
 		okRounds         = map[string]int{}
 		failRounds       = map[string]int{} // persistent extraction failures
 	)
@@ -230,10 +249,14 @@ func (d *Detector) Product(obs []store.Observation) ProductVerdict {
 		group := rounds[rk]
 		byFP := map[string][]store.Observation{}  // fingerprint → OK obs
 		byLoc := map[string][]store.Observation{} // location → OK obs
+		var roundTime time.Time                   // earliest observation time of the round
 		for _, o := range group {
 			m, known := meta[o.VP]
 			if !known {
 				continue
+			}
+			if roundTime.IsZero() || o.Time.Before(roundTime) {
+				roundTime = o.Time
 			}
 			if o.OK {
 				okRounds[o.VP]++
@@ -284,10 +307,15 @@ func (d *Detector) Product(obs []store.Observation) ProductVerdict {
 			}
 		}
 
-		// Temporal: consensus of the largest same-fingerprint group of
-		// USD vantage points, recorded only when internally uniform.
+		// Temporal/market: consensus of the largest same-fingerprint
+		// group of USD vantage points, recorded only when internally
+		// uniform — a moving consensus is a global price change, whose
+		// shape the classifier below attributes to calendar pricing,
+		// market dynamics, or residual temporal effects.
 		if units, ok := usdConsensus(byFP, meta); ok {
-			consensus = append(consensus, units)
+			consensus = append(consensus, consensusPoint{
+				round: rk, units: units, weekday: roundTime.UTC().Weekday(),
+			})
 		}
 	}
 
@@ -300,14 +328,16 @@ func (d *Detector) Product(obs []store.Observation) ProductVerdict {
 		v.Fingerprint.Eligible = true
 		v.Fingerprint.Affected = fpHits*2 > fpElig && sidesConsistent(fpSides)
 	}
+	shape := classifyConsensus(consensus)
 	if len(consensus) >= 3 {
 		v.Temporal.Eligible = true
-		for _, u := range consensus[1:] {
-			if u != consensus[0] {
-				v.Temporal.Affected = true
-				break
-			}
-		}
+		v.Temporal.Affected = shape == shapeCalendar || shape == shapeOther
+	}
+	if marketJudgeable(consensus) {
+		v.Competitive.Eligible = true
+		v.Competitive.Affected = shape == shapeCompetitive
+		v.Demand.Eligible = true
+		v.Demand.Affected = shape == shapeDemand
 	}
 	// Disclosure: a VP that failed extraction in >= MinFailRounds
 	// rounds and never succeeded, while another VP succeeded at least

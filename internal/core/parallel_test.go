@@ -91,9 +91,12 @@ func TestScenarioMatrixParallelEquivalence(t *testing.T) {
 	opts := MatrixOptions{
 		Seed:     1,
 		Products: 6,
-		Rounds:   7,
+		// Default rounds (14): the market scenarios below only classify at
+		// full series length, so the equivalence proof covers the
+		// dynamics-aware detector path too.
 		Scenarios: []string{
 			"control", "geo-mult", "fingerprint", "disclosure", "weekday", "everything",
+			"leader-follower", "periodic-sale", "demand", "competitive-geo",
 		},
 	}
 

@@ -25,8 +25,13 @@ type MatrixOptions struct {
 	// Products is how many products each scenario crawl covers
 	// (default 12).
 	Products int
-	// Rounds is the number of daily crawl rounds (default 7 — a full week,
-	// so weekday rules get both weekend and weekday observations).
+	// Rounds is the number of daily crawl rounds (default 14 — two full
+	// weeks, so weekday rules prove their 7-day periodicity against the
+	// market-dynamics scenarios, whose repricing cycles run off-week;
+	// the consensus classifier needs the second week to tell them
+	// apart). Explicit shorter sweeps still work: below the classifier's
+	// series minimums, market dynamics are conservatively reported as
+	// temporal movement.
 	Rounds int
 	// Scenarios optionally restricts the sweep to the named scenarios
 	// (shop.ScenarioConfigs labels); empty sweeps all.
@@ -144,7 +149,7 @@ func RunScenarioMatrix(opts MatrixOptions) (*MatrixReport, error) {
 		opts.Products = 12
 	}
 	if opts.Rounds <= 0 {
-		opts.Rounds = 7
+		opts.Rounds = 14
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)

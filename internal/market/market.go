@@ -1,0 +1,361 @@
+// Package market simulates multi-retailer price dynamics: competing
+// sellers that observe a market leader's price and reprice on the
+// simulated clock (leader-follower, contrarian and periodic-sale
+// dynamics — Clay, Smith & Wolff's online-bookseller price-war
+// patterns), and a demand/inventory model that moves a product's base
+// price with simulated sales volume (Ghose & Sundararajan). These are
+// the paper's central confound: prices that move because the *market*
+// moved, not because of who is asking.
+//
+// Determinism contract: every factor is a pure function of
+// (seed, SKU, UTC day of the query instant). There is no mutable state
+// — no random walk folded forward, no inventory counter mutated on
+// sale — so concurrent queries under the crowd-load harness and
+// parallel scenario-matrix workers read bit-identical prices, and a
+// world rebuilt from the same seed replays the same price history.
+// Reprice boundaries land on UTC midnight, aligned with the daily
+// crawl cadence, so a synchronized round always observes one
+// consistent market state.
+package market
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Dynamic names a competitive repricing behaviour.
+type Dynamic string
+
+// Competitive dynamics.
+const (
+	// LeaderFollower tracks the market leader's posted price with a lag:
+	// the seller observes the leader's level and matches it LagDays
+	// later, the classic follower pattern of online price wars.
+	LeaderFollower Dynamic = "leader-follower"
+	// Contrarian moves against the leader: when the leader discounts,
+	// the contrarian raises (selling availability, not price), and vice
+	// versa — the mirror image of the leader's path around the base.
+	Contrarian Dynamic = "contrarian"
+	// PeriodicSale ignores rivals and runs a fixed promotional cycle:
+	// every SalePeriodDays the price drops by SaleDepth for SaleDays.
+	PeriodicSale Dynamic = "periodic-sale"
+)
+
+// CompetitionConfig declares a seller's competitive repricing
+// behaviour. Zero-valued tuning fields take the defaults noted on each.
+type CompetitionConfig struct {
+	// Dynamic selects the repricing behaviour.
+	Dynamic Dynamic
+	// HoldDays is how long the market leader holds a price level before
+	// repricing (default 2; floor 2 — sub-day repricing would alias with
+	// intra-day drift, a different strategy family).
+	HoldDays int
+	// LagDays is the follower's reaction delay behind the leader
+	// (default HoldDays). Only leader-follower uses it.
+	LagDays int
+	// Band bounds the leader's walk: levels stay within base×(1±Band)
+	// (default 0.10).
+	Band float64
+	// SalePeriodDays, SaleDays and SaleDepth shape the periodic-sale
+	// cycle (defaults 5, 2 and 0.18). The period deliberately defaults
+	// off the 7-day week: a weekly sale is weekday pricing (temporal
+	// family), not market dynamics.
+	SalePeriodDays int
+	SaleDays       int
+	SaleDepth      float64
+}
+
+// withDefaults resolves zero values.
+func (c CompetitionConfig) withDefaults() CompetitionConfig {
+	if c.HoldDays < 2 {
+		c.HoldDays = 2
+	}
+	if c.LagDays <= 0 {
+		c.LagDays = c.HoldDays
+	}
+	if c.Band <= 0 {
+		c.Band = 0.10
+	}
+	if c.SalePeriodDays <= 0 {
+		c.SalePeriodDays = 5
+	}
+	if c.SaleDays <= 0 {
+		c.SaleDays = 2
+	}
+	if c.SaleDays >= c.SalePeriodDays {
+		c.SaleDays = c.SalePeriodDays - 1
+	}
+	if c.SaleDepth <= 0 {
+		c.SaleDepth = 0.18
+	}
+	return c
+}
+
+// DemandConfig declares demand-driven repricing: simulated daily sales
+// deplete a product's stock and the price climbs with scarcity until a
+// restock resets it. Zero-valued fields take the defaults noted.
+type DemandConfig struct {
+	// Alpha scales how hard depletion moves the price: the factor is
+	// 1 + Alpha×(fraction of stock sold this cycle) (default 0.6).
+	Alpha float64
+	// MinCycleDays and MaxCycleDays bound the per-SKU restock cadence
+	// (defaults 4 and 6). The range deliberately excludes 7: a weekly
+	// restock would masquerade as weekday pricing.
+	MinCycleDays, MaxCycleDays int
+}
+
+// withDefaults resolves zero values.
+func (c DemandConfig) withDefaults() DemandConfig {
+	if c.Alpha <= 0 {
+		c.Alpha = 0.6
+	}
+	if c.MinCycleDays <= 0 {
+		c.MinCycleDays = 4
+	}
+	if c.MaxCycleDays < c.MinCycleDays {
+		c.MaxCycleDays = c.MinCycleDays + 2
+	}
+	return c
+}
+
+// stockCapacity is the simulated per-cycle stock a demand-priced
+// product starts with; Inventory scales depletion onto it.
+const stockCapacity = 120
+
+// dailySaleLo/dailySaleHi bound the fraction of stock sold per
+// simulated day — every day sells something, so the scarcity price
+// strictly climbs until the restock.
+const (
+	dailySaleLo = 0.04
+	dailySaleHi = 0.09
+)
+
+// Quote is one rival seller's current price factor, relative to the
+// product's base price — the "observe rivals' prices" input a
+// competitive seller reprices against, exposed for inspection.
+type Quote struct {
+	// Seller names the rival ("leader", "contrarian").
+	Seller string
+	// Factor is the rival's current price as a multiple of base.
+	Factor float64
+}
+
+// Model is a market's deterministic price-path oracle for one seller:
+// competitive and/or demand factors per (SKU, instant). Either config
+// may be nil; a nil model prices everything at factor 1.
+type Model struct {
+	seed int64
+	comp *CompetitionConfig
+	dem  *DemandConfig
+}
+
+// NewModel builds a model under a seed. Configs are defaulted copies;
+// nil disables that component.
+func NewModel(seed int64, comp *CompetitionConfig, dem *DemandConfig) *Model {
+	m := &Model{seed: seed}
+	if comp != nil {
+		c := comp.withDefaults()
+		m.comp = &c
+	}
+	if dem != nil {
+		d := dem.withDefaults()
+		m.dem = &d
+	}
+	return m
+}
+
+// dayIndex maps an instant to its UTC day number (floor division, so
+// pre-1970 instants stay consistent).
+func dayIndex(t time.Time) int64 {
+	return floorDiv(t.UTC().Unix(), 86400)
+}
+
+// floorDiv is integer division rounding toward negative infinity.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Factor is the seller's combined market factor for a SKU at an
+// instant: competitive × demand, each 1 when unconfigured.
+func (m *Model) Factor(sku string, t time.Time) float64 {
+	return m.CompetitiveFactor(sku, t) * m.DemandFactor(sku, t)
+}
+
+// CompetitiveFactor is the competitive-dynamics multiplier (1 when no
+// competition is configured).
+func (m *Model) CompetitiveFactor(sku string, t time.Time) float64 {
+	if m == nil || m.comp == nil {
+		return 1
+	}
+	day := dayIndex(t)
+	switch m.comp.Dynamic {
+	case Contrarian:
+		// Mirror the leader around the base price, inside the band.
+		return clampFactor(2-m.leaderLevel(sku, day), m.comp.Band)
+	case PeriodicSale:
+		return m.saleLevel(sku, day)
+	default: // LeaderFollower
+		return m.leaderLevel(sku, day-int64(m.comp.LagDays))
+	}
+}
+
+// LeaderFactor is the market leader's current price factor for a SKU —
+// the rival quote a follower reprices against.
+func (m *Model) LeaderFactor(sku string, t time.Time) float64 {
+	if m == nil || m.comp == nil {
+		return 1
+	}
+	return m.leaderLevel(sku, dayIndex(t))
+}
+
+// leaderLevel is the leader's price level on a UTC day: a bounded walk
+// of discrete levels, each held exactly HoldDays. Consecutive intervals
+// draw from disjoint level grids (even intervals from {1−B, 1, 1+B},
+// odd from {1−B/2, 1+B/2}), so every reprice is a real move of at
+// least ~B/2 relative — a price history of held levels separated by
+// visible jumps, never a flat line that happens to repeat.
+func (m *Model) leaderLevel(sku string, day int64) float64 {
+	c := m.comp
+	k := floorDiv(day, int64(c.HoldDays))
+	u := m.hash01("lead", sku, k)
+	if k%2 == 0 {
+		switch {
+		case u < 1.0/3:
+			return 1 - c.Band
+		case u < 2.0/3:
+			return 1
+		default:
+			return 1 + c.Band
+		}
+	}
+	if u < 0.5 {
+		return 1 - c.Band/2
+	}
+	return 1 + c.Band/2
+}
+
+// saleLevel is the periodic-sale factor on a UTC day: SaleDays of
+// discount every SalePeriodDays, phase-shifted per SKU.
+func (m *Model) saleLevel(sku string, day int64) float64 {
+	c := m.comp
+	period := int64(c.SalePeriodDays)
+	phase := m.hashMod("salephase", sku, 0, period)
+	if pos := mod(day+phase, period); pos < int64(c.SaleDays) {
+		return 1 - c.SaleDepth
+	}
+	return 1
+}
+
+// DemandFactor is the demand/inventory multiplier (1 when no demand
+// model is configured): the price climbs with the fraction of stock
+// already sold this restock cycle and resets when the shelf refills.
+func (m *Model) DemandFactor(sku string, t time.Time) float64 {
+	if m == nil || m.dem == nil {
+		return 1
+	}
+	_, depleted := m.inventory(sku, dayIndex(t))
+	return 1 + m.dem.Alpha*depleted
+}
+
+// Inventory reports the simulated shelf for a SKU at an instant:
+// remaining units of the cycle's starting capacity. Zero capacity when
+// no demand model is configured.
+func (m *Model) Inventory(sku string, t time.Time) (remaining, capacity int) {
+	if m == nil || m.dem == nil {
+		return 0, 0
+	}
+	_, depleted := m.inventory(sku, dayIndex(t))
+	remaining = stockCapacity - int(depleted*stockCapacity+0.5)
+	return remaining, stockCapacity
+}
+
+// inventory computes the restock cycle position and the cumulative
+// depleted stock fraction on a UTC day. Each cycle draws fresh daily
+// sales volumes, every day sells at least dailySaleLo of stock, and the
+// cycle length is a per-SKU constant in [MinCycleDays, MaxCycleDays].
+func (m *Model) inventory(sku string, day int64) (pos int64, depleted float64) {
+	d := m.dem
+	cycleLen := m.hashMod("dcycle", sku, int64(d.MinCycleDays), int64(d.MaxCycleDays-d.MinCycleDays+1))
+	phase := m.hashMod("dphase", sku, 0, cycleLen)
+	shifted := day + phase
+	cycle := floorDiv(shifted, cycleLen)
+	pos = shifted - cycle*cycleLen
+	for j := int64(0); j < pos; j++ {
+		depleted += dailySaleLo + (dailySaleHi-dailySaleLo)*m.hash01("dsale", sku, cycle*16+j)
+	}
+	return pos, depleted
+}
+
+// RivalQuotes exposes the rival sellers' current factors for a SKU —
+// what a competitive seller "sees" before repricing, for the CLI's
+// world inspection. Empty when no competition is configured.
+func (m *Model) RivalQuotes(sku string, t time.Time) []Quote {
+	if m == nil || m.comp == nil {
+		return nil
+	}
+	day := dayIndex(t)
+	lead := m.leaderLevel(sku, day)
+	return []Quote{
+		{Seller: "leader", Factor: lead},
+		{Seller: "contrarian", Factor: clampFactor(2-lead, m.comp.Band)},
+	}
+}
+
+// clampFactor bounds a factor to base×(1±band).
+func clampFactor(f, band float64) float64 {
+	if f < 1-band {
+		return 1 - band
+	}
+	if f > 1+band {
+		return 1 + band
+	}
+	return f
+}
+
+// mod is the non-negative remainder.
+func mod(a, b int64) int64 {
+	r := a % b
+	if r < 0 {
+		r += b
+	}
+	return r
+}
+
+// hashMod maps (seed, label, sku, extra) to lo + [0, n).
+func (m *Model) hashMod(label, sku string, lo, n int64) int64 {
+	return lo + int64(m.hash01(label, sku, 0)*float64(n))
+}
+
+// hash01 maps (seed, label, sku, k) to a deterministic float in [0, 1).
+// A hash instead of a stateful RNG is what keeps every factor a pure
+// function of its inputs — the package's determinism contract.
+func (m *Model) hash01(label, sku string, k int64) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(m.seed >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte{0})
+	h.Write([]byte(label))
+	h.Write([]byte{0})
+	h.Write([]byte(sku))
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(k >> (8 * i))
+	}
+	h.Write([]byte{0})
+	h.Write(buf[:])
+	// FNV-1a diffuses trailing bytes poorly into the high bits; finish
+	// with a splitmix64-style avalanche before truncating.
+	v := h.Sum64()
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return float64(v>>11) / float64(1<<53)
+}

@@ -1,0 +1,240 @@
+package market
+
+import (
+	"testing"
+	"time"
+)
+
+// day returns the instant of UTC day d at the crawl hour, matching the
+// daily cadence the worlds observe the market at.
+func day(d int) time.Time {
+	return time.Date(2013, 1, 10, 8, 0, 0, 0, time.UTC).AddDate(0, 0, d)
+}
+
+// series samples a factor function daily.
+func series(n int, f func(t time.Time) float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = f(day(i))
+	}
+	return out
+}
+
+func TestModelDeterministic(t *testing.T) {
+	for _, dyn := range []Dynamic{LeaderFollower, Contrarian, PeriodicSale} {
+		a := NewModel(42, &CompetitionConfig{Dynamic: dyn}, &DemandConfig{})
+		b := NewModel(42, &CompetitionConfig{Dynamic: dyn}, &DemandConfig{})
+		for d := 0; d < 30; d++ {
+			at, bt := a.Factor("SKU-1", day(d)), b.Factor("SKU-1", day(d))
+			if at != bt {
+				t.Fatalf("%s day %d: models diverge: %v vs %v", dyn, d, at, bt)
+			}
+		}
+	}
+	// Different seeds must diverge somewhere.
+	a := NewModel(1, &CompetitionConfig{Dynamic: LeaderFollower}, nil)
+	b := NewModel(2, &CompetitionConfig{Dynamic: LeaderFollower}, nil)
+	same := true
+	for d := 0; d < 30 && same; d++ {
+		same = a.Factor("SKU-1", day(d)) == b.Factor("SKU-1", day(d))
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 30-day paths")
+	}
+}
+
+func TestModelPureOfInstantWithinDay(t *testing.T) {
+	m := NewModel(7, &CompetitionConfig{Dynamic: LeaderFollower}, &DemandConfig{})
+	base := m.Factor("SKU-9", day(3))
+	for _, offset := range []time.Duration{0, time.Hour, 12 * time.Hour, 15*time.Hour + 59*time.Minute} {
+		if got := m.Factor("SKU-9", day(3).Add(offset)); got != base {
+			t.Fatalf("factor moved within a day at +%v: %v vs %v", offset, got, base)
+		}
+	}
+}
+
+// TestLeaderHeldLevels pins the competitive price-path shape the
+// detector separates on: levels held exactly HoldDays, every reprice a
+// real jump.
+func TestLeaderHeldLevels(t *testing.T) {
+	hold := 2
+	m := NewModel(11, &CompetitionConfig{Dynamic: LeaderFollower, HoldDays: hold}, nil)
+	for _, sku := range []string{"A", "B", "C"} {
+		s := series(40, func(t time.Time) float64 { return m.LeaderFactor(sku, t) })
+		// Split into maximal runs of equal value; hold windows align to
+		// the absolute UTC day, so only the edge runs may be truncated.
+		var runs []int
+		levels := map[float64]bool{s[0]: true}
+		run := 1
+		for i := 1; i < len(s); i++ {
+			if s[i] == s[i-1] {
+				run++
+				continue
+			}
+			// Every reprice is a visible move (consecutive intervals draw
+			// from disjoint grids).
+			rel := s[i]/s[i-1] - 1
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel < 0.03 {
+				t.Fatalf("sku %s: reprice at day %d too small: %.4f", sku, i, rel)
+			}
+			levels[s[i]] = true
+			runs = append(runs, run)
+			run = 1
+		}
+		runs = append(runs, run)
+		for i, r := range runs {
+			if i == 0 || i == len(runs)-1 {
+				if r > hold {
+					t.Fatalf("sku %s: edge run of %d days exceeds hold %d", sku, r, hold)
+				}
+				continue
+			}
+			if r != hold {
+				t.Fatalf("sku %s: interior run of %d days, want exactly %d", sku, r, hold)
+			}
+		}
+		if len(levels) < 2 {
+			t.Fatalf("sku %s: leader never moved: %v", sku, levels)
+		}
+		for l := range levels {
+			if l < 0.85 || l > 1.15 {
+				t.Fatalf("sku %s: level %v outside band", sku, l)
+			}
+		}
+	}
+}
+
+func TestContrarianMirrorsLeader(t *testing.T) {
+	m := NewModel(13, &CompetitionConfig{Dynamic: Contrarian}, nil)
+	for d := 0; d < 20; d++ {
+		lead := m.LeaderFactor("X", day(d))
+		got := m.CompetitiveFactor("X", day(d))
+		if lead > 1 && got >= 1 {
+			t.Fatalf("day %d: leader high (%v) but contrarian not low (%v)", d, lead, got)
+		}
+		if lead < 1 && got <= 1 {
+			t.Fatalf("day %d: leader low (%v) but contrarian not high (%v)", d, lead, got)
+		}
+	}
+}
+
+// TestPeriodicSaleCycle pins the sale structure: depth, length, and a
+// period off the 7-day week (a weekly sale would be weekday pricing).
+func TestPeriodicSaleCycle(t *testing.T) {
+	m := NewModel(17, &CompetitionConfig{Dynamic: PeriodicSale}, nil)
+	s := series(30, func(t time.Time) float64 { return m.CompetitiveFactor("S", t) })
+	depth := 0.18
+	saleFactor := 1 - depth // runtime arithmetic, matching the model's
+	saleDays := 0
+	for _, f := range s {
+		switch f {
+		case 1:
+		case saleFactor:
+			saleDays++
+		default:
+			t.Fatalf("unexpected sale factor %v", f)
+		}
+	}
+	if want := 30 / 5 * 2; saleDays != want {
+		t.Fatalf("sale days over 30 = %d, want %d", saleDays, want)
+	}
+	// Period 5: the series repeats at lag 5, and must not at lag 7.
+	for i := 0; i+5 < len(s); i++ {
+		if s[i] != s[i+5] {
+			t.Fatalf("series not 5-periodic at day %d", i)
+		}
+	}
+	weekly := true
+	for i := 0; i+7 < len(s) && weekly; i++ {
+		weekly = s[i] == s[i+7]
+	}
+	if weekly {
+		t.Fatal("sale cycle is 7-periodic — indistinguishable from weekday pricing")
+	}
+}
+
+// TestDemandCycle pins the scarcity shape: price strictly climbs every
+// day of a cycle, then the restock drops it back to base in one step.
+func TestDemandCycle(t *testing.T) {
+	m := NewModel(19, nil, &DemandConfig{})
+	for _, sku := range []string{"D1", "D2", "D3"} {
+		s := series(30, func(t time.Time) float64 { return m.DemandFactor(sku, t) })
+		drops, rises := 0, 0
+		for i := 1; i < len(s); i++ {
+			rel := s[i]/s[i-1] - 1
+			switch {
+			case rel > 0.015:
+				rises++
+			case rel < -0.04:
+				drops++
+				if s[i] != 1 {
+					t.Fatalf("sku %s: restock at day %d did not reset to base: %v", sku, i, s[i])
+				}
+			default:
+				t.Fatalf("sku %s: day %d step %.4f neither a clear rise nor a restock drop", sku, i, rel)
+			}
+		}
+		if drops < 3 || rises < 10 {
+			t.Fatalf("sku %s: implausible cycle structure: %d drops, %d rises over 30 days", sku, drops, rises)
+		}
+		// Restock cadence stays off the 7-day week by construction.
+		weekly := true
+		for i := 0; i+7 < len(s) && weekly; i++ {
+			weekly = s[i] == s[i+7]
+		}
+		if weekly {
+			t.Fatalf("sku %s: demand cycle is 7-periodic", sku)
+		}
+	}
+}
+
+func TestInventoryTracksDepletion(t *testing.T) {
+	m := NewModel(23, nil, &DemandConfig{})
+	rem0, cap0 := m.Inventory("I", day(0))
+	if cap0 == 0 {
+		t.Fatal("no capacity reported for demand-priced SKU")
+	}
+	sawDepleted := false
+	prev := rem0
+	for d := 1; d < 10; d++ {
+		rem, _ := m.Inventory("I", day(d))
+		if rem < prev {
+			sawDepleted = true
+		}
+		prev = rem
+	}
+	if !sawDepleted {
+		t.Fatal("inventory never depleted over 10 days")
+	}
+	if nilRem, nilCap := (*Model)(nil).Inventory("I", day(0)); nilRem != 0 || nilCap != 0 {
+		t.Fatal("nil model reported inventory")
+	}
+}
+
+func TestNilAndUnconfigured(t *testing.T) {
+	var nilModel *Model
+	if f := nilModel.Factor("X", day(0)); f != 1 {
+		t.Fatalf("nil model factor = %v", f)
+	}
+	m := NewModel(1, nil, nil)
+	if f := m.Factor("X", day(0)); f != 1 {
+		t.Fatalf("unconfigured model factor = %v", f)
+	}
+	if q := m.RivalQuotes("X", day(0)); q != nil {
+		t.Fatalf("unconfigured model quotes = %v", q)
+	}
+}
+
+func TestRivalQuotes(t *testing.T) {
+	m := NewModel(29, &CompetitionConfig{Dynamic: LeaderFollower}, nil)
+	q := m.RivalQuotes("X", day(0))
+	if len(q) != 2 || q[0].Seller != "leader" || q[1].Seller != "contrarian" {
+		t.Fatalf("quotes = %+v", q)
+	}
+	if lead := m.LeaderFactor("X", day(0)); q[0].Factor != lead {
+		t.Fatalf("leader quote %v != leader factor %v", q[0].Factor, lead)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"sheriff/internal/fx"
 	"sheriff/internal/geo"
+	mkt "sheriff/internal/market"
 	"sheriff/internal/money"
 )
 
@@ -104,6 +105,20 @@ type Config struct {
 	HideFraction  float64
 	HideCountries []string
 
+	// Competition, when non-nil, prices the catalog against a simulated
+	// rival market: the retailer observes the market leader's price path
+	// and reprices on the simulated clock per the configured dynamic
+	// (leader-follower, contrarian or periodic-sale). This moves the
+	// *base* price for every visitor identically — market dynamics, not
+	// discrimination — which is exactly the confound the detector must
+	// separate from the per-client strategies above.
+	Competition *mkt.CompetitionConfig
+
+	// Demand, when non-nil, moves the base price with simulated sales
+	// volume: daily sales deplete stock, scarcity raises the price, a
+	// restock resets it. Like Competition, identical for every visitor.
+	Demand *mkt.DemandConfig
+
 	// Trackers embedded in every page: any of "ga", "doubleclick",
 	// "facebook", "pinterest", "twitter" (Sec. 4.4).
 	Trackers []string
@@ -133,22 +148,31 @@ type Retailer struct {
 	cfg     Config
 	catalog *Catalog
 	market  *fx.Market
+	dyn     *mkt.Model // market dynamics; nil when neither config is set
 	rules   []PricingRule
 }
 
 // New builds a retailer from its config and the shared FX market
 // (needed to localize display prices). The pricing pipeline is compiled
 // once here; see rules.go.
-func New(cfg Config, market *fx.Market) *Retailer {
+func New(cfg Config, fxm *fx.Market) *Retailer {
 	if cfg.Template == "" {
 		cfg.Template = "classic"
 	}
 	prefix := skuPrefix(cfg.Domain)
 	cat := GenCatalog(cfg.Seed, prefix, cfg.Categories, cfg.ProductCount, cfg.PriceLo, cfg.PriceHi)
-	r := &Retailer{cfg: cfg, catalog: cat, market: market}
+	r := &Retailer{cfg: cfg, catalog: cat, market: fxm}
+	if cfg.Competition != nil || cfg.Demand != nil {
+		r.dyn = mkt.NewModel(cfg.Seed, cfg.Competition, cfg.Demand)
+	}
 	r.rules = compileRules(r)
 	return r
 }
+
+// Dynamics exposes the retailer's market-dynamics model (nil when the
+// config declares neither competition nor demand pricing) — the CLI's
+// world inspection reads rival quotes and inventory through it.
+func (r *Retailer) Dynamics() *mkt.Model { return r.dyn }
 
 // skuPrefix derives a short SKU prefix from the domain.
 func skuPrefix(domain string) string {

@@ -48,6 +48,16 @@ const (
 	FamilyAccount StrategyFamily = "account"
 	// FamilySegment covers browsing-history segment pricing (Sec. 4.4).
 	FamilySegment StrategyFamily = "segment"
+	// FamilyCompetitive covers competitive market repricing: the base
+	// price tracks rival sellers (leader-follower, contrarian, periodic
+	// sales — Clay, Smith & Wolff). Identical for every visitor at any
+	// instant; it is price *dynamics*, never price discrimination, and
+	// the detector must say so.
+	FamilyCompetitive StrategyFamily = "competitive"
+	// FamilyDemand covers demand/inventory repricing: simulated sales
+	// deplete stock and scarcity moves the base price (Ghose &
+	// Sundararajan). Also visitor-independent dynamics.
+	FamilyDemand StrategyFamily = "demand"
 )
 
 // PricingRule is one named, composable pricing behaviour. Apply transforms
@@ -73,6 +83,26 @@ type PricingRule struct {
 func compileRules(r *Retailer) []PricingRule {
 	cfg := &r.cfg
 	var rules []PricingRule
+
+	// Market dynamics run first: competition and demand move the *base*
+	// price the discrimination rules below then act on — a geo factor
+	// applies to whatever the market made of the product today.
+	if cfg.Competition != nil {
+		rules = append(rules, PricingRule{
+			Name: "competitive", Family: FamilyCompetitive,
+			Apply: func(price float64, p Product, v Visit) float64 {
+				return price * r.dyn.CompetitiveFactor(p.SKU, v.Time)
+			},
+		})
+	}
+	if cfg.Demand != nil {
+		rules = append(rules, PricingRule{
+			Name: "demand", Family: FamilyDemand,
+			Apply: func(price float64, p Product, v Visit) float64 {
+				return price * r.dyn.DemandFactor(p.SKU, v.Time)
+			},
+		})
+	}
 
 	geoConfigured := len(cfg.CountryFactor) > 0 || len(cfg.CountryJitter) > 0 ||
 		len(cfg.CountryAdd) > 0 || len(cfg.CityFactor) > 0 || len(cfg.CityJitter) > 0

@@ -1,5 +1,7 @@
 package shop
 
+import mkt "sheriff/internal/market"
+
 // This file holds the scenario presets for the rule-engine validation
 // matrix: one small retailer per discrimination strategy (and per
 // interesting combination), each exercising exactly the rules its name
@@ -77,8 +79,34 @@ func ScenarioConfigs(seed int64) []Config {
 	everything.HideFraction = 0.2
 	everything.WeekdayFactor = weekend
 
+	// Market-dynamics scenarios: the base price moves because the market
+	// moved, identically for every visitor — the paper's central
+	// confound. Pure-dynamics worlds must flag competitive/demand and
+	// nothing else; the mixed worlds layer geo discrimination on top of a
+	// moving base price and the detector must still separate the two.
+	leaderFollower := base(12, "leader-follower", "modern")
+	leaderFollower.Competition = &mkt.CompetitionConfig{Dynamic: mkt.LeaderFollower}
+
+	contrarian := base(13, "contrarian", "classic")
+	contrarian.Competition = &mkt.CompetitionConfig{Dynamic: mkt.Contrarian}
+
+	sale := base(14, "periodic-sale", "table")
+	sale.Competition = &mkt.CompetitionConfig{Dynamic: mkt.PeriodicSale}
+
+	demand := base(15, "demand", "minimal")
+	demand.Demand = &mkt.DemandConfig{}
+
+	competitiveGeo := base(16, "competitive-geo", "modern")
+	competitiveGeo.Competition = &mkt.CompetitionConfig{Dynamic: mkt.LeaderFollower}
+	competitiveGeo.CountryFactor = geoFactors(1.11, 1.07, 1.22, 0.97, nil)
+
+	demandGeo := base(17, "demand-geo", "classic")
+	demandGeo.Demand = &mkt.DemandConfig{}
+	demandGeo.CountryFactor = geoFactors(1.09, 1.05, 1.18, 1.01, nil)
+
 	return []Config{
 		control, geoMult, geoAdd, geoCity, fingerprint, disclosure,
 		weekday, drift, fingerGeo, discWeekday, everything,
+		leaderFollower, contrarian, sale, demand, competitiveGeo, demandGeo,
 	}
 }

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Market-dynamics smoke: the expanded scenario matrix — discrimination
+# worlds, the pure market-dynamics worlds (leader-follower, contrarian,
+# periodic-sale, demand) and the mixed market+geo confounds — must hold
+# per-family detection precision/recall at 1.00 across seeds. A
+# synchronized price move every vantage point sees identically is market
+# dynamics, not discrimination: any world where the detector confuses
+# the two (a MISS or FALSE+ cell) fails the -gate and this smoke.
+#
+# The smoke also audits the ground truth itself: worldgen -scenario
+# emits the deterministic daily price path (factors, rival quotes,
+# inventory) for the leader-follower and demand presets and asserts the
+# dynamics actually move — a silently-inert market model would otherwise
+# pass the matrix for the wrong reason (nothing to detect).
+#
+# Run from the repository root: ./scripts/market_smoke.sh
+# On failure, set SMOKE_ARTIFACT_DIR to keep the matrix reports and
+# price-path dumps.
+set -euo pipefail
+
+workdir="$(mktemp -d)"
+
+cleanup() {
+  status=$?
+  if [ "$status" -ne 0 ] && [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$SMOKE_ARTIFACT_DIR/market"
+    cp "$workdir"/*.txt "$SMOKE_ARTIFACT_DIR/market/" 2>/dev/null || true
+    echo "== market-smoke: kept artifacts in $SMOKE_ARTIFACT_DIR/market"
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+say() { echo "== market-smoke: $*"; }
+
+say "building experiments and worldgen"
+go build -o "$workdir/experiments" ./cmd/experiments
+go build -o "$workdir/worldgen" ./cmd/worldgen
+
+for seed in 1 5; do
+  say "expanded scenario matrix, seed $seed, gate 1.00"
+  "$workdir/experiments" -scenarios -scale quick -seed "$seed" -gate 1.0 \
+    | tee "$workdir/matrix_seed${seed}.txt"
+  if grep -Eq 'MISS|FALSE\+' "$workdir/matrix_seed${seed}.txt"; then
+    say "FAIL: confusion cells in the seed $seed matrix"
+    exit 1
+  fi
+done
+
+say "price-path audit: market ground truth must actually move"
+"$workdir/worldgen" -seed 1 -scenario leader-follower -days 14 >"$workdir/path_leader.txt"
+"$workdir/worldgen" -seed 1 -scenario demand -days 14 >"$workdir/path_demand.txt"
+
+# The leader-follower path carries rival quotes and at least two distinct
+# competitive factor levels; the demand path restocks (demand factor
+# returns to 1.000) and tracks inventory.
+grep -q "rival quotes" "$workdir/path_leader.txt" || { say "FAIL: no rival quotes in leader path"; exit 1; }
+comp_levels="$(awk '$1 ~ /^[0-9]+$/ {print $5}' "$workdir/path_leader.txt" | sort -u | wc -l)"
+if [ "$comp_levels" -lt 2 ]; then
+  say "FAIL: leader-follower competitive factor never repriced ($comp_levels level)"
+  exit 1
+fi
+demand_moves="$(awk '$1 ~ /^[0-9]+$/ {print $6}' "$workdir/path_demand.txt" | sort -u | wc -l)"
+if [ "$demand_moves" -lt 3 ]; then
+  say "FAIL: demand factor path too flat ($demand_moves levels)"
+  exit 1
+fi
+grep -q "120/120" "$workdir/path_demand.txt" || { say "FAIL: demand world never restocked"; exit 1; }
+
+say "PASS (matrix gate 1.00 at seeds 1 and 5; market paths live)"

@@ -37,6 +37,7 @@ import (
 	"sheriff/internal/extract"
 	"sheriff/internal/fx"
 	"sheriff/internal/geo"
+	"sheriff/internal/market"
 	"sheriff/internal/replica"
 	"sheriff/internal/shop"
 	"sheriff/internal/store"
@@ -416,6 +417,12 @@ type (
 	StrategyFamily = shop.StrategyFamily
 	// ShopConfig declares a retailer, rule parameters included.
 	ShopConfig = shop.Config
+	// CompetitionConfig parameterizes a retailer's rival-tracking
+	// repricing (ShopConfig.Competition).
+	CompetitionConfig = market.CompetitionConfig
+	// DemandConfig parameterizes demand/inventory-driven repricing
+	// (ShopConfig.Demand).
+	DemandConfig = market.DemandConfig
 	// StrategyReport is a domain's per-family attribution verdict.
 	StrategyReport = analysis.StrategyReport
 	// FamilyEvidence is one family's verdict inside a StrategyReport.
@@ -441,6 +448,11 @@ const (
 	FamilyABTest      = shop.FamilyABTest
 	FamilyAccount     = shop.FamilyAccount
 	FamilySegment     = shop.FamilySegment
+	// Market-dynamics families: price movement every vantage point sees
+	// identically — a confound the detector separates from
+	// discrimination, not discrimination itself.
+	FamilyCompetitive = shop.FamilyCompetitive
+	FamilyDemand      = shop.FamilyDemand
 )
 
 // DetectStrategies attributes a domain's crawl variation to strategy
